@@ -1,0 +1,160 @@
+package starperf
+
+import (
+	"starperf/internal/desim"
+	"starperf/internal/experiments"
+	"starperf/internal/hypercube"
+	"starperf/internal/mesh"
+	"starperf/internal/model"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+	"starperf/internal/topology"
+	"starperf/internal/torus"
+	"starperf/internal/traffic"
+)
+
+// This file is the public face of the library: the implementation
+// lives under internal/ (see README for the package map) and is
+// re-exported here via type aliases, so downstream modules can import
+// just "starperf" and reach every entry point while the internals
+// stay free to evolve.
+
+// Topology is a direct interconnection network as seen by the
+// routing layer, the simulator and the model.
+type Topology = topology.Topology
+
+// NewStarGraph returns the n-star S_n (n! nodes) — the paper's
+// topology.
+func NewStarGraph(n int) (*stargraph.Graph, error) { return stargraph.New(n) }
+
+// NewHypercube returns the binary m-cube Q_m.
+func NewHypercube(m int) (*hypercube.Graph, error) { return hypercube.New(m) }
+
+// NewTorus returns the k-ary n-cube (k even).
+func NewTorus(k, n int) (*torus.Graph, error) { return torus.New(k, n) }
+
+// NewMesh returns the k-ary n-mesh (simulator and routing only: its
+// broken channel symmetry rules out the paper's model — see
+// internal/mesh).
+func NewMesh(k, n int) (*mesh.Graph, error) { return mesh.New(k, n) }
+
+// RoutingKind selects one of the implemented deadlock-free adaptive
+// wormhole routing algorithms.
+type RoutingKind = routing.Kind
+
+// The routing algorithms of the negative-hop family (see
+// internal/routing for the eligibility rules and deadlock-freedom
+// argument).
+const (
+	NHop        = routing.NHop
+	Nbc         = routing.Nbc
+	EnhancedNbc = routing.EnhancedNbc
+)
+
+// RoutingSpec is an algorithm resolved against a topology and a
+// virtual-channel budget.
+type RoutingSpec = routing.Spec
+
+// NewRouting resolves kind on top with v virtual channels per
+// physical channel.
+func NewRouting(kind RoutingKind, top Topology, v int) (RoutingSpec, error) {
+	return routing.New(kind, top, v)
+}
+
+// SelectionPolicy chooses among free eligible virtual channels in the
+// simulator.
+type SelectionPolicy = routing.Policy
+
+// The selection policies (PreferClassA is the paper's behaviour).
+const (
+	PreferClassA      = routing.PreferClassA
+	RandomAny         = routing.RandomAny
+	LowestEscapeFirst = routing.LowestEscapeFirst
+	FirstProfitable   = routing.FirstProfitable
+)
+
+// SimConfig configures one flit-level wormhole simulation; SimResult
+// carries its measurements.
+type (
+	SimConfig = desim.Config
+	SimResult = desim.Result
+)
+
+// Simulate runs the flit-level simulator (deterministic per config).
+func Simulate(cfg SimConfig) (*SimResult, error) { return desim.Run(cfg) }
+
+// ModelConfig configures one analytical-model evaluation; ModelResult
+// carries the prediction. PathStructure abstracts the minimal-path
+// combinatorics of a topology.
+type (
+	ModelConfig   = model.Config
+	ModelResult   = model.Result
+	PathStructure = model.PathStructure
+)
+
+// ErrSaturated is returned by Predict beyond the model's saturation
+// point.
+var ErrSaturated = model.ErrSaturated
+
+// NewStarPaths, NewCubePaths and NewTorusPaths build the per-topology
+// path structures consumed by ModelConfig.
+func NewStarPaths(n int) (*model.StarPaths, error) { return model.NewStarPaths(n) }
+
+// NewCubePaths builds the hypercube path structure.
+func NewCubePaths(m int) (*model.CubePaths, error) { return model.NewCubePaths(m) }
+
+// NewTorusPaths builds the k-ary n-cube path structure.
+func NewTorusPaths(k, n int) (*model.TorusPaths, error) { return model.NewTorusPaths(k, n) }
+
+// Predict evaluates the analytical latency model.
+func Predict(cfg ModelConfig) (*ModelResult, error) { return model.Evaluate(cfg) }
+
+// SaturationRate bisects for the largest per-node rate at which the
+// model still converges — the predicted capacity of a configuration.
+func SaturationRate(base ModelConfig, lo, hi float64) float64 {
+	return model.SaturationRate(base, lo, hi)
+}
+
+// PredictStar evaluates the model in the paper's setting: S_n with V
+// virtual channels, M-flit messages at per-node rate λg under
+// Enhanced-Nbc.
+func PredictStar(n, v, msgLen int, rate float64) (*ModelResult, error) {
+	return model.EvaluateStar(n, v, msgLen, rate, routing.EnhancedNbc, model.Window)
+}
+
+// TrafficPattern maps sources to destinations; LengthDist draws
+// message lengths.
+type (
+	TrafficPattern = traffic.Pattern
+	LengthDist     = traffic.LengthDist
+)
+
+// The traffic building blocks.
+type (
+	UniformTraffic = traffic.Uniform
+	HotspotTraffic = traffic.Hotspot
+	FixedLen       = traffic.FixedLen
+	BimodalLen     = traffic.BimodalLen
+	UniformLen     = traffic.UniformLen
+)
+
+// Experiment harness re-exports: Panel/Series/Point latency curves,
+// the Figure-1 regenerator and the throughput sweep.
+type (
+	Panel         = experiments.Panel
+	SimOptions    = experiments.SimOptions
+	ThroughputRow = experiments.ThroughputRow
+)
+
+// Figure1 regenerates one panel of the paper's Figure 1 ('a', 'b' or
+// 'c').
+func Figure1(panel byte, points int, opts SimOptions) (*Panel, error) {
+	return experiments.Figure1(panel, points, opts)
+}
+
+// ThroughputCurve sweeps offered load past saturation and reports
+// accepted throughput.
+func ThroughputCurve(top Topology, kind RoutingKind, v, msgLen, points int,
+	maxRate float64, opts SimOptions) ([]ThroughputRow, error) {
+	return experiments.ThroughputCurve(top, kind, v, msgLen, points, maxRate, opts)
+}

@@ -1,0 +1,123 @@
+package starperf
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API the way a downstream
+// user would: build the paper's network, predict a latency, simulate
+// the same operating point, compare.
+func TestFacadeEndToEnd(t *testing.T) {
+	star, err := NewStarGraph(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := NewRouting(EnhancedNbc, star, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := PredictStar(5, 6, 32, 0.008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(SimConfig{
+		Top: star, Spec: spec, Policy: PreferClassA,
+		Rate: 0.008, MsgLen: 32, Seed: 1,
+		WarmupCycles: 4000, MeasureCycles: 15000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(pred.Latency-sim.Latency.Mean()) / sim.Latency.Mean()
+	if rel > 0.3 {
+		t.Fatalf("model %v vs sim %v: %.0f%% apart", pred.Latency, sim.Latency.Mean(), rel*100)
+	}
+}
+
+func TestFacadeTopologies(t *testing.T) {
+	cube, err := NewHypercube(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor, err := NewTorus(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, top := range []Topology{cube, tor} {
+		paths, err := pathsFor(top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Predict(ModelConfig{
+			Paths: paths, Top: top, Kind: EnhancedNbc,
+			V: 6, MsgLen: 16, Rate: 0.005,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", top.Name(), err)
+		}
+		if r.Latency < 17 || r.Latency > 200 {
+			t.Fatalf("%s latency %v implausible", top.Name(), r.Latency)
+		}
+	}
+}
+
+func pathsFor(top Topology) (PathStructure, error) {
+	switch top.Name() {
+	case "Q5":
+		return NewCubePaths(5)
+	case "T4x2":
+		return NewTorusPaths(4, 2)
+	}
+	return NewStarPaths(5)
+}
+
+func TestFacadeSaturation(t *testing.T) {
+	_, err := PredictStar(5, 6, 32, 0.1)
+	if err == nil {
+		t.Fatal("deep overload accepted")
+	}
+	var is bool
+	for e := err; e != nil; {
+		if e == ErrSaturated {
+			is = true
+			break
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			break
+		}
+		e = u.Unwrap()
+	}
+	if !is {
+		t.Fatalf("error %v does not wrap ErrSaturated", err)
+	}
+}
+
+func TestFacadeTrafficTypes(t *testing.T) {
+	var p TrafficPattern = HotspotTraffic{N: 10, Hot: 0, Fraction: 0.2}
+	if p.Name() != "hotspot" {
+		t.Fatal("pattern alias broken")
+	}
+	var l LengthDist = BimodalLen{Short: 8, Long: 24, PLong: 0.5}
+	if l.Mean() != 16 {
+		t.Fatal("length alias broken")
+	}
+	_ = UniformTraffic{N: 4}
+	_ = FixedLen{M: 3}
+	_ = UniformLen{Min: 1, Max: 2}
+}
+
+func TestFacadeSaturationRate(t *testing.T) {
+	paths, err := NewStarPaths(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, _ := NewStarGraph(5)
+	sat := SaturationRate(ModelConfig{
+		Paths: paths, Top: star, Kind: EnhancedNbc, V: 6, MsgLen: 32,
+	}, 1e-4, 0.1)
+	if sat < 0.01 || sat > 0.02 {
+		t.Fatalf("S5 V=6 M=32 saturation %v outside the expected 0.015 neighbourhood", sat)
+	}
+}

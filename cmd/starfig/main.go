@@ -1,0 +1,141 @@
+// Command starfig regenerates the paper's evaluation artefacts and
+// this repository's extension panels as text tables (or CSV):
+//
+//	-panel a|b|c   Figure 1(a,b,c): S5 latency vs rate, V=6/9/12
+//	-panel grid    §5 validation grid (several n, M, V)
+//	-panel compare star-vs-hypercube future-work panel
+//	-panel a1      ablation: blocking-mixture placement (model)
+//	-panel a2      ablation: VC selection policies (simulation)
+//	-panel a3      ablation: NHop vs Nbc vs Enhanced-Nbc
+//	-panel tput    accepted-vs-offered throughput curve
+//	-panel x7      wormhole vs virtual cut-through switching
+//	-panel a4      ablation: service-time variance approximation (model)
+//	-panel star    generalised Figure 1 for any -n (S4..S7)
+//	-panel tails   latency percentiles (p50/p95/p99) vs load
+//	-panel levels  class-b level usage: NHop vs Nbc vs Enhanced-Nbc
+//
+// Usage:
+//
+//	starfig -panel a [-points 15] [-seeds 3] [-measure 50000] [-csv] [-plot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"starperf/internal/experiments"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+)
+
+func main() {
+	panel := flag.String("panel", "a", "a|b|c|grid|compare|a1|a2|a3|a4|tput|x7|star|tails|levels")
+	points := flag.Int("points", 15, "points per curve")
+	seeds := flag.Int("seeds", 3, "simulation replications")
+	warmup := flag.Int64("warmup", 8000, "warm-up cycles")
+	measure := flag.Int64("measure", 30000, "measurement cycles")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	plot := flag.Bool("plot", false, "append an ASCII plot of the panel")
+	v := flag.Int("v", 6, "virtual channels (compare/a1/a2/a3/tput panels)")
+	m := flag.Int("m", 32, "message length (compare/a1/a2/a3/tput panels)")
+	maxRate := flag.Float64("maxrate", 0.03, "sweep ceiling (tput panel)")
+	starN := flag.Int("n", 6, "star size (star panel)")
+	flag.Parse()
+
+	opts := experiments.SimOptions{Warmup: *warmup, Measure: *measure}
+	for s := 1; s <= *seeds; s++ {
+		opts.Seeds = append(opts.Seeds, uint64(s))
+	}
+
+	emit := func(p *experiments.Panel, err error) {
+		if err != nil {
+			fail(err)
+		}
+		if *csv {
+			experiments.RenderPanelCSV(os.Stdout, p)
+		} else {
+			experiments.RenderPanel(os.Stdout, p)
+			if *plot {
+				fmt.Println()
+				experiments.RenderASCIIPlot(os.Stdout, p, 72, 22)
+			}
+			if bad := experiments.ShapeChecks(p, 0.40); len(bad) > 0 {
+				fmt.Println("\nshape-check warnings:")
+				for _, b := range bad {
+					fmt.Println("  -", b)
+				}
+			} else {
+				fmt.Println("\nshape checks: all qualitative properties hold")
+			}
+		}
+	}
+
+	switch *panel {
+	case "a", "b", "c":
+		emit(experiments.Figure1((*panel)[0], *points, opts))
+	case "grid":
+		rows, err := experiments.ValidationGrid(opts)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderGrid(os.Stdout, rows)
+	case "compare":
+		emit(experiments.StarVsHypercube(*m, *v, *points, opts))
+	case "a1":
+		rows, err := experiments.AblationMixture(*v, *m, *points)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderMixture(os.Stdout, rows)
+	case "a2":
+		emit(experiments.AblationSelection(*v, *m, *points, opts))
+	case "a3":
+		emit(experiments.AblationAlgorithms(*v, *m, *points, opts))
+	case "levels":
+		rows, err := experiments.LevelUsage(*v, *m, 0.008, opts)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderLevels(os.Stdout, rows)
+	case "tails":
+		g, err := stargraph.New(5)
+		if err != nil {
+			fail(err)
+		}
+		rows, err := experiments.TailLatency(g, routing.EnhancedNbc, *v, *m,
+			*points, *maxRate, opts)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderTails(os.Stdout, rows)
+	case "star":
+		emit(experiments.StarPanel(*starN, *v, []int{*m}, 0, *points, opts))
+	case "a4":
+		rows, err := experiments.AblationVariance(*v, *m, *points)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderVariance(os.Stdout, rows)
+	case "x7":
+		emit(experiments.SwitchingComparison(*v, *m, *points, opts))
+	case "tput":
+		g, err := stargraph.New(5)
+		if err != nil {
+			fail(err)
+		}
+		rows, err := experiments.ThroughputCurve(g, routing.EnhancedNbc, *v, *m,
+			*points, *maxRate, opts)
+		if err != nil {
+			fail(err)
+		}
+		experiments.RenderThroughput(os.Stdout, rows)
+	default:
+		fail(fmt.Errorf("unknown panel %q", *panel))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "starfig: %v\n", err)
+	os.Exit(1)
+}

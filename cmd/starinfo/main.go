@@ -1,0 +1,56 @@
+// Command starinfo prints the topological properties of a star graph
+// S_n that the analytical model rests on: size, degree, diameter,
+// exact average distance, the distance distribution, the
+// negative-hop virtual-channel requirement, and the destination
+// cycle-type classes with their minimal-path counts.
+//
+// Usage:
+//
+//	starinfo [-n 5] [-classes]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"starperf/internal/model"
+	"starperf/internal/perm"
+	"starperf/internal/stargraph"
+	"starperf/internal/topology"
+)
+
+func main() {
+	n := flag.Int("n", 5, "number of symbols (nodes = n!)")
+	classes := flag.Bool("classes", false, "list destination cycle-type classes")
+	flag.Parse()
+
+	if *n < 2 || *n > 12 {
+		fmt.Fprintf(os.Stderr, "starinfo: n must be in [2,12]\n")
+		os.Exit(1)
+	}
+	diam := stargraph.Diameter(*n)
+	fmt.Printf("star graph S%d\n", *n)
+	fmt.Printf("  nodes            %d\n", perm.Factorial(*n))
+	fmt.Printf("  degree           %d\n", *n-1)
+	fmt.Printf("  diameter         %d\n", diam)
+	fmt.Printf("  avg distance     %.6f\n", stargraph.AvgDistanceN(*n))
+	fmt.Printf("  max neg hops     %d\n", topology.MaxNegativeHops(diam))
+	fmt.Printf("  min escape VCs   %d\n", topology.MinEscapeVCs(diam))
+	fmt.Printf("  distance histogram:\n")
+	for h, c := range stargraph.DistanceDistribution(*n) {
+		fmt.Printf("    h=%-3d %d\n", h, c)
+	}
+	if *classes {
+		sp, err := model.NewStarPaths(*n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "starinfo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  destination classes (cycle type | distance | population | minimal paths):\n")
+		for i, c := range sp.Classes() {
+			fmt.Printf("    %-16s h=%-3d count=%-8d paths=%.0f\n",
+				c.Label, c.H, c.Count, sp.NumPaths(i))
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package starperf reproduces "Analytical Performance Modelling of
+// Adaptive Wormhole Routing in the Star Interconnection Network"
+// (Kiasari, Sarbazi-Azad, Ould-Khaoua; IPDPS 2006): the first
+// analytical model of mean message latency in wormhole-switched star
+// graphs under the fully adaptive Enhanced-Nbc routing algorithm,
+// validated against a flit-level discrete-event simulator.
+//
+// The library lives under internal/: the star-graph and hypercube
+// topologies, the NHop/Nbc/Enhanced-Nbc routing family, the
+// cycle-accurate wormhole simulator, the queueing building blocks,
+// the analytical model itself, and the experiment harness that
+// regenerates every panel of the paper's Figure 1 plus the extension
+// studies. The top-level bench_test.go exposes one benchmark per
+// reproduced figure panel; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package starperf

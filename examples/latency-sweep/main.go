@@ -1,0 +1,58 @@
+// Latency sweep: trace a full latency-versus-load curve for one
+// configuration — the textual equivalent of one curve of the paper's
+// Figure 1 — with the model's saturation point located by bisection
+// and the simulator run either side of it.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"starperf/internal/desim"
+	"starperf/internal/model"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+)
+
+func main() {
+	const (
+		n, v, m = 5, 9, 32
+		points  = 12
+	)
+	star := stargraph.MustNew(n)
+	paths, err := model.NewStarPaths(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := model.Config{Paths: paths, Top: star, Kind: routing.EnhancedNbc, V: v, MsgLen: m}
+
+	sat := model.SaturationRate(base, 1e-5, 0.2)
+	fmt.Printf("S%d V=%d M=%d: model saturation rate ≈ %.5f msg/node/cycle\n\n", n, v, m, sat)
+	fmt.Printf("%-10s %-12s %-12s %s\n", "rate", "model", "sim", "notes")
+
+	spec := routing.MustNew(routing.EnhancedNbc, star, v)
+	for i := 1; i <= points; i++ {
+		rate := sat * 1.25 * float64(i) / float64(points)
+		cfg := base
+		cfg.Rate = rate
+		ms := "saturated"
+		if r, err := model.Evaluate(cfg); err == nil {
+			ms = fmt.Sprintf("%.2f", r.Latency)
+		} else if !errors.Is(err, model.ErrSaturated) {
+			log.Fatal(err)
+		}
+		res, err := desim.Run(desim.Config{
+			Top: star, Spec: spec, Rate: rate, MsgLen: m, Seed: 7,
+			WarmupCycles: 8000, MeasureCycles: 30000, DrainCycles: 90000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		notes := ""
+		if res.Saturated() {
+			notes = "sim saturated"
+		}
+		fmt.Printf("%-10.5f %-12s %-12.2f %s\n", rate, ms, res.Latency.Mean(), notes)
+	}
+}

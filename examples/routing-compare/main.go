@@ -1,0 +1,52 @@
+// Routing comparison: NHop vs Nbc vs Enhanced-Nbc on the same
+// network at an equal total virtual-channel budget, reproducing the
+// qualitative result of the paper's reference [13] that motivates
+// its focus on Enhanced-Nbc. For each algorithm the example reports
+// simulated latency at rising load plus the per-class virtual-channel
+// usage that explains the differences.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"starperf/internal/desim"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+)
+
+func main() {
+	const (
+		n, v, m = 5, 6, 32
+	)
+	star := stargraph.MustNew(n)
+	rates := []float64{0.004, 0.008, 0.012, 0.016}
+
+	for _, kind := range []routing.Kind{routing.NHop, routing.Nbc, routing.EnhancedNbc} {
+		spec, err := routing.New(kind, star, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (V1=%d adaptive, V2=%d escape)\n", kind, spec.V1, spec.V2)
+		for _, rate := range rates {
+			res, err := desim.Run(desim.Config{
+				Top: star, Spec: spec, Rate: rate, MsgLen: m, Seed: 99,
+				WarmupCycles: 8000, MeasureCycles: 30000, DrainCycles: 90000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			notes := ""
+			if res.Saturated() {
+				notes = "  ** saturated **"
+			}
+			fmt.Printf("  rate %.4f: latency %8.2f  blocked %.3f  levels %v%s\n",
+				rate, res.Latency.Mean(),
+				float64(res.BlockedAttempts)/float64(res.Attempts),
+				res.ClassBLevelUse, notes)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Enhanced-Nbc sustains the highest load: its class-a channels absorb")
+	fmt.Println("contention while NHop funnels every message through one exact level.")
+}

@@ -1,0 +1,65 @@
+// Torus study: the analytical model generalised to the k-ary n-cube
+// — the reference topology of the wormhole-modelling literature the
+// paper builds on (Agarwal 91; Sarbazi-Azad et al. 01). The example
+// sweeps an 8-ary 2-cube (64 nodes) by model and simulation, then
+// measures its accepted-throughput curve past saturation.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+
+	"starperf/internal/desim"
+	"starperf/internal/experiments"
+	"starperf/internal/model"
+	"starperf/internal/routing"
+	"starperf/internal/torus"
+)
+
+func main() {
+	const (
+		k, n = 8, 2
+		v    = 8 // ⌈H/2⌉+1 = 5 escape levels + 3 adaptive
+		m    = 32
+	)
+	g := torus.MustNew(k, n)
+	paths, err := model.NewTorusPaths(k, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d nodes, degree %d, diameter %d, d̄ = %.3f\n\n",
+		g.Name(), g.N(), g.Degree(), g.Diameter(), g.AvgDistance())
+
+	spec := routing.MustNew(routing.EnhancedNbc, g, v)
+	fmt.Printf("latency vs load (Enhanced-Nbc, V=%d, M=%d):\n", v, m)
+	fmt.Printf("%-10s %-12s %s\n", "rate", "model", "sim")
+	for _, rate := range []float64{0.002, 0.004, 0.006, 0.008, 0.010, 0.012} {
+		ms := "saturated"
+		r, err := model.Evaluate(model.Config{
+			Paths: paths, Top: g, Kind: routing.EnhancedNbc, V: v, MsgLen: m, Rate: rate,
+		})
+		if err == nil {
+			ms = fmt.Sprintf("%.2f", r.Latency)
+		} else if !errors.Is(err, model.ErrSaturated) {
+			log.Fatal(err)
+		}
+		res, err := desim.Run(desim.Config{
+			Top: g, Spec: spec, Rate: rate, MsgLen: m, Seed: 4,
+			WarmupCycles: 6000, MeasureCycles: 20000, DrainCycles: 60000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.4f %-12s %.2f\n", rate, ms, res.Latency.Mean())
+	}
+
+	fmt.Printf("\naccepted throughput past saturation:\n")
+	rows, err := experiments.ThroughputCurve(g, routing.EnhancedNbc, v, m, 8, 0.03,
+		experiments.SimOptions{Warmup: 4000, Measure: 12000, Drain: 30000, Seeds: []uint64{9}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.RenderThroughput(os.Stdout, rows)
+}

@@ -1,0 +1,3 @@
+module starperf
+
+go 1.22

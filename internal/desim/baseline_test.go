@@ -1,0 +1,172 @@
+package desim
+
+import (
+	"testing"
+
+	"starperf/internal/routing"
+	"starperf/internal/stats"
+)
+
+// TestFirstProfitableBaseline: deterministic minimal routing must be
+// deadlock-free (it routes inside the same escape structure) and
+// strictly worse than adaptive routing once contention matters.
+func TestFirstProfitableBaseline(t *testing.T) {
+	const rate = 0.008
+	det := s5cfg(routing.EnhancedNbc, 6, rate, 32, 31)
+	det.Policy = routing.FirstProfitable
+	rDet, err := Run(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rDet.Deadlocked {
+		t.Fatal("deterministic baseline deadlocked")
+	}
+	adapt := s5cfg(routing.EnhancedNbc, 6, rate, 32, 31)
+	rAd, err := Run(adapt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rDet.Latency.Mean() <= rAd.Latency.Mean() {
+		t.Fatalf("deterministic latency %.2f not above adaptive %.2f",
+			rDet.Latency.Mean(), rAd.Latency.Mean())
+	}
+}
+
+func TestFirstProfitableParanoid(t *testing.T) {
+	cfg := s5cfg(routing.Nbc, 4, 0.004, 16, 5)
+	cfg.Policy = routing.FirstProfitable
+	cfg.Paranoid = true
+	cfg.WarmupCycles = 1000
+	cfg.MeasureCycles = 6000
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyHistogram(t *testing.T) {
+	cfg := s5cfg(routing.EnhancedNbc, 6, 0.008, 32, 13)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyHist.Total() != res.Latency.N() {
+		t.Fatalf("histogram total %d, latency samples %d",
+			res.LatencyHist.Total(), res.Latency.N())
+	}
+	p50 := float64(res.LatencyHist.Quantile(0.5))
+	p99 := float64(res.LatencyHist.Quantile(0.99))
+	if p50 > res.Latency.Mean()+1 {
+		t.Fatalf("median %v above mean %v for a right-skewed latency distribution",
+			p50, res.Latency.Mean())
+	}
+	if p99 < p50 || p99 > res.Latency.Max() {
+		t.Fatalf("p99 %v outside [p50=%v, max=%v]", p99, p50, res.Latency.Max())
+	}
+	// histogram mean must agree with the stream mean (integer
+	// truncation aside)
+	if d := res.LatencyHist.Mean() - res.Latency.Mean(); d < -1 || d > 1 {
+		t.Fatalf("histogram mean %v vs stream mean %v", res.LatencyHist.Mean(), res.Latency.Mean())
+	}
+}
+
+func TestHopWaitMeasurement(t *testing.T) {
+	// At vanishing load headers never wait; under load the mean hop
+	// wait is positive and total blocking time ≈ hops × mean wait
+	// explains the latency beyond the zero-load pipeline.
+	quiet := s5cfg(routing.EnhancedNbc, 6, 0.0005, 32, 41)
+	rq, err := Run(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.HopWait.Mean() > 0.05 {
+		t.Fatalf("hop wait %v at near-zero load", rq.HopWait.Mean())
+	}
+	busy := s5cfg(routing.EnhancedNbc, 6, 0.012, 32, 41)
+	rb, err := Run(busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.HopWait.Mean() <= 0.1 {
+		t.Fatalf("hop wait %v too small at heavy load", rb.HopWait.Mean())
+	}
+	if rb.HopWait.N() == 0 ||
+		rb.HopWait.N() < uint64(float64(rb.MeasuredDelivered)*3) {
+		t.Fatalf("hop wait samples %d vs delivered %d", rb.HopWait.N(), rb.MeasuredDelivered)
+	}
+	// accounting: zero-load pipeline M + h + 1 + per-hop waits +
+	// ejection-wait must be ≤ measured network latency (ejection and
+	// body-flit interleaving add the rest)
+	pipeline := 32 + rb.HopCount.Mean() + 1 + rb.HopCount.Mean()*rb.HopWait.Mean()
+	if rb.NetLatency.Mean() < pipeline-0.5 {
+		t.Fatalf("net latency %.2f below pipeline+waits %.2f",
+			rb.NetLatency.Mean(), pipeline)
+	}
+}
+
+func TestSuggestedWarmup(t *testing.T) {
+	// Start measuring from cycle 0 at a steady moderate load: the
+	// suggested warm-up must be positive (there IS a fill transient)
+	// and comfortably inside the run.
+	cfg := s5cfg(routing.EnhancedNbc, 6, 0.012, 32, 19)
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 60000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IntervalLatency) < 20 {
+		t.Fatalf("only %d latency intervals", len(res.IntervalLatency))
+	}
+	if res.SuggestedWarmup < 0 {
+		t.Fatal("no steady state detected on a stable workload")
+	}
+	if res.SuggestedWarmup > res.Cycles/2 {
+		t.Fatalf("suggested warm-up %d beyond half the run (%d cycles)",
+			res.SuggestedWarmup, res.Cycles)
+	}
+	// the post-truncation series must be flatter than the full one
+	cut := int(res.SuggestedWarmup / 512)
+	var all, tail stats.Stream
+	for i, x := range res.IntervalLatency {
+		all.Add(x)
+		if i >= cut {
+			tail.Add(x)
+		}
+	}
+	if cut > 0 && tail.Variance() > all.Variance() {
+		t.Fatalf("truncation did not reduce variance (%v vs %v)",
+			tail.Variance(), all.Variance())
+	}
+}
+
+func TestVCHoldingTimes(t *testing.T) {
+	// A network channel's VC is held from header grant until the tail
+	// drains: at least M+1 cycles, and with multiplexing and
+	// downstream blocking somewhere between M and the network latency
+	// S̄ — the quantity eq. 13 approximates by S̄.
+	cfg := s5cfg(routing.EnhancedNbc, 6, 0.01, 32, 61)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VCHolding.N() == 0 {
+		t.Fatal("no holding samples")
+	}
+	if res.VCHolding.Min() < 32+1 {
+		t.Fatalf("holding time %v below M+1", res.VCHolding.Min())
+	}
+	if res.VCHolding.Mean() >= res.NetLatency.Mean() {
+		t.Fatalf("mean holding %v not below network latency %v",
+			res.VCHolding.Mean(), res.NetLatency.Mean())
+	}
+	// Little's law cross-check: E[busy VCs per channel] = λc·E[hold].
+	var busySum, samples float64
+	for v, c := range res.VCBusyHist {
+		busySum += float64(v) * float64(c)
+		samples += float64(c)
+	}
+	little := res.ChannelRate * res.VCHolding.Mean()
+	if meanBusy := busySum / samples; little < 0.8*meanBusy || little > 1.2*meanBusy {
+		t.Fatalf("Little's law violated: λc·E[hold]=%v vs E[busy]=%v", little, meanBusy)
+	}
+}

@@ -1,0 +1,324 @@
+// Package desim is a flit-level, cycle-accurate discrete-event
+// simulator of wormhole-switched direct networks with virtual-channel
+// flow control. It reproduces the validation vehicle of the paper:
+//
+//   - the network cycle is the transmission time of one flit across
+//     one physical channel;
+//   - each node generates messages by an independent Poisson process
+//     and destinations follow a configurable pattern (uniform in the
+//     paper);
+//   - messages are M flits long; the header acquires one virtual
+//     channel per hop under a routing.Spec (NHop / Nbc /
+//     Enhanced-Nbc) and body flits follow in wormhole fashion;
+//   - the V virtual channels of a physical channel share its
+//     bandwidth by demand-driven round-robin multiplexing (one flit
+//     per channel per cycle);
+//   - messages reach the local processor through a dedicated ejection
+//     channel and are injected through a dedicated injection channel,
+//     each also carrying V virtual channels;
+//   - the mean message latency is the time from generation to the
+//     delivery of the last data flit, the network latency from
+//     injection-channel acquisition to delivery, and the queueing
+//     time the difference.
+//
+// The simulator is deterministic for a fixed Config (including Seed)
+// and single-goroutine; parallelism belongs to the sweep harness in
+// internal/experiments, which runs independent configurations on
+// separate goroutines.
+package desim
+
+import (
+	"errors"
+	"fmt"
+
+	"starperf/internal/routing"
+	"starperf/internal/stats"
+	"starperf/internal/topology"
+	"starperf/internal/traffic"
+)
+
+// Config fully describes one simulation run.
+type Config struct {
+	// Top is the network topology.
+	Top topology.Topology
+	// Spec is the resolved routing algorithm (see routing.New).
+	Spec routing.Spec
+	// Policy selects among free eligible virtual channels.
+	Policy routing.Policy
+	// Pattern maps sources to destinations; nil means uniform.
+	Pattern traffic.Pattern
+	// NewArrivals optionally overrides the per-node arrival process
+	// (default: Poisson at Rate). It is called once per node with a
+	// node-specific RNG and must honour the configured mean rate for
+	// the latency statistics to be comparable.
+	NewArrivals func(rng *traffic.RNG, rate float64) traffic.Arrivals
+	// Rate is the per-node message generation rate λg in
+	// messages/cycle.
+	Rate float64
+	// MsgLen is the message length M in flits (the mean when
+	// LenDist is set).
+	MsgLen int
+	// LenDist optionally draws per-message lengths (sensitivity
+	// studies of the paper's fixed-M assumption); nil means every
+	// message is exactly MsgLen flits. Sampled lengths are clamped
+	// to [1, 16384].
+	LenDist traffic.LengthDist
+	// BufCap is the per-virtual-channel buffer depth in flits. The
+	// paper gives each VC an input and an output buffer; depth 2
+	// (the default when 0) sustains full-rate wormhole streaming.
+	BufCap int
+	// CutThrough selects virtual cut-through switching: buffers hold
+	// a whole message (BufCap defaults to MsgLen), so a blocked
+	// message is absorbed by the local router instead of stalling a
+	// chain of channels — the classic comparison point for wormhole
+	// switching. With LenDist set, BufCap must be set explicitly to
+	// cover the longest message.
+	CutThrough bool
+	// Seed makes the run reproducible.
+	Seed uint64
+	// WarmupCycles are discarded before measurement begins.
+	WarmupCycles int64
+	// MeasureCycles is the length of the measurement window:
+	// messages *generated* inside it are measured.
+	MeasureCycles int64
+	// DrainCycles bounds how long after the window the simulator
+	// waits for measured messages to be delivered (default
+	// 4×(Warmup+Measure) when 0).
+	DrainCycles int64
+	// DeadlockThreshold is the number of consecutive cycles without
+	// any flit transfer (while messages are in flight) after which
+	// the run aborts with Result.Deadlocked (default 50000 when 0).
+	DeadlockThreshold int64
+	// Paranoid enables structural invariant checking every
+	// ParanoidEvery cycles (default 64 when 0); a violation aborts
+	// the run with an error. Costs roughly 2× runtime; intended for
+	// tests and debugging sessions.
+	Paranoid      bool
+	ParanoidEvery int64
+	// TraceCap, when positive, records up to that many Events in
+	// Result.Trace (generation, injection, per-hop VC grants,
+	// delivery) for debugging and for the wormhole-ordering tests.
+	TraceCap int
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Top == nil:
+		return errors.New("desim: nil topology")
+	case c.Spec.V() <= 0:
+		return errors.New("desim: routing spec has no virtual channels")
+	case c.Rate < 0:
+		return fmt.Errorf("desim: negative rate %v", c.Rate)
+	case c.MsgLen <= 0:
+		return fmt.Errorf("desim: message length %d", c.MsgLen)
+	case c.MsgLen > 1<<14:
+		return fmt.Errorf("desim: message length %d too large", c.MsgLen)
+	case c.WarmupCycles < 0 || c.MeasureCycles <= 0:
+		return errors.New("desim: bad warmup/measure window")
+	}
+	return nil
+}
+
+// Result aggregates one run's measurements.
+type Result struct {
+	// Latency is the distribution of total message latency
+	// (generation → last flit at destination PE) over measured
+	// messages, in cycles.
+	Latency stats.Stream
+	// NetLatency covers injection-VC acquisition → delivery.
+	NetLatency stats.Stream
+	// QueueTime covers generation → injection-VC acquisition.
+	QueueTime stats.Stream
+	// HopCount is the distribution of path lengths of measured
+	// messages.
+	HopCount stats.Stream
+	// VCHolding is the distribution of virtual-channel holding times
+	// (grant → release) over network channels, for grants inside the
+	// measurement window. Its mean is the empirical channel service
+	// time the paper's eq. 13 approximates by the whole network
+	// latency S̄ (and the cut-through model by M).
+	VCHolding stats.Stream
+	// HopWait is the distribution of per-hop header waiting times
+	// (cycles from the first allocation attempt at a router to the
+	// grant, zero when the first attempt succeeds), over network hops
+	// of measured messages. Its mean is the simulator's counterpart
+	// of the model's P_block·w̄ (eqs. 6 and 15).
+	HopWait stats.Stream
+	// LatencyHist is the integer histogram of measured message
+	// latencies (bins are cycles, clamped at 1<<14), from which tail
+	// percentiles can be read.
+	LatencyHist *stats.Histogram
+	// Generated counts all messages created during the run;
+	// Delivered all deliveries; MeasuredDelivered the measured ones
+	// (generated inside the window, delivered eventually);
+	// DeliveredInWindow the deliveries that completed inside the
+	// measurement window regardless of generation time — the count
+	// that defines accepted throughput.
+	Generated, Delivered, MeasuredDelivered, DeliveredInWindow uint64
+	// Cycles is the number of simulated cycles.
+	Cycles int64
+	// VCBusyHist[v] counts (channel,cycle) samples with exactly v
+	// busy VCs, sampled over network channels during measurement.
+	VCBusyHist []uint64
+	// Multiplexing is the measured average multiplexing degree
+	// V̄ = E[v²]/E[v] over busy samples (1 when no samples).
+	Multiplexing float64
+	// ClassAUse and ClassBUse count network-hop VC acquisitions per
+	// class; ClassBLevelUse counts class-b acquisitions per level.
+	ClassAUse, ClassBUse uint64
+	ClassBLevelUse       []uint64
+	// BlockedAttempts counts allocation attempts that found no free
+	// eligible VC; Attempts counts all allocation attempts (network
+	// hops only). Their ratio estimates the blocking probability.
+	BlockedAttempts, Attempts uint64
+	// ChannelGrantCV is the coefficient of variation of per-channel
+	// message acquisitions over the network channels, measured after
+	// warm-up. Values near zero confirm the evenly-distributed
+	// channel-rate assumption behind the paper's eq. 3; skewed
+	// patterns (hotspot) drive it up.
+	ChannelGrantCV float64
+	// ChannelRate is the measured per-channel message acquisition
+	// rate (grants/channel/cycle after warm-up), the empirical λc.
+	ChannelRate float64
+	// MaxQueueLen is the largest source-queue length observed;
+	// EndQueueLen the total queued messages at the end of the run.
+	MaxQueueLen, EndQueueLen int
+	// Nodes is the network size (for per-node normalisation of the
+	// queue statistics).
+	Nodes int
+	// IntervalLatency is the mean delivery latency per 512-cycle
+	// interval over the whole run (warm-up included, empty intervals
+	// carrying the previous mean forward) — the time series behind
+	// data-driven warm-up detection. SuggestedWarmup is the MSER
+	// truncation point converted back to cycles (-1 when no steady
+	// state was detected).
+	IntervalLatency []float64
+	SuggestedWarmup int64
+	// Trace holds the recorded events when Config.TraceCap > 0;
+	// TraceDropped counts events beyond the capacity.
+	Trace        []Event
+	TraceDropped uint64
+	// Deadlocked reports that the deadlock detector fired.
+	Deadlocked bool
+	// Drained reports that every measured message was delivered
+	// before the drain limit; when false the latency figures are
+	// biased low (a saturation symptom).
+	Drained bool
+}
+
+// Saturated heuristically reports whether the run operated beyond
+// saturation: the detector fired, measured messages never drained, or
+// the source queues ended the run holding more than four messages per
+// node on average (arrivals continue through the drain period, so a
+// stable network ends with short steady-state queues while an
+// overloaded one accumulates them linearly).
+func (r *Result) Saturated() bool {
+	return r.Deadlocked || !r.Drained ||
+		(r.Nodes > 0 && r.EndQueueLen > 4*r.Nodes)
+}
+
+// message is one wormhole packet in flight.
+type message struct {
+	id        uint64
+	src, dst  int
+	genCycle  int64
+	injCycle  int64
+	waitStart int64 // first allocation attempt for the current hop; -1 when idle
+	hops      int
+	length    int16
+	st        routing.State
+	headVC    int32 // global VC index of the furthest acquired channel
+	curNode   int32 // node whose router buffers the head flit
+	measured  bool
+	routing   bool // present in the routePending list
+	nextQueue *message
+}
+
+// network is the mutable simulation state.
+type network struct {
+	cfg     Config
+	top     topology.Topology
+	spec    routing.Spec
+	deg     int // network dimensions per node
+	slots   int // deg + ejection + injection
+	v       int
+	bufCap  int16
+	msgLen  int16
+	pattern traffic.Pattern
+
+	// per-VC state, indexed channel*v + vc
+	owner   []*message
+	prev    []int32
+	buf     []int16
+	sent    []int16
+	drained []int16
+
+	rr []uint8 // per-channel round-robin pointer
+
+	queueHead, queueTail []*message
+	queueLen             []int
+	totalQueued          int
+
+	arrivals []traffic.Arrivals
+	rng      *traffic.RNG
+
+	routePending []*message
+	decisions    []int32
+	grantCount   []uint32 // per network channel, after warm-up
+	chanExists   []bool   // per channel; false only for mesh borders
+
+	// Active-channel tracking: the transfer loop visits only channels
+	// with at least one owned VC instead of scanning the whole
+	// network every cycle (a large win at light load; see
+	// BenchmarkSimS7LowLoad). busyVCs counts owned VCs per channel;
+	// active is an unordered set with swap-removal via activePos.
+	busyVCs    []int16
+	active     []int32
+	activePos  []int32
+	grantCycle []int64 // per VC: when the current owner acquired it
+	dimBuf     []int
+	eligBuf    []int
+	pairBuf    []pair
+
+	freeList *message
+
+	intervalSum   float64
+	intervalCount int64
+
+	cycle           int64
+	lastProgress    int64
+	measuredInFly   uint64
+	res             Result
+	measureStart    int64
+	measureEnd      int64
+	sampleCountdown int
+}
+
+type pair struct {
+	gvc int32
+	vc  int
+}
+
+// channel index helpers: per node, slots 0..deg-1 are network
+// channels along each dimension, slot deg is the ejection channel,
+// slot deg+1 the injection channel.
+func (nw *network) chanIdx(node, slot int) int32 { return int32(node*nw.slots + slot) }
+
+func (nw *network) isEjection(ch int32) bool { return int(ch)%nw.slots == nw.deg }
+
+func (nw *network) nodeOfChan(ch int32) int { return int(ch) / nw.slots }
+
+// downstreamNode returns the node whose router receives flits sent on
+// ch (the node itself for injection channels, -1 for ejection).
+func (nw *network) downstreamNode(ch int32) int {
+	node := int(ch) / nw.slots
+	slot := int(ch) % nw.slots
+	switch {
+	case slot < nw.deg:
+		return nw.top.Neighbor(node, slot)
+	case slot == nw.deg:
+		return -1
+	default:
+		return node
+	}
+}

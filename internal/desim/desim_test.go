@@ -1,0 +1,379 @@
+package desim
+
+import (
+	"math"
+	"testing"
+
+	"starperf/internal/hypercube"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+	"starperf/internal/topology"
+	"starperf/internal/traffic"
+)
+
+func s5cfg(kind routing.Kind, v int, rate float64, m int, seed uint64) Config {
+	g := stargraph.MustNew(5)
+	return Config{
+		Top:           g,
+		Spec:          routing.MustNew(kind, g, v),
+		Policy:        routing.PreferClassA,
+		Rate:          rate,
+		MsgLen:        m,
+		Seed:          seed,
+		WarmupCycles:  5000,
+		MeasureCycles: 20000,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := stargraph.MustNew(4)
+	spec := routing.MustNew(routing.Nbc, g, 3)
+	bad := []Config{
+		{},
+		{Top: g},
+		{Top: g, Spec: spec, Rate: -1, MsgLen: 8, MeasureCycles: 10},
+		{Top: g, Spec: spec, Rate: 0.1, MsgLen: 0, MeasureCycles: 10},
+		{Top: g, Spec: spec, Rate: 0.1, MsgLen: 1 << 15, MeasureCycles: 10},
+		{Top: g, Spec: spec, Rate: 0.1, MsgLen: 8, MeasureCycles: 0},
+		{Top: g, Spec: spec, Rate: 0.1, MsgLen: 8, MeasureCycles: 10, BufCap: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestZeroLoadLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long zero-load soak")
+	}
+	// At vanishing load a message sees no contention: latency must be
+	// M + h + 1 exactly (one cycle of injection-channel offset), so
+	// the mean is M + d̄ + 1.
+	for _, m := range []int{8, 32} {
+		cfg := s5cfg(routing.EnhancedNbc, 6, 0.00005, m, 1)
+		cfg.MeasureCycles = 400000
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MeasuredDelivered < 500 {
+			t.Fatalf("only %d measured messages", res.MeasuredDelivered)
+		}
+		g := cfg.Top.(*stargraph.Graph)
+		want := float64(m) + g.AvgDistance() + 1
+		if math.Abs(res.Latency.Mean()-want) > 0.35 {
+			t.Fatalf("M=%d zero-load latency %.3f, want ≈%.3f", m, res.Latency.Mean(), want)
+		}
+		if res.QueueTime.Mean() > 0.05 {
+			t.Fatalf("queueing at zero load: %v", res.QueueTime.Mean())
+		}
+		if res.Latency.N() != uint64(res.MeasuredDelivered) {
+			t.Fatal("latency samples != measured deliveries")
+		}
+	}
+}
+
+func TestZeroLoadPerMessageExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long zero-load soak")
+	}
+	// Each individual zero-load message takes exactly M + h + 1.
+	cfg := s5cfg(routing.Nbc, 4, 0.00002, 16, 3)
+	cfg.MeasureCycles = 500000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// latency - hops must be constant M+1: variance of
+	// (latency − hops) would be 0; check via the identity
+	// mean(lat) = M + 1 + mean(hops) and matching min/max spreads.
+	wantMean := 16 + 1 + res.HopCount.Mean()
+	if math.Abs(res.Latency.Mean()-wantMean) > 1e-9 {
+		t.Fatalf("mean latency %.6f, want %.6f", res.Latency.Mean(), wantMean)
+	}
+	if res.Latency.Max()-res.Latency.Min() != res.HopCount.Max()-res.HopCount.Min() {
+		t.Fatalf("latency spread %v vs hop spread %v",
+			res.Latency.Max()-res.Latency.Min(), res.HopCount.Max()-res.HopCount.Min())
+	}
+}
+
+func TestHopCountMatchesAvgDistance(t *testing.T) {
+	cfg := s5cfg(routing.EnhancedNbc, 6, 0.002, 16, 7)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Top.(*stargraph.Graph)
+	if math.Abs(res.HopCount.Mean()-g.AvgDistance()) > 0.05 {
+		t.Fatalf("mean hops %.3f, want ≈%.3f (minimal routing, uniform traffic)",
+			res.HopCount.Mean(), g.AvgDistance())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(s5cfg(routing.EnhancedNbc, 9, 0.006, 32, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s5cfg(routing.EnhancedNbc, 9, 0.006, 32, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency.Mean() != b.Latency.Mean() || a.Generated != b.Generated ||
+		a.Delivered != b.Delivered || a.Cycles != b.Cycles {
+		t.Fatalf("same seed diverged: %+v vs %+v", a.Latency, b.Latency)
+	}
+	c, err := Run(s5cfg(routing.EnhancedNbc, 9, 0.006, 32, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency.Mean() == c.Latency.Mean() && a.Generated == c.Generated {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestLatencyMonotoneInLoad(t *testing.T) {
+	var prev float64
+	for i, rate := range []float64{0.001, 0.005, 0.009} {
+		res, err := Run(s5cfg(routing.EnhancedNbc, 6, rate, 32, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Drained {
+			t.Fatalf("rate %v did not drain", rate)
+		}
+		if i > 0 && res.Latency.Mean() <= prev {
+			t.Fatalf("latency not increasing with load: %.2f after %.2f at rate %v",
+				res.Latency.Mean(), prev, rate)
+		}
+		prev = res.Latency.Mean()
+	}
+}
+
+func TestDeadlockFreedomSoak(t *testing.T) {
+	// Heavy load just below and beyond saturation must never trip the
+	// no-progress detector for any of the three algorithms.
+	for _, kind := range []routing.Kind{routing.NHop, routing.Nbc, routing.EnhancedNbc} {
+		v := 4
+		if kind == routing.EnhancedNbc {
+			v = 6
+		}
+		for _, rate := range []float64{0.01, 0.02} {
+			cfg := s5cfg(kind, v, rate, 32, 1234)
+			cfg.WarmupCycles = 2000
+			cfg.MeasureCycles = 10000
+			cfg.DrainCycles = 20000
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Deadlocked {
+				t.Fatalf("%v deadlocked at rate %v", kind, rate)
+			}
+			if res.Delivered == 0 {
+				t.Fatalf("%v delivered nothing at rate %v", kind, rate)
+			}
+		}
+	}
+}
+
+func TestStarvationDetectorFires(t *testing.T) {
+	// Failure injection: a hand-built spec with a single escape level
+	// cannot route messages whose escape window is empty, so the
+	// network clogs and the progress detector must fire rather than
+	// spin forever.
+	g := stargraph.MustNew(4)
+	cfg := Config{
+		Top:               g,
+		Spec:              routing.Spec{Kind: routing.Nbc, V1: 0, V2: 1, MaxNeg: topology.MaxNegativeHops(g.Diameter())},
+		Rate:              0.02,
+		MsgLen:            8,
+		Seed:              5,
+		WarmupCycles:      0,
+		MeasureCycles:     5000,
+		DrainCycles:       400000,
+		DeadlockThreshold: 3000,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatal("detector did not fire on a broken routing spec")
+	}
+	if !res.Saturated() {
+		t.Fatal("deadlocked run must report saturated")
+	}
+}
+
+func TestMultiplexingBounds(t *testing.T) {
+	res, err := Run(s5cfg(routing.EnhancedNbc, 6, 0.008, 32, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Multiplexing < 1 || res.Multiplexing > 6 {
+		t.Fatalf("multiplexing %v outside [1,V]", res.Multiplexing)
+	}
+	var samples uint64
+	for _, c := range res.VCBusyHist {
+		samples += c
+	}
+	if samples == 0 {
+		t.Fatal("no VC occupancy samples")
+	}
+}
+
+func TestClassUsage(t *testing.T) {
+	res, err := Run(s5cfg(routing.EnhancedNbc, 6, 0.005, 32, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClassAUse == 0 || res.ClassBUse == 0 {
+		t.Fatalf("expected both classes used: a=%d b=%d", res.ClassAUse, res.ClassBUse)
+	}
+	var lvl uint64
+	for _, c := range res.ClassBLevelUse {
+		lvl += c
+	}
+	if lvl != res.ClassBUse {
+		t.Fatalf("level counts %d != class-b uses %d", lvl, res.ClassBUse)
+	}
+	// NHop uses class b exclusively
+	res, err = Run(s5cfg(routing.NHop, 4, 0.005, 32, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClassAUse != 0 || res.ClassBUse == 0 {
+		t.Fatalf("NHop class use a=%d b=%d", res.ClassAUse, res.ClassBUse)
+	}
+}
+
+func TestBlockingRareAtLowLoad(t *testing.T) {
+	res, err := Run(s5cfg(routing.EnhancedNbc, 12, 0.0005, 32, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.BlockedAttempts) / float64(res.Attempts)
+	if frac > 0.01 {
+		t.Fatalf("blocking fraction %v at near-zero load", frac)
+	}
+}
+
+func TestAccountingInvariants(t *testing.T) {
+	res, err := Run(s5cfg(routing.EnhancedNbc, 9, 0.01, 32, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered > res.Generated {
+		t.Fatal("delivered more than generated")
+	}
+	if res.MeasuredDelivered > res.Delivered {
+		t.Fatal("measured deliveries exceed deliveries")
+	}
+	if res.NetLatency.N() != res.Latency.N() || res.QueueTime.N() < res.Latency.N() {
+		t.Fatalf("sample counts inconsistent: lat=%d net=%d q=%d",
+			res.Latency.N(), res.NetLatency.N(), res.QueueTime.N())
+	}
+	// Latency = queue + network per message, so means satisfy the
+	// same identity only over the same message set; check loosely.
+	if res.Latency.Mean() < res.NetLatency.Mean() {
+		t.Fatal("total latency below network latency")
+	}
+}
+
+func TestRandomAnyAndLowestEscapePolicies(t *testing.T) {
+	for _, pol := range []routing.Policy{routing.RandomAny, routing.LowestEscapeFirst} {
+		cfg := s5cfg(routing.EnhancedNbc, 6, 0.004, 16, 23)
+		cfg.Policy = pol
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlocked || res.MeasuredDelivered == 0 {
+			t.Fatalf("policy %v failed: %+v", pol, res)
+		}
+	}
+}
+
+func TestHypercubeRuns(t *testing.T) {
+	g := hypercube.MustNew(5)
+	cfg := Config{
+		Top:           g,
+		Spec:          routing.MustNew(routing.EnhancedNbc, g, 5),
+		Rate:          0.01,
+		MsgLen:        16,
+		Seed:          2,
+		WarmupCycles:  3000,
+		MeasureCycles: 15000,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked || res.MeasuredDelivered == 0 || !res.Drained {
+		t.Fatalf("hypercube run unhealthy: %+v", res.Latency)
+	}
+	want := float64(16) + g.AvgDistance() + 1
+	if res.Latency.Mean() < want || res.Latency.Mean() > want+30 {
+		t.Fatalf("Q5 latency %.2f implausible (zero-load %.2f)", res.Latency.Mean(), want)
+	}
+}
+
+func TestHotspotSkew(t *testing.T) {
+	g := stargraph.MustNew(4)
+	cfg := Config{
+		Top:           g,
+		Spec:          routing.MustNew(routing.EnhancedNbc, g, 5),
+		Pattern:       traffic.Hotspot{N: g.N(), Hot: 0, Fraction: 0.2},
+		Rate:          0.005,
+		MsgLen:        16,
+		Seed:          3,
+		WarmupCycles:  3000,
+		MeasureCycles: 20000,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := cfg
+	uni.Pattern = nil
+	resU, err := Run(uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.Mean() <= resU.Latency.Mean() {
+		t.Fatalf("hotspot latency %.2f not above uniform %.2f",
+			res.Latency.Mean(), resU.Latency.Mean())
+	}
+}
+
+func BenchmarkSimS5V6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := s5cfg(routing.EnhancedNbc, 6, 0.008, 32, uint64(i))
+		cfg.WarmupCycles = 1000
+		cfg.MeasureCycles = 5000
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimS7LowLoad exercises the active-channel transfer loop:
+// a 5040-node network at light load where almost every channel is
+// idle. The active-set optimisation took this from ~1.6s to ~0.1s
+// per run (15×); BenchmarkSimS5V6 (moderate load) gains ~1.5×.
+func BenchmarkSimS7LowLoad(b *testing.B) {
+	g := stargraph.MustNew(7)
+	spec := routing.MustNew(routing.EnhancedNbc, g, 8)
+	for i := 0; i < b.N; i++ {
+		cfg := Config{
+			Top: g, Spec: spec, Rate: 0.0004, MsgLen: 32, Seed: uint64(i),
+			WarmupCycles: 200, MeasureCycles: 2000, DrainCycles: 4000,
+		}
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

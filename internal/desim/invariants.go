@@ -1,0 +1,105 @@
+package desim
+
+import "fmt"
+
+// checkInvariants validates the structural invariants of the
+// simulation state; it is run every Config.ParanoidEvery cycles when
+// Config.Paranoid is set and returns a descriptive error on the first
+// violation. The checks are the formal counterparts of the wormhole
+// bookkeeping rules:
+//
+//   - flits never appear or vanish inside a channel: the downstream
+//     buffer population equals sent − drained and respects the buffer
+//     capacity (ejection channels deliver immediately and keep an
+//     empty buffer);
+//   - counters are monotone and bounded: drained ≤ sent ≤ M;
+//   - a live chain is linked to its owner: while a channel still has
+//     flits to forward, its upstream channel belongs to the same
+//     message;
+//   - free channels are fully reset;
+//   - the source-queue accounting is self-consistent.
+func (nw *network) checkInvariants() error {
+	numChans := nw.top.N() * nw.slots
+	for ch := 0; ch < numChans; ch++ {
+		eject := ch%nw.slots == nw.deg
+		for vc := 0; vc < nw.v; vc++ {
+			gvc := int32(ch*nw.v + vc)
+			m := nw.owner[gvc]
+			sent, drained, buf := nw.sent[gvc], nw.drained[gvc], nw.buf[gvc]
+			if m == nil {
+				if sent != 0 || drained != 0 || buf != 0 || nw.prev[gvc] != -1 {
+					return fmt.Errorf("desim: free VC %d not reset (sent=%d drained=%d buf=%d prev=%d)",
+						gvc, sent, drained, buf, nw.prev[gvc])
+				}
+				continue
+			}
+			if drained > sent || sent > m.length {
+				return fmt.Errorf("desim: VC %d counters out of order (sent=%d drained=%d M=%d)",
+					gvc, sent, drained, m.length)
+			}
+			if eject {
+				if buf != 0 || drained != 0 {
+					return fmt.Errorf("desim: ejection VC %d holds flits (buf=%d drained=%d)",
+						gvc, buf, drained)
+				}
+			} else {
+				if buf != sent-drained {
+					return fmt.Errorf("desim: VC %d flit leak (buf=%d sent=%d drained=%d)",
+						gvc, buf, sent, drained)
+				}
+				if buf < 0 || buf > nw.bufCap {
+					return fmt.Errorf("desim: VC %d buffer out of range (%d)", gvc, buf)
+				}
+			}
+			if p := nw.prev[gvc]; p >= 0 && sent < m.length {
+				if nw.owner[p] != m {
+					return fmt.Errorf("desim: VC %d upstream %d owned by a different message", gvc, p)
+				}
+			}
+		}
+	}
+	// active-channel bookkeeping must match ownership exactly
+	for ch := 0; ch < numChans; ch++ {
+		busy := int16(0)
+		for vc := 0; vc < nw.v; vc++ {
+			if nw.owner[ch*nw.v+vc] != nil {
+				busy++
+			}
+		}
+		if busy != nw.busyVCs[ch] {
+			return fmt.Errorf("desim: channel %d busy count %d, owners say %d",
+				ch, nw.busyVCs[ch], busy)
+		}
+		pos := nw.activePos[ch]
+		switch {
+		case busy == 0 && pos != -1:
+			return fmt.Errorf("desim: idle channel %d in active set", ch)
+		case busy > 0 && (pos < 0 || int(pos) >= len(nw.active) || nw.active[pos] != int32(ch)):
+			return fmt.Errorf("desim: busy channel %d missing from active set", ch)
+		}
+	}
+	total := 0
+	for node, l := range nw.queueLen {
+		if l < 0 {
+			return fmt.Errorf("desim: negative queue length at node %d", node)
+		}
+		cnt := 0
+		for m := nw.queueHead[node]; m != nil; m = m.nextQueue {
+			cnt++
+			if cnt > l {
+				break
+			}
+		}
+		if cnt != l {
+			return fmt.Errorf("desim: node %d queue list length %d, counter %d", node, cnt, l)
+		}
+		total += l
+	}
+	if total != nw.totalQueued {
+		return fmt.Errorf("desim: queue total %d, counter %d", total, nw.totalQueued)
+	}
+	if nw.res.Delivered > nw.res.Generated {
+		return fmt.Errorf("desim: delivered %d > generated %d", nw.res.Delivered, nw.res.Generated)
+	}
+	return nil
+}

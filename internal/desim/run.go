@@ -1,0 +1,647 @@
+package desim
+
+import (
+	"fmt"
+	"math"
+
+	"starperf/internal/routing"
+	"starperf/internal/stats"
+	"starperf/internal/topology"
+	"starperf/internal/traffic"
+)
+
+// Run executes one simulation described by cfg and returns its
+// measurements. It is deterministic for a fixed cfg.
+func Run(cfg Config) (*Result, error) {
+	nw, err := newNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := nw.loop(); err != nil {
+		return nil, err
+	}
+	nw.finish()
+	return &nw.res, nil
+}
+
+func newNetwork(cfg Config) (*network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BufCap == 0 {
+		cfg.BufCap = 2
+		if cfg.CutThrough {
+			cfg.BufCap = cfg.MsgLen
+		}
+	}
+	if cfg.CutThrough && cfg.BufCap < cfg.MsgLen {
+		return nil, fmt.Errorf("desim: cut-through needs BufCap ≥ MsgLen (%d < %d)",
+			cfg.BufCap, cfg.MsgLen)
+	}
+	if cfg.BufCap < 1 || cfg.BufCap > 1<<14 {
+		return nil, fmt.Errorf("desim: buffer depth %d out of range", cfg.BufCap)
+	}
+	if cfg.DrainCycles == 0 {
+		cfg.DrainCycles = 4 * (cfg.WarmupCycles + cfg.MeasureCycles)
+	}
+	if cfg.DeadlockThreshold == 0 {
+		cfg.DeadlockThreshold = 50000
+	}
+	top := cfg.Top
+	n := top.N()
+	deg := top.Degree()
+	v := cfg.Spec.V()
+	slots := deg + 2
+	numVC := n * slots * v
+	nw := &network{
+		cfg:          cfg,
+		top:          top,
+		spec:         cfg.Spec,
+		deg:          deg,
+		slots:        slots,
+		v:            v,
+		bufCap:       int16(cfg.BufCap),
+		msgLen:       int16(cfg.MsgLen),
+		pattern:      cfg.Pattern,
+		owner:        make([]*message, numVC),
+		prev:         make([]int32, numVC),
+		buf:          make([]int16, numVC),
+		sent:         make([]int16, numVC),
+		drained:      make([]int16, numVC),
+		rr:           make([]uint8, n*slots),
+		queueHead:    make([]*message, n),
+		queueTail:    make([]*message, n),
+		queueLen:     make([]int, n),
+		rng:          traffic.NewRNG(cfg.Seed),
+		dimBuf:       make([]int, 0, deg),
+		eligBuf:      make([]int, 0, v),
+		pairBuf:      make([]pair, 0, deg*v),
+		measureStart: cfg.WarmupCycles,
+		measureEnd:   cfg.WarmupCycles + cfg.MeasureCycles,
+	}
+	for i := range nw.prev {
+		nw.prev[i] = -1
+	}
+	if nw.pattern == nil {
+		nw.pattern = traffic.Uniform{N: n}
+	}
+	if cfg.Rate > 0 {
+		nw.arrivals = make([]traffic.Arrivals, n)
+		for i := range nw.arrivals {
+			rng := nw.rng.Split()
+			if cfg.NewArrivals != nil {
+				nw.arrivals[i] = cfg.NewArrivals(rng, cfg.Rate)
+			} else {
+				nw.arrivals[i] = traffic.NewPoisson(rng, cfg.Rate)
+			}
+		}
+	}
+	nw.res.VCBusyHist = make([]uint64, v+1)
+	nw.res.ClassBLevelUse = make([]uint64, cfg.Spec.V2)
+	nw.res.LatencyHist = stats.NewHistogram(1 << 14)
+	nw.grantCount = make([]uint32, n*slots)
+	nw.grantCycle = make([]int64, numVC)
+	nw.busyVCs = make([]int16, n*slots)
+	nw.activePos = make([]int32, n*slots)
+	for i := range nw.activePos {
+		nw.activePos[i] = -1
+	}
+	nw.chanExists = make([]bool, n*slots)
+	for node := 0; node < n; node++ {
+		for slot := 0; slot < slots; slot++ {
+			ch := int(nw.chanIdx(node, slot))
+			nw.chanExists[ch] = slot >= deg || topology.HasChannel(top, node, slot)
+		}
+	}
+	return nw, nil
+}
+
+func (nw *network) loop() error {
+	limit := nw.measureEnd + nw.cfg.DrainCycles
+	paranoidEvery := nw.cfg.ParanoidEvery
+	if paranoidEvery <= 0 {
+		paranoidEvery = 64
+	}
+	for nw.cycle = 0; ; nw.cycle++ {
+		nw.doArrivals()
+		grants := nw.doInjection()
+		grants += nw.doRouting()
+		moved := nw.doTransfers()
+		nw.doSampling()
+		if nw.cfg.Paranoid && nw.cycle%paranoidEvery == 0 {
+			if err := nw.checkInvariants(); err != nil {
+				return fmt.Errorf("cycle %d: %w", nw.cycle, err)
+			}
+		}
+		if (nw.cycle+1)%latencyInterval == 0 {
+			nw.rollInterval()
+		}
+		if moved+grants > 0 {
+			nw.lastProgress = nw.cycle
+		} else if nw.res.Generated > nw.res.Delivered+uint64(nw.totalQueued) &&
+			nw.cycle-nw.lastProgress > nw.cfg.DeadlockThreshold {
+			nw.res.Deadlocked = true
+			return nil
+		}
+		if nw.cycle+1 >= nw.measureEnd {
+			if nw.measuredInFly == 0 {
+				nw.res.Drained = true
+				return nil
+			}
+			if nw.cycle+1 >= limit {
+				nw.res.Drained = nw.measuredInFly == 0
+				return nil
+			}
+		}
+	}
+}
+
+// rollInterval closes the current latency interval, carrying the
+// previous mean forward through empty intervals.
+func (nw *network) rollInterval() {
+	mean := math.NaN()
+	if nw.intervalCount > 0 {
+		mean = nw.intervalSum / float64(nw.intervalCount)
+	} else if n := len(nw.res.IntervalLatency); n > 0 {
+		mean = nw.res.IntervalLatency[n-1]
+	}
+	if !math.IsNaN(mean) {
+		nw.res.IntervalLatency = append(nw.res.IntervalLatency, mean)
+	}
+	nw.intervalSum, nw.intervalCount = 0, 0
+}
+
+func (nw *network) finish() {
+	nw.res.Cycles = nw.cycle + 1
+	nw.res.SuggestedWarmup = -1
+	if d, ok := stats.MSER(nw.res.IntervalLatency); ok {
+		nw.res.SuggestedWarmup = int64(d) * latencyInterval
+	}
+	nw.res.EndQueueLen = nw.totalQueued
+	nw.res.Nodes = nw.top.N()
+	var sumV, sumV2 float64
+	for v, c := range nw.res.VCBusyHist {
+		sumV += float64(v) * float64(c)
+		sumV2 += float64(v*v) * float64(c)
+	}
+	if sumV > 0 {
+		nw.res.Multiplexing = sumV2 / sumV
+	} else {
+		nw.res.Multiplexing = 1
+	}
+	// per-channel balance over existing network channels only
+	var st stats.Stream
+	for ch, c := range nw.grantCount {
+		if ch%nw.slots < nw.deg && nw.chanExists[ch] {
+			st.Add(float64(c))
+		}
+	}
+	if st.Mean() > 0 {
+		nw.res.ChannelGrantCV = st.StdDev() / st.Mean()
+		window := nw.cycle + 1 - nw.measureStart
+		if window > 0 {
+			nw.res.ChannelRate = st.Mean() / float64(window)
+		}
+	}
+}
+
+// newMessage takes a message from the free list or allocates one.
+func (nw *network) newMessage() *message {
+	if m := nw.freeList; m != nil {
+		nw.freeList = m.nextQueue
+		*m = message{}
+		return m
+	}
+	return &message{}
+}
+
+func (nw *network) doArrivals() {
+	if nw.arrivals == nil {
+		return
+	}
+	now := float64(nw.cycle)
+	for node, p := range nw.arrivals {
+		for p.NextArrival() <= now {
+			p.Pop()
+			m := nw.newMessage()
+			m.src = node
+			m.dst = nw.pattern.Destination(node, nw.rng)
+			m.length = nw.msgLen
+			if nw.cfg.LenDist != nil {
+				l := nw.cfg.LenDist.Sample(nw.rng)
+				if l < 1 {
+					l = 1
+				}
+				if l > 1<<14 {
+					l = 1 << 14
+				}
+				m.length = int16(l)
+			}
+			m.genCycle = nw.cycle
+			m.measured = nw.cycle >= nw.measureStart && nw.cycle < nw.measureEnd
+			m.id = nw.res.Generated
+			nw.res.Generated++
+			nw.traceEvent(EvGenerate, m.id, int32(node), -1)
+			if m.measured {
+				nw.measuredInFly++
+			}
+			nw.pushQueue(node, m)
+		}
+	}
+}
+
+func (nw *network) pushQueue(node int, m *message) {
+	if nw.queueTail[node] == nil {
+		nw.queueHead[node] = m
+	} else {
+		nw.queueTail[node].nextQueue = m
+	}
+	nw.queueTail[node] = m
+	m.nextQueue = nil
+	nw.queueLen[node]++
+	nw.totalQueued++
+	if nw.queueLen[node] > nw.res.MaxQueueLen {
+		nw.res.MaxQueueLen = nw.queueLen[node]
+	}
+}
+
+func (nw *network) popQueue(node int) *message {
+	m := nw.queueHead[node]
+	nw.queueHead[node] = m.nextQueue
+	if nw.queueHead[node] == nil {
+		nw.queueTail[node] = nil
+	}
+	m.nextQueue = nil
+	nw.queueLen[node]--
+	nw.totalQueued--
+	return m
+}
+
+// doInjection grants injection-channel VCs to source-queue heads.
+// Nodes are visited from a rotating offset so no node is permanently
+// favoured by iteration order.
+func (nw *network) doInjection() int {
+	if nw.totalQueued == 0 {
+		return 0
+	}
+	n := nw.top.N()
+	start := int(nw.cycle % int64(n))
+	grants := 0
+	for k := 0; k < n; k++ {
+		node := start + k
+		if node >= n {
+			node -= n
+		}
+		m := nw.queueHead[node]
+		if m == nil {
+			continue
+		}
+		ch := nw.chanIdx(node, nw.deg+1)
+		gvc := int32(-1)
+		base := int(ch) * nw.v
+		for vc := 0; vc < nw.v; vc++ {
+			if nw.owner[base+vc] == nil {
+				gvc = int32(base + vc)
+				break
+			}
+		}
+		if gvc < 0 {
+			continue
+		}
+		nw.popQueue(node)
+		m.injCycle = nw.cycle
+		m.headVC = gvc
+		m.curNode = int32(node)
+		m.st = routing.InitialState()
+		nw.owner[gvc] = m
+		nw.prev[gvc] = -1
+		nw.markBusy(gvc)
+		if m.measured {
+			nw.res.QueueTime.Add(float64(nw.cycle - m.genCycle))
+		}
+		nw.traceEvent(EvInject, m.id, int32(node), gvc)
+		m.waitStart = -1
+		m.routing = true
+		nw.routePending = append(nw.routePending, m)
+		grants++
+	}
+	return grants
+}
+
+// doRouting attempts next-channel allocation for every message whose
+// head flit is buffered at a router. The pending list is compacted in
+// place; a rotating offset removes ordering bias between messages.
+func (nw *network) doRouting() int {
+	if len(nw.routePending) == 0 {
+		return 0
+	}
+	grants := 0
+	pend := nw.routePending
+	// rotate the processing origin to avoid systematic priority
+	if len(pend) > 1 {
+		off := int(nw.cycle % int64(len(pend)))
+		rotate(pend, off)
+	}
+	out := pend[:0]
+	for _, m := range pend {
+		hv := m.headVC
+		if nw.drained[hv] != 0 || nw.buf[hv] == 0 {
+			// head flit not (yet) buffered at the router
+			out = append(out, m)
+			continue
+		}
+		if nw.allocate(m) {
+			grants++
+			if !m.routing {
+				continue // ejection granted; no more routing needed
+			}
+		}
+		out = append(out, m)
+	}
+	nw.routePending = out
+	return grants
+}
+
+func rotate(s []*message, k int) {
+	if k == 0 {
+		return
+	}
+	reverse(s[:k])
+	reverse(s[k:])
+	reverse(s)
+}
+
+func reverse(s []*message) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// allocate tries to acquire the next virtual channel for m, whose
+// head flit sits at router m.curNode. It returns true on a grant.
+func (nw *network) allocate(m *message) bool {
+	node := int(m.curNode)
+	if node == m.dst {
+		// ejection channel: all V virtual channels are eligible
+		ch := nw.chanIdx(node, nw.deg)
+		base := int(ch) * nw.v
+		for vc := 0; vc < nw.v; vc++ {
+			gvc := int32(base + vc)
+			if nw.owner[gvc] == nil {
+				nw.grantVC(m, gvc)
+				m.routing = false
+				return true
+			}
+		}
+		return false
+	}
+
+	nw.res.Attempts++
+	if m.waitStart < 0 {
+		m.waitStart = nw.cycle
+	}
+	dims := nw.top.ProfitableDims(node, m.dst, nw.dimBuf[:0])
+	if nw.cfg.Policy == routing.FirstProfitable && len(dims) > 1 {
+		dims = dims[:1] // deterministic minimal path baseline
+	}
+	hopNeg := nw.top.Color(node) == 1
+	nextColor := 1 - nw.top.Color(node)
+	dRem := nw.top.Distance(node, m.dst) - 1
+	elig := nw.spec.EligibleVCs(m.st, hopNeg, nextColor, dRem, nw.eligBuf[:0])
+
+	pairs := nw.pairBuf[:0]
+	for _, dim := range dims {
+		base := int(nw.chanIdx(node, dim)) * nw.v
+		for _, vc := range elig {
+			gvc := int32(base + vc)
+			if nw.owner[gvc] == nil {
+				pairs = append(pairs, pair{gvc: gvc, vc: vc})
+			}
+		}
+	}
+	nw.pairBuf = pairs[:0]
+	if len(pairs) == 0 {
+		nw.res.BlockedAttempts++
+		return false
+	}
+
+	chosen := nw.choose(pairs)
+	vc := chosen.vc
+	if nw.spec.IsClassA(vc) {
+		nw.res.ClassAUse++
+	} else {
+		nw.res.ClassBUse++
+		nw.res.ClassBLevelUse[nw.spec.LevelOf(vc)]++
+	}
+	if m.measured {
+		nw.res.HopWait.Add(float64(nw.cycle - m.waitStart))
+	}
+	m.waitStart = -1
+	m.st = nw.spec.Advance(m.st, hopNeg, vc)
+	m.curNode = int32(nw.downstreamNode(chosen.gvc / int32(nw.v)))
+	if nw.cycle >= nw.measureStart {
+		nw.grantCount[chosen.gvc/int32(nw.v)]++
+	}
+	nw.grantVC(m, chosen.gvc)
+	m.hops++
+	return true
+}
+
+// choose applies the configured selection policy to the free eligible
+// (channel, vc) pairs.
+func (nw *network) choose(pairs []pair) pair {
+	switch nw.cfg.Policy {
+	case routing.RandomAny:
+		return pairs[nw.rng.Intn(len(pairs))]
+	case routing.LowestEscapeFirst:
+		best, bestLevel := -1, 1<<30
+		for i, p := range pairs {
+			if nw.spec.IsClassA(p.vc) {
+				continue
+			}
+			if l := nw.spec.LevelOf(p.vc); l < bestLevel {
+				best, bestLevel = i, l
+			}
+		}
+		if best >= 0 {
+			return pairs[best]
+		}
+		return pairs[nw.rng.Intn(len(pairs))]
+	default: // PreferClassA
+		nA := 0
+		for i, p := range pairs {
+			if nw.spec.IsClassA(p.vc) {
+				pairs[nA], pairs[i] = pairs[i], pairs[nA]
+				nA++
+			}
+		}
+		if nA > 0 {
+			return pairs[nw.rng.Intn(nA)]
+		}
+		best, bestLevel := -1, 1<<30
+		count := 0
+		for i, p := range pairs {
+			l := nw.spec.LevelOf(p.vc)
+			switch {
+			case l < bestLevel:
+				best, bestLevel, count = i, l, 1
+			case l == bestLevel:
+				// reservoir-sample among equal-level channels
+				count++
+				if nw.rng.Intn(count) == 0 {
+					best = i
+				}
+			}
+		}
+		return pairs[best]
+	}
+}
+
+// grantVC records that m now owns gvc, linked after its previous
+// head channel.
+func (nw *network) grantVC(m *message, gvc int32) {
+	nw.owner[gvc] = m
+	nw.prev[gvc] = m.headVC
+	m.headVC = gvc
+	nw.grantCycle[gvc] = nw.cycle
+	nw.markBusy(gvc)
+	nw.traceEvent(EvGrant, m.id, int32(nw.nodeOfChan(gvc/int32(nw.v))), gvc)
+}
+
+// markBusy accounts a newly owned VC, activating its channel when it
+// was idle.
+func (nw *network) markBusy(gvc int32) {
+	ch := gvc / int32(nw.v)
+	nw.busyVCs[ch]++
+	if nw.busyVCs[ch] == 1 {
+		nw.activePos[ch] = int32(len(nw.active))
+		nw.active = append(nw.active, ch)
+	}
+}
+
+// doTransfers performs the per-cycle flit movement. Decisions are
+// taken against the cycle-start state (two-phase update), so a flit
+// advances at most one channel per cycle; with the default 2-flit
+// buffers a wormhole streams at full channel rate.
+func (nw *network) doTransfers() int {
+	nw.decisions = nw.decisions[:0]
+	for _, ch32 := range nw.active {
+		ch := int(ch32)
+		base := ch * nw.v
+		start := int(nw.rr[ch])
+		eject := ch%nw.slots == nw.deg
+		for k := 0; k < nw.v; k++ {
+			vc := start + k
+			if vc >= nw.v {
+				vc -= nw.v
+			}
+			gvc := int32(base + vc)
+			m := nw.owner[gvc]
+			if m == nil || nw.sent[gvc] >= m.length {
+				continue
+			}
+			if p := nw.prev[gvc]; p >= 0 && nw.buf[p] == 0 {
+				continue
+			}
+			if !eject && nw.buf[gvc] >= nw.bufCap {
+				continue
+			}
+			nw.decisions = append(nw.decisions, gvc)
+			nw.rr[ch] = uint8((vc + 1) % nw.v)
+			break
+		}
+	}
+	for _, gvc := range nw.decisions {
+		m := nw.owner[gvc]
+		nw.sent[gvc]++
+		if p := nw.prev[gvc]; p >= 0 {
+			nw.buf[p]--
+			nw.drained[p]++
+			if nw.drained[p] == m.length {
+				nw.freeVC(p)
+			}
+		}
+		if nw.isEjection(gvc / int32(nw.v)) {
+			if nw.sent[gvc] == m.length {
+				nw.deliver(m, gvc)
+			}
+		} else {
+			nw.buf[gvc]++
+		}
+	}
+	return len(nw.decisions)
+}
+
+func (nw *network) freeVC(gvc int32) {
+	// record the holding time of network channels granted inside the
+	// measurement window (slot < deg excludes ejection/injection)
+	if ch := gvc / int32(nw.v); int(ch)%nw.slots < nw.deg &&
+		nw.grantCycle[gvc] >= nw.measureStart && nw.grantCycle[gvc] < nw.measureEnd {
+		nw.res.VCHolding.Add(float64(nw.cycle + 1 - nw.grantCycle[gvc]))
+	}
+	nw.owner[gvc] = nil
+	nw.prev[gvc] = -1
+	nw.buf[gvc] = 0
+	nw.sent[gvc] = 0
+	nw.drained[gvc] = 0
+	ch := gvc / int32(nw.v)
+	nw.busyVCs[ch]--
+	if nw.busyVCs[ch] == 0 {
+		// swap-remove from the active set
+		pos := nw.activePos[ch]
+		lastIdx := int32(len(nw.active) - 1)
+		lastCh := nw.active[lastIdx]
+		nw.active[pos] = lastCh
+		nw.activePos[lastCh] = pos
+		nw.active = nw.active[:lastIdx]
+		nw.activePos[ch] = -1
+	}
+}
+
+const latencyInterval = 512
+
+func (nw *network) deliver(m *message, gvc int32) {
+	nw.freeVC(gvc)
+	nw.traceEvent(EvDeliver, m.id, int32(m.dst), -1)
+	nw.intervalSum += float64(nw.cycle + 1 - m.genCycle)
+	nw.intervalCount++
+	nw.res.Delivered++
+	if nw.cycle >= nw.measureStart && nw.cycle < nw.measureEnd {
+		nw.res.DeliveredInWindow++
+	}
+	if m.measured {
+		lat := float64(nw.cycle + 1 - m.genCycle)
+		nw.res.Latency.Add(lat)
+		nw.res.LatencyHist.Add(int(nw.cycle + 1 - m.genCycle))
+		nw.res.NetLatency.Add(float64(nw.cycle + 1 - m.injCycle))
+		nw.res.HopCount.Add(float64(m.hops))
+		nw.res.MeasuredDelivered++
+		nw.measuredInFly--
+	}
+	m.nextQueue = nw.freeList
+	nw.freeList = m
+}
+
+// doSampling records the busy-VC distribution over network channels
+// every sampleEvery cycles inside the measurement window.
+const sampleEvery = 16
+
+func (nw *network) doSampling() {
+	if nw.cycle < nw.measureStart || nw.cycle >= nw.measureEnd {
+		return
+	}
+	nw.sampleCountdown--
+	if nw.sampleCountdown > 0 {
+		return
+	}
+	nw.sampleCountdown = sampleEvery
+	for node := 0; node < nw.top.N(); node++ {
+		for slot := 0; slot < nw.deg; slot++ {
+			ch := int(nw.chanIdx(node, slot))
+			if !nw.chanExists[ch] {
+				continue
+			}
+			nw.res.VCBusyHist[nw.busyVCs[ch]]++
+		}
+	}
+}

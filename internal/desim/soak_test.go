@@ -1,0 +1,83 @@
+package desim
+
+import (
+	"testing"
+
+	"starperf/internal/hypercube"
+	"starperf/internal/mesh"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+	"starperf/internal/topology"
+	"starperf/internal/torus"
+	"starperf/internal/traffic"
+)
+
+// TestRandomConfigSoak runs the simulator with paranoid invariant
+// checking across a randomised matrix of topologies, algorithms,
+// policies, VC budgets, buffer depths and length distributions —
+// the broad-spectrum robustness net behind the targeted tests.
+func TestRandomConfigSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is slow")
+	}
+	rng := traffic.NewRNG(20240707)
+	tops := []topology.Topology{
+		stargraph.MustNew(4),
+		stargraph.MustNew(5),
+		hypercube.MustNew(4),
+		torus.MustNew(4, 2),
+		torus.MustNew(6, 2),
+		mesh.MustNew(4, 2),
+		mesh.MustNew(3, 3),
+	}
+	kinds := []routing.Kind{routing.NHop, routing.Nbc, routing.EnhancedNbc}
+	policies := []routing.Policy{
+		routing.PreferClassA, routing.RandomAny,
+		routing.LowestEscapeFirst, routing.FirstProfitable,
+	}
+	lens := []traffic.LengthDist{
+		nil,
+		traffic.BimodalLen{Short: 4, Long: 28, PLong: 0.5},
+		traffic.UniformLen{Min: 2, Max: 30},
+	}
+	for trial := 0; trial < 24; trial++ {
+		top := tops[rng.Intn(len(tops))]
+		kind := kinds[rng.Intn(len(kinds))]
+		vmin := topology.MinEscapeVCs(top.Diameter())
+		if kind == routing.EnhancedNbc {
+			vmin++
+		}
+		v := vmin + rng.Intn(3)
+		spec, err := routing.New(kind, top, v)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		cfg := Config{
+			Top:           top,
+			Spec:          spec,
+			Policy:        policies[rng.Intn(len(policies))],
+			Rate:          0.001 + 0.02*rng.Float64(),
+			MsgLen:        4 + rng.Intn(28),
+			LenDist:       lens[rng.Intn(len(lens))],
+			BufCap:        1 + rng.Intn(3),
+			Seed:          rng.Uint64(),
+			WarmupCycles:  500,
+			MeasureCycles: 3000,
+			DrainCycles:   30000,
+			Paranoid:      true,
+			ParanoidEvery: 32,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("trial %d (%s %v %v V=%d): %v",
+				trial, top.Name(), kind, cfg.Policy, v, err)
+		}
+		if res.Deadlocked {
+			t.Fatalf("trial %d (%s %v %v V=%d) deadlocked",
+				trial, top.Name(), kind, cfg.Policy, v)
+		}
+		if res.Delivered == 0 && res.Generated > 10 {
+			t.Fatalf("trial %d: generated %d, delivered none", trial, res.Generated)
+		}
+	}
+}

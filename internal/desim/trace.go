@@ -1,0 +1,64 @@
+package desim
+
+import "fmt"
+
+// EventKind tags a traced simulator event.
+type EventKind uint8
+
+// The traced event kinds, in the order they occur in a message's
+// life: generation into the source queue, injection-VC acquisition,
+// one virtual-channel grant per hop (network channels and the final
+// ejection channel), and delivery of the tail flit.
+const (
+	EvGenerate EventKind = iota
+	EvInject
+	EvGrant
+	EvDeliver
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvGenerate:
+		return "generate"
+	case EvInject:
+		return "inject"
+	case EvGrant:
+		return "grant"
+	case EvDeliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one traced simulator event. For EvGrant, Node is the node
+// whose output channel was granted and VC the global virtual-channel
+// index; for the other kinds VC is -1.
+type Event struct {
+	Cycle int64
+	Kind  EventKind
+	Msg   uint64
+	Node  int32
+	VC    int32
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("c%-6d %-8s msg=%d node=%d vc=%d", e.Cycle, e.Kind, e.Msg, e.Node, e.VC)
+}
+
+// trace records events up to a fixed capacity (then drops, counting
+// the overflow) — enough to audit the full life of messages in a
+// short run without unbounded memory in long ones.
+func (nw *network) traceEvent(kind EventKind, msg uint64, node, vc int32) {
+	if nw.cfg.TraceCap == 0 {
+		return
+	}
+	if len(nw.res.Trace) >= nw.cfg.TraceCap {
+		nw.res.TraceDropped++
+		return
+	}
+	nw.res.Trace = append(nw.res.Trace, Event{
+		Cycle: nw.cycle, Kind: kind, Msg: msg, Node: node, VC: vc,
+	})
+}

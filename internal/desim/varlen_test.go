@@ -1,0 +1,140 @@
+package desim
+
+import (
+	"math"
+	"testing"
+
+	"starperf/internal/routing"
+	"starperf/internal/traffic"
+)
+
+func TestVariableLengthConservation(t *testing.T) {
+	cfg := s5cfg(routing.EnhancedNbc, 6, 0.006, 32, 3)
+	cfg.LenDist = traffic.BimodalLen{Short: 8, Long: 56, PLong: 0.5}
+	cfg.Paranoid = true
+	cfg.ParanoidEvery = 16
+	cfg.WarmupCycles = 2000
+	cfg.MeasureCycles = 12000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked || res.MeasuredDelivered == 0 {
+		t.Fatalf("unhealthy variable-length run: %+v", res.Latency)
+	}
+}
+
+func TestBimodalVsFixedAtEqualMean(t *testing.T) {
+	// Equal mean length (32), heavily mixed (8 vs 104 flits). The
+	// mean-latency effect of length variance is small and
+	// load-dependent (short messages pipeline faster, offsetting the
+	// extra queueing at light load; measured ≈ +2–3% at 0.013), but
+	// the latency *spread* must rise dramatically and the mean must
+	// not improve once contention dominates.
+	fixed := s5cfg(routing.EnhancedNbc, 6, 0.013, 32, 17)
+	rf, err := Run(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bimodal := fixed
+	bimodal.LenDist = traffic.BimodalLen{Short: 8, Long: 104, PLong: 0.25}
+	rb, err := Run(bimodal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Latency.StdDev() < 1.5*rf.Latency.StdDev() {
+		t.Fatalf("bimodal latency sd %.2f not well above fixed %.2f",
+			rb.Latency.StdDev(), rf.Latency.StdDev())
+	}
+	if rb.Latency.Mean() < 0.98*rf.Latency.Mean() {
+		t.Fatalf("bimodal mean %.2f clearly below fixed %.2f at heavy load",
+			rb.Latency.Mean(), rf.Latency.Mean())
+	}
+}
+
+func TestLengthDistMoments(t *testing.T) {
+	rng := traffic.NewRNG(9)
+	dists := []traffic.LengthDist{
+		traffic.FixedLen{M: 32},
+		traffic.BimodalLen{Short: 8, Long: 56, PLong: 0.5},
+		traffic.UniformLen{Min: 16, Max: 48},
+	}
+	for _, d := range dists {
+		var sum, sum2 float64
+		const n = 200000
+		for i := 0; i < n; i++ {
+			x := float64(d.Sample(rng))
+			sum += x
+			sum2 += x * x
+		}
+		mean := sum / n
+		variance := sum2/n - mean*mean
+		if math.Abs(mean-d.Mean()) > 0.05*math.Max(d.Mean(), 1) {
+			t.Fatalf("%T: sampled mean %v, declared %v", d, mean, d.Mean())
+		}
+		if math.Abs(variance-d.Variance()) > 0.05*math.Max(d.Variance(), 1) {
+			t.Fatalf("%T: sampled variance %v, declared %v", d, variance, d.Variance())
+		}
+	}
+}
+
+func TestChannelBalanceUniformVsHotspot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hotspot soak is slow")
+	}
+	// Under uniform traffic the star's edge symmetry spreads load
+	// evenly over channels (the assumption behind eq. 3); a hotspot
+	// skews it.
+	uni := s5cfg(routing.EnhancedNbc, 6, 0.008, 16, 29)
+	ru, err := Run(uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ru.ChannelGrantCV > 0.15 {
+		t.Fatalf("uniform traffic channel CV %v too high", ru.ChannelGrantCV)
+	}
+	// empirical λc must match eq. 3: λg·d̄/(n−1)
+	want := 0.008 * 3.7142857 / 4
+	if math.Abs(ru.ChannelRate-want) > 0.15*want {
+		t.Fatalf("empirical channel rate %v, eq. 3 predicts %v", ru.ChannelRate, want)
+	}
+	hot := uni
+	hot.Pattern = traffic.Hotspot{N: 120, Hot: 0, Fraction: 0.4}
+	rh, err := Run(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.ChannelGrantCV < 2*ru.ChannelGrantCV {
+		t.Fatalf("hotspot CV %v not clearly above uniform CV %v",
+			rh.ChannelGrantCV, ru.ChannelGrantCV)
+	}
+}
+
+func TestBurstyArrivalsRaiseLatency(t *testing.T) {
+	// At equal mean rate, MMPP on/off bursts inflate queueing relative
+	// to Poisson — the sensitivity of model assumption (b).
+	base := s5cfg(routing.EnhancedNbc, 6, 0.01, 32, 53)
+	rp, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty := base
+	bursty.NewArrivals = func(rng *traffic.RNG, rate float64) traffic.Arrivals {
+		return traffic.NewOnOff(rng, rate, 6, 600)
+	}
+	rb, err := Run(bursty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Latency.Mean() <= 1.05*rp.Latency.Mean() {
+		t.Fatalf("bursty latency %.2f not clearly above Poisson %.2f",
+			rb.Latency.Mean(), rp.Latency.Mean())
+	}
+	// mean offered rate must be comparable (runs differ in length
+	// because the bursty run takes longer to drain)
+	rateP := float64(rp.Generated) / float64(rp.Cycles)
+	rateB := float64(rb.Generated) / float64(rb.Cycles)
+	if rateB < 0.9*rateP || rateB > 1.1*rateP {
+		t.Fatalf("offered rate mismatch: %.5f vs %.5f", rateB, rateP)
+	}
+}

@@ -1,0 +1,82 @@
+package desim
+
+import (
+	"testing"
+
+	"starperf/internal/routing"
+)
+
+// TestCutThroughValidation checks the VCT configuration rules.
+func TestCutThroughValidation(t *testing.T) {
+	cfg := s5cfg(routing.EnhancedNbc, 6, 0.005, 32, 1)
+	cfg.CutThrough = true
+	cfg.BufCap = 8 // below MsgLen
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("undersized cut-through buffers accepted")
+	}
+}
+
+// TestCutThroughBeatsWormholeNearSaturation: with whole-message
+// buffers a blocked message frees its upstream channels, so VCT
+// sustains loads where wormhole queues explode. At wormhole's
+// saturation point the VCT latency must be far lower.
+func TestCutThroughBeatsWormholeNearSaturation(t *testing.T) {
+	const rate = 0.026 // beyond wormhole saturation for V=6, M=32
+	wh := s5cfg(routing.EnhancedNbc, 6, rate, 32, 7)
+	wh.WarmupCycles = 4000
+	wh.MeasureCycles = 15000
+	wh.DrainCycles = 80000
+	rw, err := Run(wh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rw.Saturated() {
+		t.Fatalf("wormhole unexpectedly stable at λg=%v", rate)
+	}
+	vct := wh
+	vct.CutThrough = true
+	vct.BufCap = 0 // default to MsgLen
+	rv, err := Run(vct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.Deadlocked {
+		t.Fatal("cut-through deadlocked")
+	}
+	if rv.Saturated() {
+		t.Fatalf("cut-through saturated at λg=%v where it should hold", rate)
+	}
+	if rv.Latency.Mean() > 0.4*rw.Latency.Mean() {
+		t.Fatalf("VCT latency %.1f not well below wormhole %.1f at λg=%v",
+			rv.Latency.Mean(), rw.Latency.Mean(), rate)
+	}
+}
+
+// TestCutThroughZeroLoadSameAsWormhole: without contention VCT
+// pipelines exactly like wormhole (cut-through forwarding), so the
+// zero-load latency law M+h+1 is unchanged.
+func TestCutThroughZeroLoadSameAsWormhole(t *testing.T) {
+	cfg := s5cfg(routing.EnhancedNbc, 6, 0.0002, 16, 5)
+	cfg.CutThrough = true
+	cfg.MeasureCycles = 60000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 16 + 1 + res.HopCount.Mean()
+	if d := res.Latency.Mean() - want; d < -0.01 || d > 0.5 {
+		t.Fatalf("VCT zero-load latency %.3f, want ≈%.3f", res.Latency.Mean(), want)
+	}
+}
+
+// TestCutThroughParanoid runs the invariant checker under VCT.
+func TestCutThroughParanoid(t *testing.T) {
+	cfg := s5cfg(routing.EnhancedNbc, 6, 0.01, 32, 3)
+	cfg.CutThrough = true
+	cfg.Paranoid = true
+	cfg.WarmupCycles = 1000
+	cfg.MeasureCycles = 6000
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

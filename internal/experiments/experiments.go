@@ -1,0 +1,366 @@
+// Package experiments defines the reproducible experiments of the
+// repository: the three panels of the paper's Figure 1 (model vs
+// simulation latency curves for S5 with V = 6, 9, 12 and M = 32, 64),
+// the broader validation grid the paper's §5 alludes to, the
+// star-vs-hypercube comparison of the paper's future-work section,
+// and the ablations called out in DESIGN.md. Simulation points run in
+// parallel across a worker pool; every run is deterministic given its
+// seed list.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"starperf/internal/desim"
+	"starperf/internal/model"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+	"starperf/internal/stats"
+	"starperf/internal/topology"
+	"starperf/internal/traffic"
+)
+
+// SimOptions tunes the simulation side of an experiment.
+type SimOptions struct {
+	// Warmup, Measure and Drain are the per-run cycle windows;
+	// zero values select 8000/30000/120000.
+	Warmup, Measure, Drain int64
+	// Seeds lists one seed per replication (default: {1, 2, 3}).
+	Seeds []uint64
+	// Policy is the VC selection policy (default PreferClassA).
+	Policy routing.Policy
+	// BufCap is the per-VC buffer depth (default 2).
+	BufCap int
+	// Workers bounds simulation parallelism (default NumCPU).
+	Workers int
+}
+
+func (o SimOptions) withDefaults() SimOptions {
+	if o.Warmup == 0 {
+		o.Warmup = 8000
+	}
+	if o.Measure == 0 {
+		o.Measure = 30000
+	}
+	if o.Drain == 0 {
+		o.Drain = 120000
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []uint64{1, 2, 3}
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	return o
+}
+
+// Point is one operating point of a latency curve.
+type Point struct {
+	// Rate is λg in messages/node/cycle.
+	Rate float64
+	// Model is the model-predicted mean latency; NaN beyond the
+	// model's saturation point (ModelSaturated true).
+	Model          float64
+	ModelSaturated bool
+	// Sim is the simulated mean latency over replications, SimHW the
+	// half-width of its ~95% confidence interval over seeds, and
+	// SimSaturated whether any replication failed to drain.
+	Sim          float64
+	SimHW        float64
+	SimSaturated bool
+}
+
+// Series is one curve (fixed V, M, algorithm) over a rate sweep.
+type Series struct {
+	Name   string
+	V      int
+	MsgLen int
+	Kind   routing.Kind
+	Points []Point
+}
+
+// Panel is a titled group of series, matching one figure panel.
+type Panel struct {
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// simJob is one (series, point, seed) simulation unit.
+type simJob struct {
+	series, point, seed int
+	cfg                 desim.Config
+}
+
+// runSweep fills the Sim fields of every point of every series by
+// running all (point × seed) simulations on a worker pool.
+func runSweep(top topology.Topology, panels []*Series, opts SimOptions, pattern traffic.Pattern) error {
+	opts = opts.withDefaults()
+	var jobs []simJob
+	for si, s := range panels {
+		spec, err := routing.New(s.Kind, top, s.V)
+		if err != nil {
+			return err
+		}
+		for pi, p := range s.Points {
+			for ki, seed := range opts.Seeds {
+				jobs = append(jobs, simJob{
+					series: si, point: pi, seed: ki,
+					cfg: desim.Config{
+						Top:           top,
+						Spec:          spec,
+						Policy:        opts.Policy,
+						Pattern:       pattern,
+						Rate:          p.Rate,
+						MsgLen:        s.MsgLen,
+						BufCap:        opts.BufCap,
+						Seed:          seed*1_000_003 + uint64(si*131+pi*17+1),
+						WarmupCycles:  opts.Warmup,
+						MeasureCycles: opts.Measure,
+						DrainCycles:   opts.Drain,
+					},
+				})
+			}
+		}
+	}
+	type outcome struct {
+		job simJob
+		res *desim.Result
+		err error
+	}
+	results := make([]outcome, len(jobs))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				res, err := desim.Run(jobs[i].cfg)
+				results[i] = outcome{job: jobs[i], res: res, err: err}
+			}
+		}()
+	}
+	for i := range jobs {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+
+	// aggregate per point over seeds
+	type agg struct {
+		lat  []float64
+		sat  bool
+		seen int
+	}
+	aggs := make(map[[2]int]*agg)
+	for _, oc := range results {
+		if oc.err != nil {
+			return oc.err
+		}
+		key := [2]int{oc.job.series, oc.job.point}
+		a := aggs[key]
+		if a == nil {
+			a = &agg{}
+			aggs[key] = a
+		}
+		a.lat = append(a.lat, oc.res.Latency.Mean())
+		a.sat = a.sat || oc.res.Saturated()
+		a.seen++
+	}
+	for key, a := range aggs {
+		p := &panels[key[0]].Points[key[1]]
+		var st stats.Stream
+		for _, l := range a.lat {
+			st.Add(l)
+		}
+		p.Sim = st.Mean()
+		p.SimSaturated = a.sat
+		if st.N() >= 2 {
+			p.SimHW = 1.96 * st.StdDev() / math.Sqrt(float64(st.N()))
+		}
+	}
+	return nil
+}
+
+// fillModel fills the Model fields of a star-graph series.
+func fillModel(n int, s *Series, blocking model.BlockingModel) error {
+	sp, err := model.NewStarPaths(n)
+	if err != nil {
+		return err
+	}
+	g, err := stargraph.New(n)
+	if err != nil {
+		return err
+	}
+	for i := range s.Points {
+		r, err := model.Evaluate(model.Config{
+			Paths: sp, Top: g, Kind: s.Kind, V: s.V,
+			MsgLen: s.MsgLen, Rate: s.Points[i].Rate, Blocking: blocking,
+		})
+		switch {
+		case err == nil:
+			s.Points[i].Model = r.Latency
+		default:
+			s.Points[i].Model = math.NaN()
+			s.Points[i].ModelSaturated = true
+		}
+	}
+	return nil
+}
+
+// ratesUpTo returns count evenly spaced rates from step to max.
+func ratesUpTo(max float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = max * float64(i+1) / float64(count)
+	}
+	return out
+}
+
+// Figure1 reproduces one panel of the paper's Figure 1: S5 latency
+// versus traffic generation rate for the given virtual-channel count
+// (panel 'a' → V=6, 'b' → V=9, 'c' → V=12), with one model and one
+// simulation series per message length M ∈ {32, 64}. The sweep spans
+// the paper's x-axis (0..0.015 for a and b, 0..0.02 for c) with
+// `points` samples per curve.
+func Figure1(panel byte, points int, opts SimOptions) (*Panel, error) {
+	var v int
+	maxRate := 0.015
+	switch panel {
+	case 'a':
+		v = 6
+	case 'b':
+		v = 9
+	case 'c':
+		v = 12
+		maxRate = 0.02
+	default:
+		return nil, fmt.Errorf("experiments: unknown Figure 1 panel %q", panel)
+	}
+	p, err := StarPanel(5, v, []int{32, 64}, maxRate, points, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.Title = fmt.Sprintf("Figure 1(%c): 5-star, V=%d", panel, v)
+	return p, nil
+}
+
+// StarPanel generalises Figure 1 to any star size: model and
+// simulation latency curves for S_n with V virtual channels, one
+// series per message length, sweeping 0..maxRate (0 chooses 60% of
+// the physical capacity ceiling for the longest message).
+func StarPanel(n, v int, msgLens []int, maxRate float64, points int, opts SimOptions) (*Panel, error) {
+	if points <= 0 {
+		points = 10
+	}
+	if len(msgLens) == 0 {
+		msgLens = []int{32}
+	}
+	g, err := stargraph.New(n)
+	if err != nil {
+		return nil, err
+	}
+	if maxRate <= 0 {
+		longest := msgLens[0]
+		for _, m := range msgLens {
+			if m > longest {
+				longest = m
+			}
+		}
+		maxRate = 0.6 * float64(g.Degree()) / (g.AvgDistance() * float64(longest))
+	}
+	p := &Panel{
+		Title:  fmt.Sprintf("%d-star, V=%d", n, v),
+		XLabel: "traffic generation rate (messages/node/cycle)",
+	}
+	for _, m := range msgLens {
+		s := Series{
+			Name: fmt.Sprintf("M=%d", m), V: v, MsgLen: m, Kind: routing.EnhancedNbc,
+		}
+		for _, r := range ratesUpTo(maxRate, points) {
+			s.Points = append(s.Points, Point{Rate: r})
+		}
+		p.Series = append(p.Series, s)
+	}
+	refs := make([]*Series, len(p.Series))
+	for i := range p.Series {
+		refs[i] = &p.Series[i]
+	}
+	if err := runSweep(g, refs, opts, nil); err != nil {
+		return nil, err
+	}
+	for i := range p.Series {
+		if err := fillModel(n, &p.Series[i], model.Window); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// ValidationGrid covers the paper's §5 claim of "numerous validation
+// experiments ... several combinations of network sizes, message
+// lengths and numbers of virtual channels": a grid over S4/S5/S6,
+// M ∈ {16, 32, 64}, V ∈ {5, 6, 9}, each evaluated at a moderate and
+// a heavy operating point.
+func ValidationGrid(opts SimOptions) ([]GridRow, error) {
+	var rows []GridRow
+	for _, n := range []int{4, 5, 6} {
+		g, err := stargraph.New(n)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := model.NewStarPaths(n)
+		if err != nil {
+			return nil, err
+		}
+		// scale operating points to each network's capacity
+		cap5 := float64(g.Degree()) / (g.AvgDistance() * 32)
+		for _, m := range []int{16, 32, 64} {
+			for _, v := range []int{5, 6, 9} {
+				if _, err := routing.New(routing.EnhancedNbc, g, v); err != nil {
+					continue // V below this network's minimum
+				}
+				for _, frac := range []float64{0.15, 0.3} {
+					rate := cap5 * frac * 32 / float64(m)
+					row := GridRow{N: n, V: v, MsgLen: m, Rate: rate}
+					r, err := model.Evaluate(model.Config{
+						Paths: sp, Top: g, Kind: routing.EnhancedNbc,
+						V: v, MsgLen: m, Rate: rate,
+					})
+					if err == nil {
+						row.Model = r.Latency
+					} else {
+						row.Model = math.NaN()
+					}
+					sr := Series{Kind: routing.EnhancedNbc, V: v, MsgLen: m,
+						Points: []Point{{Rate: rate}}}
+					if err := runSweep(g, []*Series{&sr}, opts, nil); err != nil {
+						return nil, err
+					}
+					row.Sim = sr.Points[0].Sim
+					row.SimSaturated = sr.Points[0].SimSaturated
+					if !math.IsNaN(row.Model) && row.Sim > 0 {
+						row.ErrPct = 100 * (row.Model - row.Sim) / row.Sim
+					} else {
+						row.ErrPct = math.NaN()
+					}
+					rows = append(rows, row)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// GridRow is one validation-grid measurement.
+type GridRow struct {
+	N, V, MsgLen int
+	Rate         float64
+	Model, Sim   float64
+	ErrPct       float64
+	SimSaturated bool
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RenderASCIIPlot draws a Panel as a text plot: simulation points as
+// per-series letters, model predictions as '·'. The y-axis is clamped
+// at clampQuantile of the plotted values so saturation blow-ups do
+// not flatten the readable region (clamped points are drawn on the
+// top border as '^').
+func RenderASCIIPlot(w io.Writer, p *Panel, width, height int) {
+	if width < 20 {
+		width = 64
+	}
+	if height < 8 {
+		height = 20
+	}
+	const clampQuantile = 0.9
+
+	type mark struct {
+		x, y float64
+		ch   byte
+	}
+	var marks []mark
+	var xs, ys []float64
+	letters := []byte{'o', 'x', '+', '*', '#', '@'}
+	for si := range p.Series {
+		s := &p.Series[si]
+		ch := letters[si%len(letters)]
+		for _, pt := range s.Points {
+			if pt.Sim > 0 {
+				marks = append(marks, mark{pt.Rate, pt.Sim, ch})
+				xs, ys = append(xs, pt.Rate), append(ys, pt.Sim)
+			}
+			if pt.Model > 0 && !math.IsNaN(pt.Model) {
+				marks = append(marks, mark{pt.Rate, pt.Model, '.'})
+				xs, ys = append(xs, pt.Rate), append(ys, pt.Model)
+			}
+		}
+	}
+	if len(marks) == 0 {
+		fmt.Fprintln(w, "(no finite points to plot)")
+		return
+	}
+	sort.Float64s(ys)
+	yMax := ys[int(clampQuantile*float64(len(ys)-1))]
+	yMin := ys[0]
+	if yMax <= yMin {
+		yMax = yMin + 1
+	}
+	xMax := 0.0
+	for _, x := range xs {
+		if x > xMax {
+			xMax = x
+		}
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, m := range marks {
+		col := int(m.x / xMax * float64(width-1))
+		var row int
+		if m.y > yMax {
+			row = 0
+			m.ch = '^'
+		} else {
+			row = height - 1 - int((m.y-yMin)/(yMax-yMin)*float64(height-1))
+		}
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = m.ch
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", p.Title)
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", yMax)
+		case height - 1:
+			label = fmt.Sprintf("%7.1f ", yMin)
+		case height / 2:
+			label = fmt.Sprintf("%7.1f ", (yMax+yMin)/2)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s0%s%.4f\n", strings.Repeat(" ", 8),
+		strings.Repeat(" ", width-8), xMax)
+	var legend []string
+	for si := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s(sim)", letters[si%len(letters)], p.Series[si].Name))
+	}
+	legend = append(legend, "·=model", "^=clamped")
+	fmt.Fprintf(w, "%s%s\n", strings.Repeat(" ", 9), strings.Join(legend, "  "))
+}
+
+// RenderThroughput writes a throughput curve as a table.
+func RenderThroughput(w io.Writer, rows []ThroughputRow) {
+	fmt.Fprintf(w, "%-10s %-10s %-12s %s\n", "offered", "accepted", "latency", "notes")
+	for _, r := range rows {
+		notes := ""
+		if r.Saturated {
+			notes = "saturated"
+		}
+		fmt.Fprintf(w, "%-10.5f %-10.5f %-12.2f %s\n", r.Offered, r.Accepted, r.Latency, notes)
+	}
+	fmt.Fprintf(w, "peak accepted throughput: %.5f messages/node/cycle\n",
+		SaturationThroughput(rows))
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+
+	"starperf/internal/desim"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+)
+
+func precisionCfg(rate float64) desim.Config {
+	g := stargraph.MustNew(4)
+	return desim.Config{
+		Top:           g,
+		Spec:          routing.MustNew(routing.EnhancedNbc, g, 5),
+		Rate:          rate,
+		MsgLen:        16,
+		WarmupCycles:  2000,
+		MeasureCycles: 8000,
+		DrainCycles:   30000,
+	}
+}
+
+func TestRunUntilPrecision(t *testing.T) {
+	res, err := RunUntilPrecision(precisionCfg(0.01), 0.05, 3, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Achieved {
+		t.Fatalf("precision not achieved in %d reps (hw=%v mean=%v)",
+			res.Replications, res.HalfWidth, res.Mean)
+	}
+	if res.Replications < 3 || res.Replications > 20 {
+		t.Fatalf("replications %d", res.Replications)
+	}
+	if res.HalfWidth/res.Mean > 0.05 {
+		t.Fatalf("claimed achieved but rel hw %v", res.HalfWidth/res.Mean)
+	}
+}
+
+func TestRunUntilPrecisionTightTarget(t *testing.T) {
+	// An unreachably tight target must stop at maxReps, unachieved.
+	res, err := RunUntilPrecision(precisionCfg(0.01), 1e-9, 2, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Achieved || res.Replications != 4 {
+		t.Fatalf("expected maxReps stop: %+v", res)
+	}
+}
+
+func TestRunUntilPrecisionSaturated(t *testing.T) {
+	res, err := RunUntilPrecision(precisionCfg(0.12), 0.05, 2, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Fatal("deeply saturated workload not flagged")
+	}
+	if res.Replications > 4 {
+		t.Fatalf("runner did not stop early on saturation (%d reps)", res.Replications)
+	}
+}
+
+func TestRunUntilPrecisionBadParams(t *testing.T) {
+	if _, err := RunUntilPrecision(precisionCfg(0.01), 0, 3, 10, 2); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	if _, err := RunUntilPrecision(precisionCfg(0.01), 0.1, 1, 10, 2); err == nil {
+		t.Fatal("minReps=1 accepted")
+	}
+	if _, err := RunUntilPrecision(precisionCfg(0.01), 0.1, 5, 3, 2); err == nil {
+		t.Fatal("maxReps < minReps accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderPanel writes a Panel as an aligned text table: one block per
+// series, rate column plus model and simulation latency columns. This
+// is the textual form of the paper's latency-vs-rate plots.
+func RenderPanel(w io.Writer, p *Panel) {
+	fmt.Fprintf(w, "%s\n%s\n", p.Title, strings.Repeat("=", len(p.Title)))
+	for _, s := range p.Series {
+		fmt.Fprintf(w, "\n[%s]  V=%d M=%d %s\n", s.Name, s.V, s.MsgLen, s.Kind)
+		fmt.Fprintf(w, "  %-10s %-12s %-12s %-10s %s\n",
+			"rate", "model", "sim", "±95%", "notes")
+		for _, pt := range s.Points {
+			model := "saturated"
+			switch {
+			case pt.Model == 0 && !pt.ModelSaturated:
+				model = "-" // simulation-only series
+			case !pt.ModelSaturated && !math.IsNaN(pt.Model):
+				model = fmt.Sprintf("%.2f", pt.Model)
+			}
+			sim := fmt.Sprintf("%.2f", pt.Sim)
+			notes := ""
+			if pt.SimSaturated {
+				notes = "sim saturated"
+			}
+			hw := ""
+			if pt.SimHW > 0 {
+				hw = fmt.Sprintf("%.2f", pt.SimHW)
+			}
+			fmt.Fprintf(w, "  %-10.5f %-12s %-12s %-10s %s\n", pt.Rate, model, sim, hw, notes)
+		}
+	}
+}
+
+// RenderPanelCSV writes a Panel as CSV: series,rate,model,sim,hw,
+// model_saturated,sim_saturated.
+func RenderPanelCSV(w io.Writer, p *Panel) {
+	fmt.Fprintln(w, "series,v,msglen,rate,model,sim,hw,model_saturated,sim_saturated")
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			m := ""
+			if !math.IsNaN(pt.Model) {
+				m = fmt.Sprintf("%.4f", pt.Model)
+			}
+			fmt.Fprintf(w, "%s,%d,%d,%.6f,%s,%.4f,%.4f,%v,%v\n",
+				s.Name, s.V, s.MsgLen, pt.Rate, m, pt.Sim, pt.SimHW,
+				pt.ModelSaturated, pt.SimSaturated)
+		}
+	}
+}
+
+// RenderGrid writes the validation grid as an aligned table.
+func RenderGrid(w io.Writer, rows []GridRow) {
+	fmt.Fprintf(w, "%-4s %-4s %-6s %-10s %-12s %-12s %-8s %s\n",
+		"n", "V", "M", "rate", "model", "sim", "err%", "notes")
+	for _, r := range rows {
+		m := "saturated"
+		if !math.IsNaN(r.Model) {
+			m = fmt.Sprintf("%.2f", r.Model)
+		}
+		e := ""
+		if !math.IsNaN(r.ErrPct) {
+			e = fmt.Sprintf("%+.1f", r.ErrPct)
+		}
+		notes := ""
+		if r.SimSaturated {
+			notes = "sim saturated"
+		}
+		fmt.Fprintf(w, "%-4d %-4d %-6d %-10.5f %-12s %-12.2f %-8s %s\n",
+			r.N, r.V, r.MsgLen, r.Rate, m, r.Sim, e, notes)
+	}
+}
+
+// RenderMixture writes the A1 ablation rows.
+func RenderMixture(w io.Writer, rows []MixtureRow) {
+	fmt.Fprintf(w, "%-10s %-14s %-18s %s\n",
+		"rate", "window", "paper-inside", "paper-outside")
+	for _, r := range rows {
+		cols := make([]string, 3)
+		for i, l := range r.Latency {
+			if math.IsNaN(l) {
+				cols[i] = "saturated"
+			} else {
+				cols[i] = fmt.Sprintf("%.2f", l)
+			}
+		}
+		fmt.Fprintf(w, "%-10.5f %-14s %-18s %s\n", r.Rate, cols[0], cols[1], cols[2])
+	}
+}
+
+// ShapeChecks verifies the qualitative agreements the reproduction
+// promises for a Figure-1 panel (see EXPERIMENTS.md): latency curves
+// increase with load, M=64 lies above M=32 everywhere, the model
+// tracks the simulation within tol at the lightest half of the sweep,
+// and the model does not outlive the simulation by predicting stable
+// operation where the simulation saturates. It returns a list of
+// violated properties (empty = all shapes hold).
+func ShapeChecks(p *Panel, tol float64) []string {
+	var bad []string
+	bySeries := map[string]*Series{}
+	for i := range p.Series {
+		s := &p.Series[i]
+		bySeries[s.Name] = s
+		prev := 0.0
+		for j, pt := range s.Points {
+			if pt.SimSaturated {
+				break
+			}
+			if pt.Sim < prev-2*pt.SimHW-1 {
+				bad = append(bad, fmt.Sprintf("%s: sim latency not increasing at point %d", s.Name, j))
+			}
+			prev = pt.Sim
+		}
+		for j := 0; j < len(s.Points)/2; j++ {
+			pt := s.Points[j]
+			if pt.ModelSaturated || pt.SimSaturated || pt.Model == 0 || math.IsNaN(pt.Model) {
+				continue // simulation-only series carry no model prediction
+			}
+			if rel := math.Abs(pt.Model-pt.Sim) / pt.Sim; rel > tol {
+				bad = append(bad, fmt.Sprintf(
+					"%s: model off by %.0f%% at rate %.4f", s.Name, rel*100, pt.Rate))
+			}
+		}
+		for j, pt := range s.Points {
+			if pt.SimSaturated && !pt.ModelSaturated && j+1 < len(s.Points) &&
+				s.Points[j+1].SimSaturated && !s.Points[j+1].ModelSaturated {
+				bad = append(bad, fmt.Sprintf(
+					"%s: model stable two points past sim saturation (rate %.4f)", s.Name, pt.Rate))
+				break
+			}
+		}
+	}
+	if a, b := bySeries["M=32"], bySeries["M=64"]; a != nil && b != nil {
+		for j := range a.Points {
+			if j < len(b.Points) && !a.Points[j].SimSaturated && !b.Points[j].SimSaturated &&
+				b.Points[j].Sim <= a.Points[j].Sim {
+				bad = append(bad, fmt.Sprintf("M=64 not above M=32 at rate %.4f", a.Points[j].Rate))
+			}
+		}
+	}
+	return bad
+}
+
+// RenderVariance writes the A4 ablation rows.
+func RenderVariance(w io.Writer, rows []VarianceRow) {
+	fmt.Fprintf(w, "%-10s %-14s %-16s %s\n",
+		"rate", "paper", "exponential", "deterministic")
+	for _, r := range rows {
+		cols := make([]string, 3)
+		for i, l := range r.Latency {
+			if math.IsNaN(l) {
+				cols[i] = "saturated"
+			} else {
+				cols[i] = fmt.Sprintf("%.2f", l)
+			}
+		}
+		fmt.Fprintf(w, "%-10.5f %-14s %-16s %s\n", r.Rate, cols[0], cols[1], cols[2])
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"math"
+	"sync"
+
+	"starperf/internal/desim"
+	"starperf/internal/model"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+)
+
+// SwitchingComparison (X7) contrasts wormhole switching with virtual
+// cut-through at equal V and M on S5, by both simulator and model:
+// wormhole's chains of stalled channels saturate well before VCT's
+// whole-message buffers, which push the knee towards the physical
+// channel-capacity ceiling.
+func SwitchingComparison(v, msgLen, points int, opts SimOptions) (*Panel, error) {
+	if points <= 0 {
+		points = 8
+	}
+	opts = opts.withDefaults()
+	g, err := stargraph.New(5)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := routing.New(routing.EnhancedNbc, g, v)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := model.NewStarPaths(5)
+	if err != nil {
+		return nil, err
+	}
+	// sweep to 90% of the physical ceiling so VCT's knee is visible
+	maxRate := 0.9 * float64(g.Degree()) / (g.AvgDistance() * float64(msgLen))
+
+	p := &Panel{
+		Title:  "X7: wormhole vs virtual cut-through (S5, Enhanced-Nbc)",
+		XLabel: "traffic generation rate (messages/node/cycle)",
+	}
+	for _, mode := range []model.SwitchingMode{model.Wormhole, model.CutThrough} {
+		s := Series{Name: mode.String(), V: v, MsgLen: msgLen, Kind: routing.EnhancedNbc}
+		for _, r := range ratesUpTo(maxRate, points) {
+			s.Points = append(s.Points, Point{Rate: r})
+		}
+		// simulation side, parallel over points
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, opts.Workers)
+		errs := make([]error, len(s.Points))
+		for i := range s.Points {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				cfg := desim.Config{
+					Top: g, Spec: spec, Rate: s.Points[i].Rate, MsgLen: msgLen,
+					CutThrough:   mode == model.CutThrough,
+					Seed:         opts.Seeds[0]*31 + uint64(i),
+					WarmupCycles: opts.Warmup, MeasureCycles: opts.Measure,
+					DrainCycles: opts.Drain,
+				}
+				res, err := desim.Run(cfg)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				s.Points[i].Sim = res.Latency.Mean()
+				s.Points[i].SimSaturated = res.Saturated()
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		// model side
+		for i := range s.Points {
+			r, err := model.Evaluate(model.Config{
+				Paths: sp, Top: g, Kind: routing.EnhancedNbc,
+				V: v, MsgLen: msgLen, Rate: s.Points[i].Rate, Switching: mode,
+			})
+			if err != nil {
+				s.Points[i].Model = math.NaN()
+				s.Points[i].ModelSaturated = true
+			} else {
+				s.Points[i].Model = r.Latency
+			}
+		}
+		p.Series = append(p.Series, s)
+	}
+	return p, nil
+}

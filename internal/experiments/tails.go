@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"starperf/internal/desim"
+	"starperf/internal/routing"
+	"starperf/internal/topology"
+)
+
+// TailRow is one operating point of a latency-percentile sweep.
+type TailRow struct {
+	Rate           float64
+	Mean           float64
+	P50, P95, P99  int
+	Max            float64
+	Saturated      bool
+	SamplesDropped uint64
+}
+
+// TailLatency sweeps offered load and reports latency percentiles —
+// the tail behaviour the paper's mean-latency model deliberately does
+// not capture. Wormhole blocking produces heavy tails well before the
+// mean shows distress: P99/P50 grows monotonically with load.
+func TailLatency(top topology.Topology, kind routing.Kind, v, msgLen, points int,
+	maxRate float64, opts SimOptions) ([]TailRow, error) {
+	opts = opts.withDefaults()
+	spec, err := routing.New(kind, top, v)
+	if err != nil {
+		return nil, err
+	}
+	rates := ratesUpTo(maxRate, points)
+	rows := make([]TailRow, len(rates))
+	errs := make([]error, len(rates))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for i, rate := range rates {
+		wg.Add(1)
+		go func(i int, rate float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := desim.Run(desim.Config{
+				Top: top, Spec: spec, Policy: opts.Policy,
+				Rate: rate, MsgLen: msgLen, BufCap: opts.BufCap,
+				Seed:         opts.Seeds[0]*104729 + uint64(i),
+				WarmupCycles: opts.Warmup, MeasureCycles: opts.Measure,
+				DrainCycles: opts.Drain,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows[i] = TailRow{
+				Rate:           rate,
+				Mean:           res.Latency.Mean(),
+				P50:            res.LatencyHist.Quantile(0.50),
+				P95:            res.LatencyHist.Quantile(0.95),
+				P99:            res.LatencyHist.Quantile(0.99),
+				Max:            res.Latency.Max(),
+				Saturated:      res.Saturated(),
+				SamplesDropped: res.LatencyHist.Clamped,
+			}
+		}(i, rate)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// RenderTails writes the percentile sweep as a table.
+func RenderTails(w io.Writer, rows []TailRow) {
+	fmt.Fprintf(w, "%-10s %-10s %-8s %-8s %-8s %-10s %s\n",
+		"rate", "mean", "p50", "p95", "p99", "max", "notes")
+	for _, r := range rows {
+		notes := ""
+		if r.Saturated {
+			notes = "saturated"
+		}
+		if r.SamplesDropped > 0 {
+			notes += fmt.Sprintf(" (%d clamped)", r.SamplesDropped)
+		}
+		fmt.Fprintf(w, "%-10.5f %-10.2f %-8d %-8d %-8d %-10.0f %s\n",
+			r.Rate, r.Mean, r.P50, r.P95, r.P99, r.Max, notes)
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"sync"
+
+	"starperf/internal/desim"
+	"starperf/internal/routing"
+	"starperf/internal/topology"
+)
+
+// ThroughputRow is one operating point of an accepted-vs-offered
+// traffic curve.
+type ThroughputRow struct {
+	// Offered is λg, the per-node generation rate; Accepted the
+	// per-node delivery rate measured over the window. Both in
+	// messages/node/cycle.
+	Offered, Accepted float64
+	// Latency is the mean latency of the messages that were
+	// delivered; Saturated whether the run failed to drain.
+	Latency   float64
+	Saturated bool
+}
+
+// ThroughputCurve sweeps offered load past saturation and records
+// accepted throughput — the standard companion plot to latency curves
+// (the plateau height is the network's saturation throughput). Points
+// run in parallel.
+func ThroughputCurve(top topology.Topology, kind routing.Kind, v, msgLen, points int,
+	maxRate float64, opts SimOptions) ([]ThroughputRow, error) {
+	opts = opts.withDefaults()
+	spec, err := routing.New(kind, top, v)
+	if err != nil {
+		return nil, err
+	}
+	rates := ratesUpTo(maxRate, points)
+	rows := make([]ThroughputRow, len(rates))
+	errs := make([]error, len(rates))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for i, rate := range rates {
+		wg.Add(1)
+		go func(i int, rate float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := desim.Run(desim.Config{
+				Top: top, Spec: spec, Policy: opts.Policy,
+				Rate: rate, MsgLen: msgLen, BufCap: opts.BufCap,
+				Seed:         opts.Seeds[0]*7919 + uint64(i),
+				WarmupCycles: opts.Warmup, MeasureCycles: opts.Measure,
+				DrainCycles: opts.Drain,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows[i] = ThroughputRow{
+				Offered: rate,
+				Accepted: float64(res.DeliveredInWindow) /
+					float64(opts.Measure) / float64(top.N()),
+				Latency:   res.Latency.Mean(),
+				Saturated: res.Saturated(),
+			}
+		}(i, rate)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// SaturationThroughput returns the peak accepted rate of a curve.
+func SaturationThroughput(rows []ThroughputRow) float64 {
+	peak := 0.0
+	for _, r := range rows {
+		if r.Accepted > peak {
+			peak = r.Accepted
+		}
+	}
+	return peak
+}

@@ -1,0 +1,100 @@
+package hypercube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"starperf/internal/topology"
+)
+
+func TestBasicProperties(t *testing.T) {
+	g := MustNew(4)
+	if g.N() != 16 || g.Degree() != 4 || g.Diameter() != 4 {
+		t.Fatalf("Q4: N=%d Degree=%d Diameter=%d", g.N(), g.Degree(), g.Diameter())
+	}
+	if g.Name() != "Q4" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+}
+
+func TestNeighborInvolution(t *testing.T) {
+	g := MustNew(5)
+	for v := 0; v < g.N(); v++ {
+		for d := 0; d < g.Degree(); d++ {
+			w := g.Neighbor(v, d)
+			if w == v || g.Neighbor(w, d) != v || g.Distance(v, w) != 1 {
+				t.Fatalf("bad edge %d --%d--> %d", v, d, w)
+			}
+			if g.Color(v) == g.Color(w) {
+				t.Fatalf("edge inside colour class: %d-%d", v, w)
+			}
+		}
+	}
+}
+
+func TestProfitableDims(t *testing.T) {
+	g := MustNew(6)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := rng.Intn(g.N()), rng.Intn(g.N())
+		dims := g.ProfitableDims(a, b, nil)
+		if len(dims) != g.Distance(a, b) {
+			return false
+		}
+		for _, d := range dims {
+			if g.Distance(g.Neighbor(a, d), b) != g.Distance(a, b)-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvgDistance(t *testing.T) {
+	g := MustNew(7)
+	var sum float64
+	for v := 1; v < g.N(); v++ {
+		sum += float64(g.Distance(0, v))
+	}
+	brute := sum / float64(g.N()-1)
+	if got := g.AvgDistance(); got < brute-1e-12 || got > brute+1e-12 {
+		t.Fatalf("AvgDistance %v, brute %v", got, brute)
+	}
+}
+
+func TestNewRejectsBadM(t *testing.T) {
+	for _, m := range []int{0, -1, 31} {
+		if _, err := New(m); err == nil {
+			t.Errorf("New(%d) succeeded", m)
+		}
+	}
+}
+
+func TestTopologyCompliance(t *testing.T) {
+	var _ topology.Topology = MustNew(3)
+}
+
+func TestRequiredNegativeHopsWalk(t *testing.T) {
+	g := MustNew(6)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		src, dst := rng.Intn(g.N()), rng.Intn(g.N())
+		want := topology.RequiredNegativeHops(g.Color(src), g.Distance(src, dst))
+		cur, neg := src, 0
+		for cur != dst {
+			dims := g.ProfitableDims(cur, dst, nil)
+			next := g.Neighbor(cur, dims[rng.Intn(len(dims))])
+			if g.Color(cur) == 1 && g.Color(next) == 0 {
+				neg++
+			}
+			cur = next
+		}
+		if neg != want {
+			t.Fatalf("src %d dst %d: %d negative hops, predicted %d", src, dst, neg, want)
+		}
+	}
+}

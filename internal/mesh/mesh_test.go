@@ -1,0 +1,164 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"starperf/internal/topology"
+)
+
+func bfs(g *Graph, src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	q := []int{src}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for d := 0; d < g.Degree(); d++ {
+			w := g.Neighbor(v, d)
+			if w >= 0 && dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				q = append(q, w)
+			}
+		}
+	}
+	return dist
+}
+
+func TestDistanceMatchesBFS(t *testing.T) {
+	for _, kn := range [][2]int{{3, 2}, {4, 2}, {5, 2}, {3, 3}} {
+		g := MustNew(kn[0], kn[1])
+		for _, src := range []int{0, g.N() / 2, g.N() - 1} {
+			dist := bfs(g, src)
+			for v := 0; v < g.N(); v++ {
+				if dist[v] != g.Distance(src, v) {
+					t.Fatalf("%s distance(%d,%d): %d vs BFS %d",
+						g.Name(), src, v, g.Distance(src, v), dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestBorderChannels(t *testing.T) {
+	g := MustNew(4, 2)
+	// node 0 (corner): only +x and +y exist
+	if !g.HasChannel(0, 0) || !g.HasChannel(0, 1) {
+		t.Fatal("corner missing positive channels")
+	}
+	if g.HasChannel(0, 2) || g.HasChannel(0, 3) {
+		t.Fatal("corner has negative channels")
+	}
+	if g.Neighbor(0, 2) != -1 {
+		t.Fatal("missing channel did not return -1")
+	}
+	// interior node 5 = (1,1): all four
+	for d := 0; d < 4; d++ {
+		if !g.HasChannel(5, d) || g.Neighbor(5, d) < 0 {
+			t.Fatalf("interior node missing channel %d", d)
+		}
+	}
+}
+
+func TestProfitableExactAndInsideMesh(t *testing.T) {
+	g := MustNew(5, 2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cur, dst := rng.Intn(g.N()), rng.Intn(g.N())
+		dims := g.ProfitableDims(cur, dst, nil)
+		if cur == dst {
+			return len(dims) == 0
+		}
+		d := g.Distance(cur, dst)
+		for _, dim := range dims {
+			next := g.Neighbor(cur, dim)
+			if next < 0 {
+				return false // profitable move off the mesh edge
+			}
+			if g.Distance(next, dst) != d-1 {
+				return false
+			}
+		}
+		// mesh adaptivity: exactly one profitable channel per
+		// unfinished dimension
+		want := 0
+		for i := 0; i < g.Dims(); i++ {
+			if (cur/pow(g.Radix(), i))%g.Radix() != (dst/pow(g.Radix(), i))%g.Radix() {
+				want++
+			}
+		}
+		return len(dims) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+func TestBipartite(t *testing.T) {
+	g := MustNew(5, 2) // odd radix is fine for meshes
+	for v := 0; v < g.N(); v++ {
+		for d := 0; d < g.Degree(); d++ {
+			if w := g.Neighbor(v, d); w >= 0 && g.Color(v) == g.Color(w) {
+				t.Fatalf("edge inside colour class: %d-%d", v, w)
+			}
+		}
+	}
+}
+
+func TestDiameterAndAvg(t *testing.T) {
+	g := MustNew(4, 2)
+	if g.Diameter() != 6 {
+		t.Fatalf("diameter %d", g.Diameter())
+	}
+	var sum float64
+	max := 0
+	for a := 0; a < g.N(); a++ {
+		for b := 0; b < g.N(); b++ {
+			if a == b {
+				continue
+			}
+			d := g.Distance(a, b)
+			sum += d2f(d)
+			if d > max {
+				max = d
+			}
+		}
+	}
+	if max != 6 {
+		t.Fatalf("observed diameter %d", max)
+	}
+	brute := sum / float64(g.N()*(g.N()-1))
+	if got := g.AvgDistance(); got < brute-1e-12 || got > brute+1e-12 {
+		t.Fatalf("avg distance %v, brute %v", got, brute)
+	}
+}
+
+func d2f(d int) float64 { return float64(d) }
+
+func TestRejectsBadParams(t *testing.T) {
+	for _, kn := range [][2]int{{1, 2}, {0, 1}, {4, 0}, {2, 30}} {
+		if _, err := New(kn[0], kn[1]); err == nil {
+			t.Errorf("New(%d,%d) accepted", kn[0], kn[1])
+		}
+	}
+}
+
+func TestTopologyCompliance(t *testing.T) {
+	var g topology.Topology = MustNew(3, 2)
+	var _ topology.Partial = MustNew(3, 2)
+	if topology.HasChannel(g, 0, 2) {
+		t.Fatal("HasChannel helper ignored Partial")
+	}
+}

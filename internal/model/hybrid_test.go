@@ -1,0 +1,160 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"starperf/internal/desim"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+)
+
+func TestSingleOutputBaseline(t *testing.T) {
+	adaptive, err := EvaluateStar(5, 6, 32, 0.01, routing.EnhancedNbc, Window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := mustStarPaths(t, 5)
+	det, err := Evaluate(Config{
+		Paths: sp, Top: stargraph.MustNew(5), Kind: routing.EnhancedNbc,
+		V: 6, MsgLen: 32, Rate: 0.01, SingleOutput: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.MeanBlocking <= adaptive.MeanBlocking {
+		t.Fatalf("deterministic blocking %v not above adaptive %v",
+			det.MeanBlocking, adaptive.MeanBlocking)
+	}
+	if det.Latency <= adaptive.Latency {
+		t.Fatalf("deterministic latency %v not above adaptive %v",
+			det.Latency, adaptive.Latency)
+	}
+}
+
+func TestFixedOccupancyValidation(t *testing.T) {
+	sp := mustStarPaths(t, 5)
+	g := stargraph.MustNew(5)
+	base := Config{Paths: sp, Top: g, Kind: routing.EnhancedNbc, V: 6, MsgLen: 32, Rate: 0.005}
+	bad := base
+	bad.FixedOccupancy = []float64{0.5, 0.5} // wrong length
+	if _, err := Evaluate(bad); err == nil {
+		t.Fatal("wrong-length occupancy accepted")
+	}
+	bad = base
+	bad.FixedOccupancy = []float64{0.9, 0.2, 0, 0, 0, 0, 0} // sums to 1.1
+	if _, err := Evaluate(bad); err == nil {
+		t.Fatal("non-normalised occupancy accepted")
+	}
+	bad = base
+	bad.FixedOccupancy = []float64{1.2, -0.2, 0, 0, 0, 0, 0}
+	if _, err := Evaluate(bad); err == nil {
+		t.Fatal("negative occupancy accepted")
+	}
+}
+
+// TestHybridOccupancy feeds the simulator's measured VC-occupancy
+// distribution into the model and checks that the hybrid prediction
+// is a valid operating point; this is the error-decomposition
+// diagnostic described in the Config docs.
+func TestHybridOccupancy(t *testing.T) {
+	const rate = 0.01
+	g := stargraph.MustNew(5)
+	res, err := desim.Run(desim.Config{
+		Top: g, Spec: routing.MustNew(routing.EnhancedNbc, g, 6),
+		Rate: rate, MsgLen: 32, Seed: 21,
+		WarmupCycles: 8000, MeasureCycles: 30000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	occ := make([]float64, len(res.VCBusyHist))
+	for i, c := range res.VCBusyHist {
+		occ[i] = float64(c)
+		total += float64(c)
+	}
+	for i := range occ {
+		occ[i] /= total
+	}
+	sp := mustStarPaths(t, 5)
+	pure, err := Evaluate(Config{
+		Paths: sp, Top: g, Kind: routing.EnhancedNbc, V: 6, MsgLen: 32, Rate: rate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := Evaluate(Config{
+		Paths: sp, Top: g, Kind: routing.EnhancedNbc, V: 6, MsgLen: 32, Rate: rate,
+		FixedOccupancy: occ,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simLat := res.Latency.Mean()
+	for _, r := range []*Result{pure, hybrid} {
+		if r.Latency < 33 || r.Latency > 3*simLat {
+			t.Fatalf("implausible latency %v (sim %v)", r.Latency, simLat)
+		}
+	}
+	// the hybrid multiplexing factor must equal the measured one
+	if math.Abs(hybrid.Multiplexing-res.Multiplexing) > 1e-9 {
+		t.Fatalf("hybrid multiplexing %v, measured %v", hybrid.Multiplexing, res.Multiplexing)
+	}
+}
+
+func TestMsgLenVarRaisesWaits(t *testing.T) {
+	sp := mustStarPaths(t, 5)
+	g := stargraph.MustNew(5)
+	base := Config{Paths: sp, Top: g, Kind: routing.EnhancedNbc, V: 6, MsgLen: 32, Rate: 0.012}
+	r0, err := Evaluate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied := base
+	varied.MsgLenVar = 1728 // the 8/104 @ 25% bimodal mix
+	r1, err := Evaluate(varied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ChannelWait <= r0.ChannelWait || r1.Latency <= r0.Latency {
+		t.Fatalf("length variance did not raise waits: w %v vs %v, latency %v vs %v",
+			r1.ChannelWait, r0.ChannelWait, r1.Latency, r0.Latency)
+	}
+	bad := base
+	bad.MsgLenVar = -1
+	if _, err := Evaluate(bad); err == nil {
+		t.Fatal("negative variance accepted")
+	}
+}
+
+func TestCutThroughModel(t *testing.T) {
+	sp := mustStarPaths(t, 5)
+	g := stargraph.MustNew(5)
+	base := Config{Paths: sp, Top: g, Kind: routing.EnhancedNbc, V: 6, MsgLen: 32}
+	// at a rate where the wormhole model has saturated, the VCT model
+	// must still converge (channels are held for only M cycles)
+	whSat := SaturationRate(base, 1e-4, 0.1)
+	vct := base
+	vct.Switching = CutThrough
+	vct.Rate = whSat * 1.3
+	r, err := Evaluate(vct)
+	if err != nil {
+		t.Fatalf("VCT model saturated at 1.3x wormhole saturation: %v", err)
+	}
+	if r.Latency <= 32+g.AvgDistance() {
+		t.Fatalf("VCT latency %v below zero load", r.Latency)
+	}
+	vctSat := SaturationRate(vct, 1e-4, 0.2)
+	if vctSat <= whSat*1.2 {
+		t.Fatalf("VCT saturation %v not well above wormhole's %v", vctSat, whSat)
+	}
+	// and below the physical ceiling
+	if vctSat >= 4/(g.AvgDistance()*32) {
+		t.Fatalf("VCT saturation %v above channel capacity", vctSat)
+	}
+	if Wormhole.String() != "wormhole" || CutThrough.String() != "cut-through" ||
+		SwitchingMode(7).String() != "unknown" {
+		t.Fatal("SwitchingMode strings broken")
+	}
+}

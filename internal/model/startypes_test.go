@@ -1,0 +1,123 @@
+package model
+
+import (
+	"testing"
+
+	"starperf/internal/perm"
+	"starperf/internal/stargraph"
+)
+
+// TestEnumerateTypesMatchesBruteForce compares the combinatorial type
+// table against direct enumeration of all n! permutations.
+func TestEnumerateTypesMatchesBruteForce(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		want := map[string]uint64{}
+		perm.ForEach(n, func(p perm.Permutation) bool {
+			want[typeOf(p).key()]++
+			return true
+		})
+		got := map[string]uint64{}
+		for _, c := range enumerateTypes(n) {
+			if _, dup := got[c.t.key()]; dup {
+				t.Fatalf("n=%d duplicate type %s", n, c.t.key())
+			}
+			got[c.t.key()] = c.count
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d types, want %d", n, len(got), len(want))
+		}
+		for k, w := range want {
+			if got[k] != w {
+				t.Fatalf("n=%d type %s count %d, want %d", n, k, got[k], w)
+			}
+		}
+	}
+}
+
+func TestCheckTypeTable(t *testing.T) {
+	for n := 2; n <= 10; n++ {
+		if err := checkTypeTable(n, enumerateTypes(n)); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestTypeDistAndFanout(t *testing.T) {
+	// spot values
+	id := ctype{}
+	if id.dist() != 0 || !id.isTerminal() {
+		t.Fatal("identity type broken")
+	}
+	swap := ctype{first: 2} // q = (1 x)
+	if swap.dist() != 1 || swap.fanout() != 1 {
+		t.Fatalf("transposition through 1: d=%d f=%d", swap.dist(), swap.fanout())
+	}
+	pair := ctype{first: 0, others: []int{2}} // 1 fixed, one 2-cycle
+	if pair.dist() != 3 || pair.fanout() != 2 {
+		t.Fatalf("remote transposition: d=%d f=%d", pair.dist(), pair.fanout())
+	}
+}
+
+// TestTransitionsMatchGraph exhaustively verifies the type-transition
+// rules against the concrete star graph: for every node, the
+// multiset of profitable-successor types must equal transitions().
+func TestTransitionsMatchGraph(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		g := stargraph.MustNew(n)
+		for v := 1; v < g.N(); v++ {
+			typ := typeOf(g.Perm(v))
+			want := map[string]int{}
+			for _, dim := range g.ProfitableDims(v, 0, nil) {
+				next := g.Neighbor(v, dim)
+				want[typeOf(g.Perm(next)).key()]++
+			}
+			trs := typ.transitions()
+			if len(trs) != len(want) {
+				t.Fatalf("n=%d %v: %d transition classes, want %d",
+					n, g.Perm(v), len(trs), len(want))
+			}
+			fsum := 0
+			for _, tr := range trs {
+				if want[tr.to.key()] != tr.mult {
+					t.Fatalf("n=%d %v -> %s: mult %d, want %d",
+						n, g.Perm(v), tr.to.key(), tr.mult, want[tr.to.key()])
+				}
+				if tr.to.dist() != typ.dist()-1 {
+					t.Fatalf("transition does not reduce distance by 1")
+				}
+				fsum += tr.mult
+			}
+			if fsum != typ.fanout() {
+				t.Fatalf("n=%d %v: mult sum %d != fanout %d", n, g.Perm(v), fsum, typ.fanout())
+			}
+		}
+	}
+}
+
+func TestMultisetHelpers(t *testing.T) {
+	o := []int{4, 3, 3, 2}
+	got := withoutOne(o, 3)
+	if len(got) != 3 || got[0] != 4 || got[1] != 3 || got[2] != 2 {
+		t.Fatalf("withoutOne: %v", got)
+	}
+	got = withAdded(got, 5)
+	if got[0] != 5 || len(got) != 4 {
+		t.Fatalf("withAdded: %v", got)
+	}
+	got = withAdded([]int{4, 2}, 3)
+	if got[0] != 4 || got[1] != 3 || got[2] != 2 {
+		t.Fatalf("withAdded middle: %v", got)
+	}
+}
+
+func TestTypeKeyStable(t *testing.T) {
+	a := ctype{first: 3, others: []int{4, 2}}
+	b := ctype{first: 3, others: []int{4, 2}}
+	if a.key() != b.key() {
+		t.Fatal("equal types different keys")
+	}
+	c := ctype{first: 0, others: []int{3, 4, 2}}
+	if a.key() == c.key() {
+		t.Fatal("distinct types same key")
+	}
+}

@@ -1,0 +1,225 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TorusPaths is the k-ary n-cube PathStructure. A destination is
+// characterised by the sorted vector of per-dimension minimal ring
+// offsets m_i ∈ [0, k/2]; the adaptivity degree at a node is the
+// number of unfinished dimensions, counting twice any dimension whose
+// remaining offset is exactly k/2 (both ring directions are then
+// minimal). Minimal hops decrement one offset, which induces a small
+// transition system over sorted offset vectors — the same dynamic
+// program shape as the star graph's cycle types.
+type TorusPaths struct {
+	k, n      int
+	classes   []PathClass
+	vecs      [][]int
+	pathCount map[string]float64
+}
+
+// NewTorusPaths builds the path structure of the k-ary n-cube
+// (k even, as required by the negative-hop schemes).
+func NewTorusPaths(k, n int) (*TorusPaths, error) {
+	if k < 2 || k%2 != 0 || n < 1 {
+		return nil, fmt.Errorf("model: torus paths need even k ≥ 2 and n ≥ 1 (got k=%d n=%d)", k, n)
+	}
+	if n > 8 || k > 64 {
+		return nil, fmt.Errorf("model: torus k=%d n=%d too large", k, n)
+	}
+	tp := &TorusPaths{k: k, n: n, pathCount: make(map[string]float64)}
+	// enumerate non-increasing offset vectors of length n over [0,k/2]
+	half := k / 2
+	vec := make([]int, n)
+	var rec func(i, maxV int)
+	rec = func(i, maxV int) {
+		if i == n {
+			allZero := true
+			for _, m := range vec {
+				if m != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				return
+			}
+			v := append([]int(nil), vec...)
+			tp.vecs = append(tp.vecs, v)
+			tp.classes = append(tp.classes, PathClass{
+				H:     sum(v),
+				Count: tp.countOf(v),
+				Label: vecKey(v),
+			})
+			return
+		}
+		for m := 0; m <= maxV; m++ {
+			vec[i] = m
+			rec(i+1, m)
+		}
+		vec[i] = 0
+	}
+	rec(0, half)
+	sort.Slice(tp.classes, func(i, j int) bool {
+		if tp.classes[i].H != tp.classes[j].H {
+			return tp.classes[i].H < tp.classes[j].H
+		}
+		return tp.classes[i].Label < tp.classes[j].Label
+	})
+	// keep vecs aligned with the sorted classes
+	sort.Slice(tp.vecs, func(i, j int) bool {
+		if sum(tp.vecs[i]) != sum(tp.vecs[j]) {
+			return sum(tp.vecs[i]) < sum(tp.vecs[j])
+		}
+		return vecKey(tp.vecs[i]) < vecKey(tp.vecs[j])
+	})
+	return tp, nil
+}
+
+func sum(v []int) int {
+	s := 0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func vecKey(v []int) string {
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(':')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	return b.String()
+}
+
+// countOf returns the number of destinations with this sorted offset
+// vector: the number of ways to assign the offsets to dimensions
+// (multinomial over repeated values) times, per dimension, the number
+// of ring digits realising that minimal offset (one for 0 and k/2,
+// two otherwise).
+func (tp *TorusPaths) countOf(v []int) uint64 {
+	half := tp.k / 2
+	assign := factF(tp.n)
+	mult := map[int]int{}
+	digits := 1.0
+	for _, m := range v {
+		mult[m]++
+		if m != 0 && m != half {
+			digits *= 2
+		}
+	}
+	for _, c := range mult {
+		assign /= factF(c)
+	}
+	return uint64(assign*digits + 0.5)
+}
+
+// Classes implements PathStructure.
+func (tp *TorusPaths) Classes() []PathClass { return tp.classes }
+
+// fanout returns the adaptivity degree of a state: one profitable
+// channel per unfinished dimension, two when the remaining offset is
+// the half-ring tie.
+func (tp *TorusPaths) fanout(v []int) int {
+	half := tp.k / 2
+	f := 0
+	for _, m := range v {
+		switch {
+		case m == 0:
+		case m == half:
+			f += 2
+		default:
+			f++
+		}
+	}
+	return f
+}
+
+// paths counts minimal paths from a state, memoised.
+func (tp *TorusPaths) paths(v []int) float64 {
+	if sum(v) == 0 {
+		return 1
+	}
+	key := vecKey(v)
+	if c, ok := tp.pathCount[key]; ok {
+		return c
+	}
+	var total float64
+	tp.eachTransition(v, func(mult int, child []int) {
+		total += float64(mult) * tp.paths(child)
+	})
+	tp.pathCount[key] = total
+	return total
+}
+
+// eachTransition visits the distinct decrement moves out of state v:
+// for each distinct non-zero offset value, decrementing one dimension
+// holding it. mult counts the generator channels realising the move
+// (dimensions holding the value, doubled at the half-ring tie).
+func (tp *TorusPaths) eachTransition(v []int, fn func(mult int, child []int)) {
+	half := tp.k / 2
+	seen := map[int]int{}
+	for _, m := range v {
+		if m > 0 {
+			seen[m]++
+		}
+	}
+	for m, c := range seen {
+		ways := c
+		if m == half {
+			ways = 2 * c
+		}
+		child := append([]int(nil), v...)
+		for i, x := range child {
+			if x == m {
+				child[i] = m - 1
+				break
+			}
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(child)))
+		fn(ways, child)
+	}
+}
+
+// BlockSum implements PathStructure by the same uniform-over-paths
+// dynamic program as StarPaths.
+func (tp *TorusPaths) BlockSum(idx, c0 int, eval HopEvaluator) float64 {
+	start := tp.vecs[idx]
+	h0 := sum(start)
+	memo := make(map[string]float64)
+	var rec func(v []int) float64
+	rec = func(v []int) float64 {
+		d := sum(v)
+		if d == 0 {
+			return 0
+		}
+		key := vecKey(v)
+		if r, ok := memo[key]; ok {
+			return r
+		}
+		k := h0 - d + 1
+		s := eval(Hop{
+			F:        tp.fanout(v),
+			D:        d,
+			NegTaken: negsAfter(c0, k-1),
+			HopNeg:   hopNegAt(c0, k),
+		})
+		total := tp.paths(v)
+		tp.eachTransition(v, func(mult int, child []int) {
+			s += float64(mult) * tp.paths(child) / total * rec(child)
+		})
+		memo[key] = s
+		return s
+	}
+	return rec(start)
+}
+
+// NumPaths exposes the minimal-path count of a class.
+func (tp *TorusPaths) NumPaths(idx int) float64 { return tp.paths(tp.vecs[idx]) }

@@ -1,0 +1,45 @@
+package perm
+
+import "testing"
+
+// FuzzParse checks that Parse never panics and that accepted inputs
+// round-trip through String.
+func FuzzParse(f *testing.F) {
+	f.Add("12345")
+	f.Add("1")
+	f.Add("21")
+	f.Add("")
+	f.Add("99")
+	f.Add("ε")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		q, err := Parse(p.String())
+		if err != nil || !q.Equal(p) {
+			t.Fatalf("round trip failed for %q -> %v", s, p)
+		}
+	})
+}
+
+// FuzzRankUnrank checks the rank/unrank bijection for arbitrary
+// inputs.
+func FuzzRankUnrank(f *testing.F) {
+	f.Add(uint8(5), uint64(100))
+	f.Add(uint8(1), uint64(0))
+	f.Add(uint8(12), uint64(479001599))
+	f.Fuzz(func(t *testing.T, n uint8, r uint64) {
+		nn := int(n % 13)
+		p, err := Unrank(nn, r)
+		if err != nil {
+			if r < Factorial(nn) {
+				t.Fatalf("Unrank(%d,%d) rejected an in-range rank", nn, r)
+			}
+			return
+		}
+		if got := p.Rank(); got != r {
+			t.Fatalf("Rank(Unrank(%d,%d)) = %d", nn, r, got)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+// Package queueing implements the queueing-theoretic building blocks
+// of the paper's analytical model: the M/G/1 mean waiting time with
+// the paper's service-time variance approximation (eqs. 12–16), the
+// truncated birth–death occupancy distribution of a physical
+// channel's virtual channels (eq. 18), and Dally's average
+// virtual-channel multiplexing degree (eq. 19).
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrUnstable is returned (wrapped) when a queue's utilisation
+// reaches or exceeds one, i.e. the network is saturated at the
+// requested operating point.
+type ErrUnstable struct {
+	Rho float64
+}
+
+func (e ErrUnstable) Error() string {
+	return fmt.Sprintf("queueing: utilisation %.4f ≥ 1 (saturated)", e.Rho)
+}
+
+// MG1Wait returns the mean waiting time of an M/G/1 queue with
+// arrival rate lambda, mean service time s and service-time variance
+// variance (Pollaczek–Khinchine):
+//
+//	W = λ S² (1 + σ²/S²) / (2 (1 − λS))
+//
+// It returns ErrUnstable when λS ≥ 1.
+func MG1Wait(lambda, s, variance float64) (float64, error) {
+	if lambda < 0 || s < 0 || variance < 0 {
+		return 0, fmt.Errorf("queueing: negative parameter (λ=%v, S=%v, σ²=%v)", lambda, s, variance)
+	}
+	if lambda == 0 || s == 0 {
+		return 0, nil
+	}
+	rho := lambda * s
+	if rho >= 1 {
+		return math.Inf(1), ErrUnstable{Rho: rho}
+	}
+	cs2 := variance / (s * s)
+	return lambda * s * s * (1 + cs2) / (2 * (1 - rho)), nil
+}
+
+// PaperVariance returns the paper's approximation of the channel
+// service-time variance, σ² = (S − M)², where M is the message
+// length (the minimum possible service time).
+func PaperVariance(s, m float64) float64 {
+	d := s - m
+	return d * d
+}
+
+// ChannelWait is the paper's eq. 15: the mean waiting time at a
+// network channel treated as an M/G/1 queue with arrival rate
+// lambdaC, service time s and variance (S−M)².
+func ChannelWait(lambdaC, s, m float64) (float64, error) {
+	return MG1Wait(lambdaC, s, PaperVariance(s, m))
+}
+
+// SourceWait is the paper's eq. 16: the mean waiting time in the
+// source queue, modelled as an M/G/1 queue with arrival rate λg/V
+// per injection virtual channel and service time s with variance
+// (S−M)².
+func SourceWait(lambdaG float64, v int, s, m float64) (float64, error) {
+	if v <= 0 {
+		return 0, fmt.Errorf("queueing: V=%d", v)
+	}
+	return MG1Wait(lambdaG/float64(v), s, PaperVariance(s, m))
+}
+
+// VCOccupancy returns the steady-state probabilities P[v], v = 0..V,
+// that v of the V virtual channels of a physical channel are busy
+// (the paper's eq. 18): a truncated birth–death chain with arrival
+// rate lambdaC and service rate 1/S, solved with the paper's
+// approximation
+//
+//	P_v = (λc S)^v (1 − λc S)   for v < V,
+//	P_V = (λc S)^V.
+//
+// When λcS ≥ 1 the closed form is invalid; the chain is then solved
+// exactly (normalised geometric), which degrades gracefully towards
+// P_V → 1 in deep saturation.
+func VCOccupancy(lambdaC, s float64, v int) []float64 {
+	if v < 0 {
+		panic(fmt.Sprintf("queueing: VCOccupancy V=%d", v))
+	}
+	p := make([]float64, v+1)
+	rho := lambdaC * s
+	if rho <= 0 {
+		p[0] = 1
+		return p
+	}
+	if rho < 1 {
+		for i := 0; i < v; i++ {
+			p[i] = math.Pow(rho, float64(i)) * (1 - rho)
+		}
+		p[v] = math.Pow(rho, float64(v))
+		return p
+	}
+	// saturated: normalise the geometric weights explicitly
+	var sum float64
+	for i := 0; i <= v; i++ {
+		p[i] = math.Pow(rho, float64(i))
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// Multiplexing returns Dally's average degree of virtual-channel
+// multiplexing (the paper's eq. 19):
+//
+//	V̄ = Σ v² P_v / Σ v P_v,
+//
+// which weights each busy count by how often flits experience it.
+// It returns 1 when no channel is ever busy.
+func Multiplexing(p []float64) float64 {
+	var num, den float64
+	for v, pv := range p {
+		num += float64(v*v) * pv
+		den += float64(v) * pv
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+// AllBusyProb returns the probability that a *specific* set of k of
+// the V virtual channels of a channel is entirely busy, given the
+// busy-count distribution p (len V+1): Σ_v P_v · C(V−k, v−k)/C(V, v),
+// the standard combinatorial step behind the paper's eqs. 9–11.
+// k ≤ 0 returns 1 (an empty requirement is always met); k > V
+// returns 0.
+func AllBusyProb(p []float64, k int) float64 {
+	v := len(p) - 1
+	if k <= 0 {
+		return 1
+	}
+	if k > v {
+		return 0
+	}
+	var sum float64
+	for busy := k; busy <= v; busy++ {
+		sum += p[busy] * hyper(v, k, busy)
+	}
+	return sum
+}
+
+// hyper returns C(V−k, busy−k)/C(V, busy): the probability that busy
+// uniformly-chosen busy VCs include k specific ones.
+func hyper(v, k, busy int) float64 {
+	// Equivalent product form: Π_{i=0..k-1} (busy−i)/(V−i).
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r *= float64(busy-i) / float64(v-i)
+	}
+	return r
+}

@@ -1,0 +1,249 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMG1MM1Consistency(t *testing.T) {
+	// With exponential service (σ² = S²) the P-K formula reduces to
+	// the M/M/1 waiting time ρS/(1−ρ).
+	lambda, s := 0.02, 30.0
+	w, err := MG1Wait(lambda, s, s*s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda * s
+	want := rho * s / (1 - rho)
+	if math.Abs(w-want) > 1e-12 {
+		t.Fatalf("M/M/1 wait %v, want %v", w, want)
+	}
+}
+
+func TestMG1Deterministic(t *testing.T) {
+	// Deterministic service (σ² = 0) gives half the M/M/1 wait.
+	lambda, s := 0.01, 50.0
+	w, err := MG1Wait(lambda, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lambda * s * s / (2 * (1 - lambda*s))
+	if math.Abs(w-want) > 1e-12 {
+		t.Fatalf("M/D/1 wait %v, want %v", w, want)
+	}
+}
+
+func TestMG1Unstable(t *testing.T) {
+	w, err := MG1Wait(0.05, 30, 0)
+	var u ErrUnstable
+	if !errors.As(err, &u) {
+		t.Fatalf("err = %v, want ErrUnstable", err)
+	}
+	if !math.IsInf(w, 1) {
+		t.Fatalf("wait %v, want +Inf", w)
+	}
+	if u.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestMG1Edges(t *testing.T) {
+	if w, err := MG1Wait(0, 10, 5); err != nil || w != 0 {
+		t.Fatal("zero arrivals should wait 0")
+	}
+	if _, err := MG1Wait(-1, 10, 5); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}
+
+func TestMG1Monotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := 1 + rng.Float64()*100
+		l1 := rng.Float64() * 0.9 / s
+		l2 := l1 + rng.Float64()*(0.99/s-l1)
+		w1, err1 := MG1Wait(l1, s, PaperVariance(s, s/2))
+		w2, err2 := MG1Wait(l2, s, PaperVariance(s, s/2))
+		return err1 == nil && err2 == nil && w2 >= w1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelAndSourceWait(t *testing.T) {
+	w1, err := ChannelWait(0.01, 40, 32)
+	if err != nil || w1 <= 0 {
+		t.Fatalf("channel wait %v err %v", w1, err)
+	}
+	// Source queue divides the arrival rate by V, so it waits less.
+	w2, err := SourceWait(0.01, 6, 40, 32)
+	if err != nil || w2 <= 0 || w2 >= w1 {
+		t.Fatalf("source wait %v (channel %v) err %v", w2, w1, err)
+	}
+	if _, err := SourceWait(0.01, 0, 40, 32); err == nil {
+		t.Fatal("V=0 accepted")
+	}
+}
+
+func TestVCOccupancyDistribution(t *testing.T) {
+	p := VCOccupancy(0.01, 40, 6)
+	var sum float64
+	for _, x := range p {
+		if x < 0 {
+			t.Fatalf("negative probability %v", x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	// geometric shape: decreasing when rho < 1
+	for i := 1; i < len(p)-1; i++ {
+		if p[i] > p[i-1] {
+			t.Fatalf("P not decreasing at %d: %v", i, p)
+		}
+	}
+}
+
+func TestVCOccupancyZeroLoad(t *testing.T) {
+	p := VCOccupancy(0, 40, 4)
+	if p[0] != 1 {
+		t.Fatalf("zero load P0 = %v", p[0])
+	}
+	for _, x := range p[1:] {
+		if x != 0 {
+			t.Fatalf("zero load busy prob %v", x)
+		}
+	}
+}
+
+func TestVCOccupancySaturated(t *testing.T) {
+	p := VCOccupancy(0.1, 40, 4) // rho = 4
+	var sum float64
+	for _, x := range p {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("saturated probabilities sum to %v", sum)
+	}
+	if p[4] < 0.7 {
+		t.Fatalf("deep saturation should pile on P_V, got %v", p)
+	}
+}
+
+func TestMultiplexing(t *testing.T) {
+	// all mass on v=0: idle channel multiplexes at degree 1
+	if m := Multiplexing([]float64{1, 0, 0}); m != 1 {
+		t.Fatalf("idle multiplexing %v", m)
+	}
+	// all mass on v=k: multiplexing = k
+	if m := Multiplexing([]float64{0, 0, 0, 1}); math.Abs(m-3) > 1e-12 {
+		t.Fatalf("multiplexing %v, want 3", m)
+	}
+	// mixture is between min and max busy counts
+	m := Multiplexing([]float64{0.2, 0.5, 0.3})
+	if m < 1 || m > 2 {
+		t.Fatalf("multiplexing %v outside [1,2]", m)
+	}
+}
+
+func TestMultiplexingBoundsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := 1 + rng.Intn(12)
+		p := VCOccupancy(rng.Float64()*0.03, 10+rng.Float64()*90, v)
+		m := Multiplexing(p)
+		return m >= 1-1e-12 && m <= float64(v)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllBusyProbBasics(t *testing.T) {
+	p := []float64{0.1, 0.2, 0.3, 0.4} // V = 3
+	if got := AllBusyProb(p, 0); got != 1 {
+		t.Fatalf("k=0 prob %v", got)
+	}
+	if got := AllBusyProb(p, 4); got != 0 {
+		t.Fatalf("k>V prob %v", got)
+	}
+	// k=V: only the all-busy state counts
+	if got := AllBusyProb(p, 3); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("k=V prob %v, want 0.4", got)
+	}
+	// k=1: E[busy]/V by symmetry: Σ P_v · v/V
+	want := (0.2*1 + 0.3*2 + 0.4*3) / 3
+	if got := AllBusyProb(p, 1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("k=1 prob %v, want %v", got, want)
+	}
+}
+
+func TestAllBusyProbMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := 1 + rng.Intn(12)
+		p := VCOccupancy(rng.Float64()*0.02, 20+rng.Float64()*60, v)
+		prev := 1.0
+		for k := 0; k <= v; k++ {
+			cur := AllBusyProb(p, k)
+			if cur > prev+1e-12 || cur < -1e-15 || cur > 1+1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllBusyProbMonteCarlo cross-checks the hypergeometric step by
+// direct sampling: draw busy sets uniformly conditioned on |busy|=v
+// with probability P_v and count how often a fixed set of k channels
+// is fully busy.
+func TestAllBusyProbMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const V, k = 6, 3
+	p := VCOccupancy(0.012, 45, V)
+	want := AllBusyProb(p, k)
+	hits, trials := 0, 200000
+	for i := 0; i < trials; i++ {
+		// sample busy count from p
+		u := rng.Float64()
+		busy := 0
+		for cum := p[0]; u > cum && busy < V; {
+			busy++
+			cum += p[busy]
+		}
+		// choose busy set uniformly: first k indices busy?
+		idx := rng.Perm(V)[:busy]
+		cnt := 0
+		for _, j := range idx {
+			if j < k {
+				cnt++
+			}
+		}
+		if cnt == k {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(trials)
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("Monte Carlo %v vs analytic %v", got, want)
+	}
+}
+
+func TestVCOccupancyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative V did not panic")
+		}
+	}()
+	VCOccupancy(0.1, 1, -1)
+}

@@ -1,0 +1,291 @@
+// Package stats provides the streaming statistics used by the
+// simulator and the experiment harness: Welford mean/variance
+// accumulators, integer histograms, batch-means confidence intervals
+// and simple series summaries. Everything is allocation-light and
+// suitable for per-cycle hot paths.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream is a single-pass mean/variance accumulator (Welford's
+// algorithm). The zero value is ready to use.
+type Stream struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the stream.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Stream) N() uint64 { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Stream) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Stream) Max() float64 { return s.max }
+
+// Merge folds another stream into s (parallel Welford combination).
+func (s *Stream) Merge(o *Stream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.mean += delta * float64(o.n) / float64(n)
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
+// Reset clears the stream.
+func (s *Stream) Reset() { *s = Stream{} }
+
+// String summarises the stream.
+func (s *Stream) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Histogram counts integer-valued observations in [0, len(bins));
+// out-of-range values are clamped into the first/last bin and counted
+// in Clamped.
+type Histogram struct {
+	Bins    []uint64
+	Clamped uint64
+	total   uint64
+	sum     float64
+}
+
+// NewHistogram returns a histogram with n bins.
+func NewHistogram(n int) *Histogram { return &Histogram{Bins: make([]uint64, n)} }
+
+// Add counts one observation.
+func (h *Histogram) Add(v int) {
+	h.total++
+	h.sum += float64(v)
+	if v < 0 {
+		v = 0
+		h.Clamped++
+	} else if v >= len(h.Bins) {
+		v = len(h.Bins) - 1
+		h.Clamped++
+	}
+	h.Bins[v]++
+}
+
+// Total returns the observation count.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Mean returns the mean of the raw (unclamped) observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns the smallest bin index q such that at least
+// p·Total() observations fall in bins 0..q. p must be in (0,1].
+func (h *Histogram) Quantile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p * float64(h.total)))
+	var cum uint64
+	for i, c := range h.Bins {
+		cum += c
+		if cum >= target {
+			return i
+		}
+	}
+	return len(h.Bins) - 1
+}
+
+// BatchMeans estimates a confidence interval for a steady-state mean
+// from a stream of correlated observations by the method of batch
+// means: observations are grouped into fixed-size batches whose means
+// are treated as approximately independent.
+type BatchMeans struct {
+	batchSize uint64
+	cur       Stream
+	batches   Stream
+}
+
+// NewBatchMeans creates an estimator with the given batch size.
+func NewBatchMeans(batchSize uint64) *BatchMeans {
+	if batchSize == 0 {
+		panic("stats: batch size must be positive")
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add folds one observation.
+func (b *BatchMeans) Add(x float64) {
+	b.cur.Add(x)
+	if b.cur.N() == b.batchSize {
+		b.batches.Add(b.cur.Mean())
+		b.cur.Reset()
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() uint64 { return b.batches.N() }
+
+// Mean returns the grand mean over completed batches.
+func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+
+// HalfWidth returns the half-width of the ~95% confidence interval of
+// the mean (normal approximation over batch means; returns +Inf with
+// fewer than 2 batches).
+func (b *BatchMeans) HalfWidth() float64 {
+	n := b.batches.N()
+	if n < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * b.batches.StdDev() / math.Sqrt(float64(n))
+}
+
+// RelHalfWidth returns HalfWidth()/|Mean()| (+Inf when the mean is 0
+// or fewer than 2 batches exist).
+func (b *BatchMeans) RelHalfWidth() float64 {
+	m := b.Mean()
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return b.HalfWidth() / math.Abs(m)
+}
+
+// Series is a finished sample set with order statistics, used by the
+// experiment harness to summarise replications.
+type Series struct {
+	xs []float64
+}
+
+// NewSeries copies xs into a Series.
+func NewSeries(xs []float64) *Series {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return &Series{xs: cp}
+}
+
+// N returns the sample count.
+func (s *Series) N() int { return len(s.xs) }
+
+// Mean returns the sample mean.
+func (s *Series) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Quantile returns the p-quantile by linear interpolation, p ∈ [0,1].
+func (s *Series) Quantile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return s.xs[0]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo < 0 {
+		lo, hi = 0, 0
+	}
+	if hi >= n {
+		lo, hi = n-1, n-1
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// MSER computes the MSER truncation point of a time series: the
+// prefix length d minimising
+//
+//	MSER(d) = Σ_{i≥d} (x_i − x̄_d)² / (n−d)²
+//
+// where x̄_d is the mean of the retained suffix. It is the standard
+// data-driven warm-up detector for steady-state simulations (White,
+// 1997). The search is restricted to d ≤ n/2; ok is false when the
+// minimum sits at the boundary (no steady state detected) or the
+// series is shorter than 8 points.
+func MSER(xs []float64) (d int, ok bool) {
+	n := len(xs)
+	if n < 8 {
+		return 0, false
+	}
+	// suffix sums for O(n) evaluation
+	sum := make([]float64, n+1)
+	sum2 := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		sum[i] = sum[i+1] + xs[i]
+		sum2[i] = sum2[i+1] + xs[i]*xs[i]
+	}
+	best, bestD := math.Inf(1), 0
+	for cut := 0; cut <= n/2; cut++ {
+		m := float64(n - cut)
+		mean := sum[cut] / m
+		sse := sum2[cut] - m*mean*mean
+		if sse < 0 {
+			sse = 0
+		}
+		v := sse / (m * m)
+		if v < best {
+			best, bestD = v, cut
+		}
+	}
+	return bestD, bestD < n/2
+}

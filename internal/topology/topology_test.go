@@ -1,0 +1,108 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRequiredNegativeHopsBasics(t *testing.T) {
+	cases := []struct {
+		color, d, want int
+	}{
+		{0, 0, 0}, {1, 0, 0},
+		{0, 1, 0}, {1, 1, 1},
+		{0, 2, 1}, {1, 2, 1},
+		{0, 5, 2}, {1, 5, 3},
+		{0, 6, 3}, {1, 6, 3},
+	}
+	for _, c := range cases {
+		if got := RequiredNegativeHops(c.color, c.d); got != c.want {
+			t.Errorf("RequiredNegativeHops(%d,%d) = %d, want %d", c.color, c.d, got, c.want)
+		}
+	}
+}
+
+// TestRequiredNegativeHopsRecurrence: taking one hop from a colour-c
+// node reduces the requirement by 1 exactly when the hop is negative
+// (c = 1), and the remaining requirement is evaluated at the opposite
+// colour.
+func TestRequiredNegativeHopsRecurrence(t *testing.T) {
+	f := func(cRaw, dRaw int) bool {
+		c := ((cRaw % 2) + 2) % 2
+		d := ((dRaw % 40) + 40) % 40
+		if d == 0 {
+			return RequiredNegativeHops(c, 0) == 0
+		}
+		r := RequiredNegativeHops(c, d)
+		rNext := RequiredNegativeHops(1-c, d-1)
+		if c == 1 {
+			return r == rNext+1
+		}
+		return r == rNext
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequiredNegativeHopsBounds(t *testing.T) {
+	for c := 0; c <= 1; c++ {
+		for d := 0; d <= 30; d++ {
+			r := RequiredNegativeHops(c, d)
+			if r < 0 || r > (d+1)/2 {
+				t.Fatalf("R(%d,%d) = %d out of bounds", c, d, r)
+			}
+		}
+	}
+}
+
+func TestMaxNegAndEscapeVCs(t *testing.T) {
+	if MaxNegativeHops(6) != 3 || MaxNegativeHops(7) != 4 || MaxNegativeHops(0) != 0 {
+		t.Fatal("MaxNegativeHops broken")
+	}
+	for h := 0; h <= 20; h++ {
+		if MinEscapeVCs(h) != MaxNegativeHops(h)+1 {
+			t.Fatalf("MinEscapeVCs(%d) inconsistent", h)
+		}
+		// every colour/distance combination within the diameter must fit
+		for c := 0; c <= 1; c++ {
+			for d := 0; d <= h; d++ {
+				if RequiredNegativeHops(c, d) > MinEscapeVCs(h)-1 {
+					t.Fatalf("requirement exceeds escape levels at h=%d c=%d d=%d", h, c, d)
+				}
+			}
+		}
+	}
+}
+
+type fullTop struct{}
+
+func (fullTop) Name() string                           { return "full" }
+func (fullTop) N() int                                 { return 2 }
+func (fullTop) Degree() int                            { return 1 }
+func (fullTop) Neighbor(node, dim int) int             { return 1 - node }
+func (fullTop) Distance(a, b int) int                  { return abs(a - b) }
+func (fullTop) ProfitableDims(c, d int, b []int) []int { return b }
+func (fullTop) Color(node int) int                     { return node & 1 }
+func (fullTop) Diameter() int                          { return 1 }
+func (fullTop) AvgDistance() float64                   { return 1 }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+type partialTop struct{ fullTop }
+
+func (partialTop) HasChannel(node, dim int) bool { return node == 0 }
+
+func TestHasChannelHelper(t *testing.T) {
+	if !HasChannel(fullTop{}, 1, 0) {
+		t.Fatal("non-Partial topology must have every channel")
+	}
+	if !HasChannel(partialTop{}, 0, 0) || HasChannel(partialTop{}, 1, 0) {
+		t.Fatal("Partial topology not consulted")
+	}
+}

@@ -1,0 +1,160 @@
+package torus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"starperf/internal/topology"
+)
+
+func bfs(g *Graph, src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	q := []int{src}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for d := 0; d < g.Degree(); d++ {
+			w := g.Neighbor(v, d)
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				q = append(q, w)
+			}
+		}
+	}
+	return dist
+}
+
+func TestDistanceMatchesBFS(t *testing.T) {
+	for _, kn := range [][2]int{{4, 1}, {4, 2}, {6, 2}, {4, 3}, {8, 2}} {
+		g := MustNew(kn[0], kn[1])
+		for _, src := range []int{0, g.N() / 3, g.N() - 1} {
+			dist := bfs(g, src)
+			for v := 0; v < g.N(); v++ {
+				if dist[v] != g.Distance(src, v) {
+					t.Fatalf("%s: distance(%d,%d) = %d, BFS %d",
+						g.Name(), src, v, g.Distance(src, v), dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDiameterAndAvg(t *testing.T) {
+	g := MustNew(6, 2)
+	if g.Diameter() != 6 {
+		t.Fatalf("diameter %d", g.Diameter())
+	}
+	max, sum := 0, 0.0
+	for v := 1; v < g.N(); v++ {
+		d := g.Distance(0, v)
+		if d > max {
+			max = d
+		}
+		sum += float64(d)
+	}
+	if max != g.Diameter() {
+		t.Fatalf("observed diameter %d, want %d", max, g.Diameter())
+	}
+	brute := sum / float64(g.N()-1)
+	if got := g.AvgDistance(); got < brute-1e-12 || got > brute+1e-12 {
+		t.Fatalf("avg distance %v, brute %v", got, brute)
+	}
+}
+
+func TestProfitableExact(t *testing.T) {
+	g := MustNew(6, 2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cur, dst := rng.Intn(g.N()), rng.Intn(g.N())
+		dims := g.ProfitableDims(cur, dst, nil)
+		if cur == dst {
+			return len(dims) == 0
+		}
+		prof := map[int]bool{}
+		for _, d := range dims {
+			prof[d] = true
+		}
+		dd := g.Distance(cur, dst)
+		for d := 0; d < g.Degree(); d++ {
+			nd := g.Distance(g.Neighbor(cur, d), dst)
+			if prof[d] && nd != dd-1 {
+				return false
+			}
+			if !prof[d] && nd != dd+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTieBothDirections(t *testing.T) {
+	g := MustNew(4, 1) // ring of 4: offset 2 is a tie
+	dims := g.ProfitableDims(0, 2, nil)
+	if len(dims) != 2 {
+		t.Fatalf("tie offset should give 2 profitable dims, got %v", dims)
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	g := MustNew(6, 2)
+	for v := 0; v < g.N(); v++ {
+		for d := 0; d < g.Degree(); d++ {
+			if g.Color(v) == g.Color(g.Neighbor(v, d)) {
+				t.Fatalf("edge inside colour class at %d dim %d", v, d)
+			}
+		}
+	}
+}
+
+func TestNeighborInverse(t *testing.T) {
+	g := MustNew(8, 3)
+	for _, v := range []int{0, 17, g.N() - 1} {
+		for i := 0; i < g.Dims(); i++ {
+			if g.Neighbor(g.Neighbor(v, i), i+g.Dims()) != v {
+				t.Fatalf("+ then − does not return to %d in dim %d", v, i)
+			}
+		}
+	}
+}
+
+func TestRejectsBadParams(t *testing.T) {
+	for _, kn := range [][2]int{{3, 2}, {5, 1}, {1, 1}, {0, 2}, {4, 0}, {2, 30}} {
+		if _, err := New(kn[0], kn[1]); err == nil {
+			t.Errorf("New(%d,%d) accepted", kn[0], kn[1])
+		}
+	}
+}
+
+func TestTopologyCompliance(t *testing.T) {
+	var _ topology.Topology = MustNew(4, 2)
+}
+
+func TestRequiredNegativeHopsWalk(t *testing.T) {
+	g := MustNew(4, 2)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 2000; trial++ {
+		src, dst := rng.Intn(g.N()), rng.Intn(g.N())
+		want := topology.RequiredNegativeHops(g.Color(src), g.Distance(src, dst))
+		cur, neg := src, 0
+		for cur != dst {
+			dims := g.ProfitableDims(cur, dst, nil)
+			next := g.Neighbor(cur, dims[rng.Intn(len(dims))])
+			if g.Color(cur) == 1 {
+				neg++
+			}
+			cur = next
+		}
+		if neg != want {
+			t.Fatalf("src %d dst %d: %d negative hops, predicted %d", src, dst, neg, want)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(124)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds nearly identical (%d/100 collisions)", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	s1 := r.Split()
+	s2 := r.Split()
+	if s1.Uint64() == s2.Uint64() {
+		t.Fatal("splits identical")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(2024)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d far from %v", i, c, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestExpIntervalMean(t *testing.T) {
+	r := NewRNG(5)
+	const rate = 0.02
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.ExpInterval(rate)
+		if v <= 0 {
+			t.Fatalf("non-positive interval %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.02*(1/rate) {
+		t.Fatalf("mean interval %v, want ≈%v", mean, 1/rate)
+	}
+	if !math.IsInf(r.ExpInterval(0), 1) {
+		t.Fatal("zero rate should give +Inf")
+	}
+}
+
+func TestPoissonMonotone(t *testing.T) {
+	p := NewPoisson(NewRNG(3), 0.01)
+	prev := 0.0
+	for i := 0; i < 1000; i++ {
+		if got := p.NextArrival(); got != p.Pop() {
+			t.Fatal("NextArrival consumed the arrival")
+		}
+		cur := p.NextArrival()
+		if cur <= prev {
+			t.Fatalf("arrivals not strictly increasing: %v after %v", cur, prev)
+		}
+		prev = cur
+	}
+	if p.Rate() != 0.01 {
+		t.Fatal("Rate accessor wrong")
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	// Count arrivals in a horizon; should match rate·T closely.
+	const rate, horizon = 0.05, 2_000_000
+	p := NewPoisson(NewRNG(11), rate)
+	count := 0
+	for p.NextArrival() < horizon {
+		p.Pop()
+		count++
+	}
+	want := rate * horizon
+	if math.Abs(float64(count)-want) > 4*math.Sqrt(want) {
+		t.Fatalf("%d arrivals, want ≈%v", count, want)
+	}
+}
+
+func TestUniformPattern(t *testing.T) {
+	u := Uniform{N: 50}
+	r := NewRNG(8)
+	counts := make([]int, 50)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		d := u.Destination(17, r)
+		if d == 17 || d < 0 || d >= 50 {
+			t.Fatalf("bad destination %d", d)
+		}
+		counts[d]++
+	}
+	want := float64(draws) / 49
+	for d, c := range counts {
+		if d == 17 {
+			continue
+		}
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("destination %d count %d far from %v", d, c, want)
+		}
+	}
+	if u.Name() != "uniform" {
+		t.Fatal("name")
+	}
+}
+
+func TestUniformNeverSelf(t *testing.T) {
+	f := func(seed uint64, srcRaw int) bool {
+		u := Uniform{N: 7}
+		src := ((srcRaw % 7) + 7) % 7
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			if u.Destination(src, r) == src {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotspotPattern(t *testing.T) {
+	h := Hotspot{N: 20, Hot: 3, Fraction: 0.3}
+	r := NewRNG(21)
+	hot := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		d := h.Destination(5, r)
+		if d == 5 {
+			t.Fatal("hotspot returned source")
+		}
+		if d == 3 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	// 0.3 direct + 0.7/19 uniform share ≈ 0.3368
+	if math.Abs(frac-0.3368) > 0.01 {
+		t.Fatalf("hot fraction %v", frac)
+	}
+	if h.Name() != "hotspot" {
+		t.Fatal("name")
+	}
+	// the hot node itself falls back to uniform
+	if d := h.Destination(3, r); d == 3 {
+		t.Fatal("hot node sent to itself")
+	}
+}
+
+func TestFixedPermutation(t *testing.T) {
+	f := FixedPermutation{Dest: []int{1, 0}, Label: "swap"}
+	if f.Destination(0, nil) != 1 || f.Destination(1, nil) != 0 || f.Name() != "swap" {
+		t.Fatal("fixed permutation broken")
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(119)
+	}
+}
+
+func TestOnOffMeanRate(t *testing.T) {
+	// The long-run arrival rate must match the configured mean
+	// regardless of burst factor.
+	for _, burst := range []float64{1, 3, 8} {
+		p := NewOnOff(NewRNG(13), 0.02, burst, 500)
+		const horizon = 3_000_000
+		count := 0
+		for p.NextArrival() < horizon {
+			p.Pop()
+			count++
+		}
+		got := float64(count) / horizon
+		if math.Abs(got-0.02) > 0.002 {
+			t.Fatalf("burst=%v: mean rate %v, want 0.02", burst, got)
+		}
+	}
+}
+
+func TestOnOffMonotoneAndBursty(t *testing.T) {
+	p := NewOnOff(NewRNG(3), 0.02, 6, 400)
+	prev := -1.0
+	var gaps []float64
+	for i := 0; i < 20000; i++ {
+		tt := p.Pop()
+		if tt <= prev {
+			t.Fatalf("arrivals not strictly increasing: %v after %v", tt, prev)
+		}
+		if prev >= 0 {
+			gaps = append(gaps, tt-prev)
+		}
+		prev = tt
+	}
+	// burstiness: squared coefficient of variation of gaps well above
+	// the exponential's 1
+	var s, s2 float64
+	for _, g := range gaps {
+		s += g
+		s2 += g * g
+	}
+	mean := s / float64(len(gaps))
+	cv2 := (s2/float64(len(gaps)) - mean*mean) / (mean * mean)
+	if cv2 < 1.5 {
+		t.Fatalf("gap CV² %v not bursty", cv2)
+	}
+	// burst factor 1 degenerates to CV² ≈ 1
+	p1 := NewOnOff(NewRNG(3), 0.02, 1, 400)
+	prev = -1
+	s, s2, gaps = 0, 0, nil
+	for i := 0; i < 20000; i++ {
+		tt := p1.Pop()
+		if prev >= 0 {
+			gaps = append(gaps, tt-prev)
+		}
+		prev = tt
+	}
+	for _, g := range gaps {
+		s += g
+		s2 += g * g
+	}
+	mean = s / float64(len(gaps))
+	cv2 = (s2/float64(len(gaps)) - mean*mean) / (mean * mean)
+	if cv2 > 1.3 {
+		t.Fatalf("burst factor 1 gap CV² %v, want ≈1", cv2)
+	}
+}
+
+func TestLengthDistDeclaredMoments(t *testing.T) {
+	rng := NewRNG(77)
+	cases := []struct {
+		d        LengthDist
+		mean, vr float64
+	}{
+		{FixedLen{M: 32}, 32, 0},
+		{BimodalLen{Short: 8, Long: 56, PLong: 0.5}, 32, 576},
+		{BimodalLen{Short: 8, Long: 104, PLong: 0.25}, 32, 1728},
+		{UniformLen{Min: 16, Max: 48}, 32, (33*33 - 1) / 12.0},
+	}
+	for _, c := range cases {
+		if math.Abs(c.d.Mean()-c.mean) > 1e-9 || math.Abs(c.d.Variance()-c.vr) > 1e-9 {
+			t.Fatalf("%T declared moments (%v, %v), want (%v, %v)",
+				c.d, c.d.Mean(), c.d.Variance(), c.mean, c.vr)
+		}
+		var s, s2 float64
+		const n = 100000
+		for i := 0; i < n; i++ {
+			x := float64(c.d.Sample(rng))
+			s += x
+			s2 += x * x
+		}
+		m := s / n
+		v := s2/n - m*m
+		if math.Abs(m-c.mean) > 0.03*math.Max(c.mean, 1) ||
+			math.Abs(v-c.vr) > 0.05*math.Max(c.vr, 1) {
+			t.Fatalf("%T sampled moments (%v, %v), want (%v, %v)", c.d, m, v, c.mean, c.vr)
+		}
+	}
+}
