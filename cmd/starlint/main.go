@@ -1,0 +1,164 @@
+// Command starlint is the repo-specific static-analysis pass: it
+// type-checks every package of the module with the standard library's
+// go/parser and go/types and enforces the correctness rules in
+// internal/lint (simulator determinism, numerical safety, API error
+// hygiene, paper-equation documentation).
+//
+// Usage:
+//
+//	starlint [-json] [-rules r1,r2] [-list] [packages]
+//
+// The package arguments accept ./... (the whole module, the default)
+// or directory paths, optionally with a /... suffix. Exit status is 0
+// when the tree is clean, 1 when findings were reported, and 2 when
+// loading or type-checking failed.
+//
+// Findings are suppressed in place with
+//
+//	//lint:ignore rule reason
+//
+// on, or directly above, the offending line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"starperf/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	ruleList := flag.String("rules", "", "comma-separated rule names to run (default: all)")
+	list := flag.Bool("list", false, "list the available rules and exit")
+	flag.Parse()
+
+	rules := lint.DefaultRules()
+	if *list {
+		for _, r := range rules {
+			fmt.Printf("%-10s %s\n", r.Name(), r.Doc())
+		}
+		return 0
+	}
+	if *ruleList != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*ruleList, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var kept []lint.Rule
+		for _, r := range rules {
+			if want[r.Name()] {
+				kept = append(kept, r)
+				delete(want, r.Name())
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "starlint: unknown rule %q\n", name)
+			return 2
+		}
+		rules = kept
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starlint:", err)
+		return 2
+	}
+	root, modPath, err := lint.FindModule(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starlint:", err)
+		return 2
+	}
+	loader := lint.NewLoader(root, modPath)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starlint:", err)
+		return 2
+	}
+	pkgs, err = filterPackages(pkgs, flag.Args(), cwd, root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starlint:", err)
+		return 2
+	}
+
+	findings := lint.Run(pkgs, rules)
+	for i := range findings {
+		if rel, err := filepath.Rel(cwd, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].File = rel
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "starlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "starlint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+// filterPackages narrows pkgs to the requested patterns: "./..." (or
+// no arguments) keeps everything; "dir" keeps the package in that
+// directory; "dir/..." keeps the packages under it.
+func filterPackages(pkgs []*lint.Package, patterns []string, cwd, root string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		return pkgs, nil
+	}
+	var kept []*lint.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+			if pat == "." || pat == "" {
+				return pkgs, nil
+			}
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		dir = filepath.Clean(dir)
+		matched := false
+		for _, p := range pkgs {
+			ok := p.Dir == dir
+			if recursive && !ok {
+				ok = strings.HasPrefix(p.Dir, dir+string(filepath.Separator))
+			}
+			if ok {
+				matched = true
+				if !seen[p.Path] {
+					seen[p.Path] = true
+					kept = append(kept, p)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages under %s", pat, root)
+		}
+	}
+	return kept, nil
+}

@@ -1,0 +1,127 @@
+package desim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"starperf/internal/hypercube"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+	"starperf/internal/stats"
+	"starperf/internal/topology"
+)
+
+// fingerprint serialises every statistic of a Result into a canonical
+// byte string: two runs agree on the fingerprint iff they agree
+// bit-for-bit on the latency distributions, the full latency
+// histogram, all counters and the derived metrics. This is the
+// invariant the whole validation methodology (paper Figure 1a–c)
+// rests on — the simulator must be a pure function of its Config.
+func fingerprint(t *testing.T, r *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	put := func(vs ...any) {
+		for _, v := range vs {
+			if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+				t.Fatalf("fingerprint: %v", err)
+			}
+		}
+	}
+	stream := func(s *stats.Stream) {
+		put(s.N(), math.Float64bits(s.Mean()), math.Float64bits(s.Variance()),
+			math.Float64bits(s.Min()), math.Float64bits(s.Max()))
+	}
+	stream(&r.Latency)
+	stream(&r.NetLatency)
+	stream(&r.QueueTime)
+	stream(&r.HopCount)
+	stream(&r.VCHolding)
+	stream(&r.HopWait)
+	put(r.LatencyHist.Bins, r.LatencyHist.Clamped, r.LatencyHist.Total(),
+		math.Float64bits(r.LatencyHist.Mean()))
+	put(r.Generated, r.Delivered, r.MeasuredDelivered, r.DeliveredInWindow, r.Cycles)
+	put(r.VCBusyHist, math.Float64bits(r.Multiplexing))
+	put(r.ClassAUse, r.ClassBUse, r.ClassBLevelUse)
+	put(r.BlockedAttempts, r.Attempts)
+	put(math.Float64bits(r.ChannelGrantCV), math.Float64bits(r.ChannelRate))
+	put(int64(r.MaxQueueLen), int64(r.EndQueueLen), int64(r.Nodes))
+	for _, x := range r.IntervalLatency {
+		put(math.Float64bits(x))
+	}
+	put(r.SuggestedWarmup, r.Deadlocked, r.Drained)
+	return buf.Bytes()
+}
+
+// TestDeterminismByteIdentical is the determinism regression gate:
+// two runs with an identical Config (including Seed) must produce
+// byte-identical statistics, across two topologies and two routing
+// algorithms. Any nondeterminism source — map-iteration order feeding
+// event order, unseeded randomness, scheduling-dependent float
+// summation — fails this test.
+func TestDeterminismByteIdentical(t *testing.T) {
+	tops := []struct {
+		name string
+		top  topology.Topology
+	}{
+		{"S4", stargraph.MustNew(4)},
+		{"Q4", hypercube.MustNew(4)},
+	}
+	kinds := []routing.Kind{routing.NHop, routing.EnhancedNbc}
+	for _, tc := range tops {
+		for _, kind := range kinds {
+			t.Run(fmt.Sprintf("%s/%s", tc.name, kind), func(t *testing.T) {
+				cfg := Config{
+					Top:           tc.top,
+					Spec:          routing.MustNew(kind, tc.top, 4),
+					Policy:        routing.PreferClassA,
+					Rate:          0.02,
+					MsgLen:        8,
+					Seed:          12345,
+					WarmupCycles:  1000,
+					MeasureCycles: 5000,
+					TraceCap:      64,
+				}
+				run := func() ([]byte, *Result) {
+					res, err := Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return fingerprint(t, res), res
+				}
+				fp1, res1 := run()
+				fp2, _ := run()
+				if !bytes.Equal(fp1, fp2) {
+					t.Fatalf("two runs with identical Config diverged (fingerprints %d vs %d bytes differ)",
+						len(fp1), len(fp2))
+				}
+				if res1.MeasuredDelivered == 0 {
+					t.Fatal("no measured deliveries: the fingerprint compared empty statistics")
+				}
+				// The traces must agree event-for-event, not just in
+				// aggregate.
+				_, res3 := run()
+				if len(res1.Trace) != len(res3.Trace) {
+					t.Fatalf("trace lengths differ: %d vs %d", len(res1.Trace), len(res3.Trace))
+				}
+				for i := range res1.Trace {
+					if res1.Trace[i] != res3.Trace[i] {
+						t.Fatalf("trace event %d differs: %+v vs %+v", i, res1.Trace[i], res3.Trace[i])
+					}
+				}
+				// A different seed must move the statistics — otherwise
+				// the fingerprint (or the seeding) is vacuous.
+				cfg.Seed = 54321
+				res4, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bytes.Equal(fp1, fingerprint(t, res4)) {
+					t.Fatal("different seeds produced byte-identical statistics")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package floats provides tolerance-based floating-point comparisons
+// for the analytical model and its tests. Exact == / != on floats is
+// banned in internal/model and internal/queueing by the starlint
+// floateq rule (see internal/lint): rounding differences between
+// architectures, optimisation levels and evaluation orders make exact
+// equality a latent nondeterminism bug in the fixed-point iteration.
+// This package is the designated escape hatch.
+package floats
+
+import "math"
+
+// DefaultTol is the tolerance used by Close: tight enough to treat
+// only genuine rounding noise as equal, loose enough to survive a
+// different summation order.
+const DefaultTol = 1e-12
+
+// EqualWithin reports whether a and b are equal to within tol,
+// interpreted as an absolute tolerance near zero and a relative
+// tolerance (scaled by the larger magnitude) otherwise. NaN compares
+// unequal to everything, including itself; equal infinities compare
+// equal. tol must be non-negative.
+func EqualWithin(a, b, tol float64) bool {
+	if a == b { // covers equal infinities and exact hits
+		return true
+	}
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // unequal infinities stay unequal at any tolerance
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// Close is EqualWithin with DefaultTol.
+func Close(a, b float64) bool { return EqualWithin(a, b, DefaultTol) }

@@ -1,0 +1,45 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqualWithin(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{0, 0, 0, true},
+		{1, 1 + 1e-15, 1e-12, true},          // relative rounding noise
+		{1e300, 1e300 * (1 + 1e-14), 1e-12, true}, // huge magnitudes, relative
+		{1e-300, 0, 1e-12, true},             // absolute near zero
+		{1, 2, 1e-12, false},
+		{1, 1.001, 1e-6, false},
+		{inf, inf, 0, true},
+		{inf, -inf, 1e300, false},
+		{nan, nan, inf, false},
+		{nan, 1, inf, false},
+		{-1, 1, 0.5, false},
+	}
+	for _, c := range cases {
+		if got := EqualWithin(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("EqualWithin(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+		if got := EqualWithin(c.b, c.a, c.tol); got != c.want {
+			t.Errorf("EqualWithin(%v, %v, %v) = %v, want %v (symmetry)", c.b, c.a, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestClose(t *testing.T) {
+	if !Close(1.0/3, (1-2.0/3)) {
+		t.Error("Close rejected rounding noise")
+	}
+	if Close(1, 1+1e-9) {
+		t.Error("Close accepted a genuine difference")
+	}
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// apiErr flags discarded error results from the public API surface
+// (the root starperf package, defined in api.go): a bare call
+// statement, a blank-assigned error, or a go/defer of such a call.
+// Model evaluation and simulation runs signal saturation and invalid
+// configurations through errors; dropping one silently turns a
+// refused operating point into a fabricated data point.
+type apiErr struct {
+	apiPkg  string
+	applies func(string) bool
+}
+
+// NewAPIErr returns the apierr rule: calls into apiPkg whose error
+// results are discarded are reported in every package matched by
+// applies.
+func NewAPIErr(apiPkg string, applies func(string) bool) Rule {
+	return &apiErr{apiPkg: apiPkg, applies: applies}
+}
+
+func (r *apiErr) Name() string { return "apierr" }
+
+func (r *apiErr) Doc() string {
+	return "no ignored error returns from the public api.go surface"
+}
+
+func (r *apiErr) Applies(p string) bool { return r.applies(p) }
+
+func (r *apiErr) Check(pkg *Package, report ReportFunc) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					r.checkDiscarded(pkg, call, report)
+				}
+			case *ast.GoStmt:
+				r.checkDiscarded(pkg, st.Call, report)
+			case *ast.DeferStmt:
+				r.checkDiscarded(pkg, st.Call, report)
+			case *ast.AssignStmt:
+				r.checkBlank(pkg, st, report)
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscarded reports call if it is an API call returning an error
+// that the statement form throws away entirely.
+func (r *apiErr) checkDiscarded(pkg *Package, call *ast.CallExpr, report ReportFunc) {
+	name, sig := r.apiCallee(pkg, call)
+	if sig == nil {
+		return
+	}
+	if errorResultIndices(sig) == nil {
+		return
+	}
+	report(call.Pos(), fmt.Sprintf(
+		"error result of %s.%s is discarded: saturation and invalid configs "+
+			"are reported through it", r.apiPkg, name))
+}
+
+// checkBlank reports assignments that single out the error result of
+// an API call into the blank identifier, e.g. v, _ := api.Value().
+func (r *apiErr) checkBlank(pkg *Package, st *ast.AssignStmt, report ReportFunc) {
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, sig := r.apiCallee(pkg, call)
+	if sig == nil {
+		return
+	}
+	for _, i := range errorResultIndices(sig) {
+		if i >= len(st.Lhs) {
+			continue
+		}
+		if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			report(st.Lhs[i].Pos(), fmt.Sprintf(
+				"error result of %s.%s is assigned to _: handle it or propagate it",
+				r.apiPkg, name))
+		}
+	}
+}
+
+// apiCallee resolves call's callee; it returns its name and signature
+// when the callee is declared in the API package, and a nil signature
+// otherwise.
+func (r *apiErr) apiCallee(pkg *Package, call *ast.CallExpr) (string, *types.Signature) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", nil
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != r.apiPkg {
+		return "", nil
+	}
+	sig, ok := obj.Type().Underlying().(*types.Signature)
+	if !ok {
+		return "", nil // type conversion or non-func object
+	}
+	return obj.Name(), sig
+}
+
+// errorResultIndices returns the indices of sig's results whose type
+// is error (nil when there are none).
+func errorResultIndices(sig *types.Signature) []int {
+	var out []int
+	errType := types.Universe.Lookup("error").Type()
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

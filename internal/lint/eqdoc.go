@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// eqDoc requires every exported function and method in the model and
+// topology packages to carry a doc comment that begins with the
+// function's name (the godoc convention), stating the paper equation
+// or section it implements where applicable. The analytical model is
+// only auditable against the paper if each entry point says which
+// formula it claims to be.
+type eqDoc struct {
+	applies func(string) bool
+}
+
+// NewEqDoc returns the eqdoc rule restricted to packages matched by
+// applies.
+func NewEqDoc(applies func(string) bool) Rule { return &eqDoc{applies: applies} }
+
+func (r *eqDoc) Name() string { return "eqdoc" }
+
+func (r *eqDoc) Doc() string {
+	return "exported model/topology functions carry godoc naming their paper equation"
+}
+
+func (r *eqDoc) Applies(p string) bool { return r.applies(p) }
+
+func (r *eqDoc) Check(pkg *Package, report ReportFunc) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			if fd.Recv != nil && !exportedReceiver(fd.Recv) {
+				continue // method on an unexported type: not API surface
+			}
+			doc := strings.TrimSpace(docText(fd))
+			switch {
+			case doc == "":
+				report(fd.Name.Pos(), fmt.Sprintf(
+					"exported function %s has no doc comment: document it, citing the "+
+						"paper equation or section it implements where applicable", fd.Name.Name))
+			case !strings.HasPrefix(doc, fd.Name.Name) ||
+				(len(doc) > len(fd.Name.Name) && isIdentChar(doc[len(fd.Name.Name)])):
+				report(fd.Name.Pos(), fmt.Sprintf(
+					"doc comment of exported function %s should start with %q (godoc convention)",
+					fd.Name.Name, fd.Name.Name))
+			}
+		}
+	}
+}
+
+// docText returns fd's doc comment with //lint: directives stripped,
+// so a suppression comment is not mistaken for documentation.
+func docText(fd *ast.FuncDecl) string {
+	if fd.Doc == nil {
+		return ""
+	}
+	var kept []*ast.Comment
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//lint:") {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	if len(kept) == 0 {
+		return ""
+	}
+	return (&ast.CommentGroup{List: kept}).Text()
+}
+
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func isIdentChar(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}

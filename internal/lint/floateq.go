@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatEq flags == and != between floating-point operands. The
+// model's fixed-point iteration (paper eqs. 6–17) is evaluated in
+// floating point, where the result of a comparison can flip with the
+// summation order, the optimisation level or the FPU's intermediate
+// precision — an exact comparison is therefore a latent
+// nondeterminism bug. Comparisons are allowed inside designated
+// tolerance helpers (floats.EqualWithin and friends) and in the
+// x != x NaN test.
+type floatEq struct {
+	applies func(string) bool
+	allowed map[string]bool
+}
+
+// NewFloatEq returns the floateq rule restricted to packages matched
+// by applies; comparisons inside functions named in allowFuncs are
+// exempt (the tolerance helpers themselves).
+func NewFloatEq(applies func(string) bool, allowFuncs ...string) Rule {
+	allowed := make(map[string]bool, len(allowFuncs))
+	for _, f := range allowFuncs {
+		allowed[f] = true
+	}
+	return &floatEq{applies: applies, allowed: allowed}
+}
+
+func (r *floatEq) Name() string { return "floateq" }
+
+func (r *floatEq) Doc() string {
+	return "no exact float ==/!= outside allowlisted tolerance helpers (numerical safety)"
+}
+
+func (r *floatEq) Applies(p string) bool { return r.applies(p) }
+
+func (r *floatEq) Check(pkg *Package, report ReportFunc) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if r.allowed[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pkg.Info.TypeOf(be.X)) && !isFloat(pkg.Info.TypeOf(be.Y)) {
+					return true
+				}
+				if be.Op == token.NEQ && sameIdent(pkg, be.X, be.Y) {
+					return true // x != x: the NaN test
+				}
+				report(be.OpPos, fmt.Sprintf(
+					"exact float comparison %s %s %s: rounding makes this unstable; "+
+						"use floats.EqualWithin or an inequality",
+					exprString(be.X), be.Op, exprString(be.Y)))
+				return true
+			})
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sameIdent reports whether a and b are the same identifier resolving
+// to the same object.
+func sameIdent(pkg *Package, a, b ast.Expr) bool {
+	ia, ok1 := a.(*ast.Ident)
+	ib, ok2 := b.(*ast.Ident)
+	if !ok1 || !ok2 {
+		return false
+	}
+	oa := pkg.Info.ObjectOf(ia)
+	return oa != nil && oa == pkg.Info.ObjectOf(ib)
+}

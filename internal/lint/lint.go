@@ -1,0 +1,231 @@
+// Package lint implements starlint, the repo-specific static-analysis
+// pass behind cmd/starlint. It walks every package of the module with
+// go/parser and go/types (standard library only) and enforces the
+// correctness invariants the paper reproduction depends on: the
+// flit-level simulator and the analytical model must agree bit-for-bit
+// run over run, so map-iteration order must never feed event order,
+// randomness must flow through injected seeded sources, floats must
+// not be compared exactly, errors from the public API must not be
+// dropped, and the model's exported surface must be traceable to the
+// paper's equations.
+//
+// A finding can be suppressed in place with
+//
+//	//lint:ignore rule1[,rule2] reason
+//
+// placed on, or on the line directly above, the offending line. The
+// reason is mandatory; a directive without one is itself reported
+// (rule "directive").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a rule.
+type Finding struct {
+	// Rule is the name of the rule that fired.
+	Rule string `json:"rule"`
+	// File, Line and Col locate the finding (1-based line and column).
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message explains the violation and how to fix it.
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Message, f.Rule)
+}
+
+// ReportFunc is how rules emit findings.
+type ReportFunc func(pos token.Pos, msg string)
+
+// Rule is one self-contained checker.
+type Rule interface {
+	// Name is the short identifier used in output and in
+	// //lint:ignore directives.
+	Name() string
+	// Doc is a one-line description for -list.
+	Doc() string
+	// Applies reports whether the rule runs on the given import path.
+	Applies(pkgPath string) bool
+	// Check analyses one package and reports findings.
+	Check(pkg *Package, report ReportFunc)
+}
+
+// Run executes every applicable rule over every package, drops
+// suppressed findings, and returns the rest sorted by position. The
+// returned slice also contains a "directive" finding for every
+// malformed //lint:ignore comment.
+func Run(pkgs []*Package, rules []Rule) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup, bad := collectSuppressions(pkg)
+		out = append(out, bad...)
+		for _, rule := range rules {
+			if !rule.Applies(pkg.Path) {
+				continue
+			}
+			rule.Check(pkg, func(pos token.Pos, msg string) {
+				p := pkg.Fset.Position(pos)
+				if sup.suppressed(p.Filename, p.Line, rule.Name()) {
+					return
+				}
+				out = append(out, Finding{
+					Rule:    rule.Name(),
+					File:    p.Filename,
+					Line:    p.Line,
+					Col:     p.Column,
+					Message: msg,
+				})
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// suppressions maps file -> line -> the set of rule names suppressed
+// on that line.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) suppressed(file string, line int, rule string) bool {
+	return s[file][line][rule]
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectSuppressions scans every comment of the package (test files
+// included) for //lint:ignore directives. A well-formed directive
+// suppresses the named rules on its own line and on the line directly
+// below it; malformed directives are returned as findings.
+func collectSuppressions(pkg *Package) (suppressions, []Finding) {
+	sup := make(suppressions)
+	var bad []Finding
+	for _, f := range pkg.AllFiles() {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignorefoo — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Rule: "directive", File: p.Filename, Line: p.Line, Col: p.Column,
+						Message: "malformed //lint:ignore: want \"//lint:ignore rule[,rule] reason\"",
+					})
+					continue
+				}
+				byFile := sup[p.Filename]
+				if byFile == nil {
+					byFile = make(map[int]map[string]bool)
+					sup[p.Filename] = byFile
+				}
+				for _, rule := range strings.Split(fields[0], ",") {
+					for _, line := range []int{p.Line, p.Line + 1} {
+						if byFile[line] == nil {
+							byFile[line] = make(map[string]bool)
+						}
+						byFile[line][rule] = true
+					}
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// inPackages returns a scope predicate matching exactly the given
+// import paths.
+func inPackages(paths ...string) func(string) bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(p string) bool { return set[p] }
+}
+
+// anyPackage matches every package.
+func anyPackage(string) bool { return true }
+
+// DefaultRules returns the repo's rule set with its production
+// scopes. The scopes track the blast radius of each failure mode:
+// map-order and seeded-randomness hazards invalidate simulator
+// reproducibility, float equality destabilises the model's
+// fixed-point iteration, and the documentation rule keeps the
+// model/topology surface traceable to the paper.
+func DefaultRules() []Rule {
+	simulation := inPackages(
+		"starperf/internal/desim",
+		"starperf/internal/routing",
+		"starperf/internal/experiments",
+	)
+	numerical := inPackages(
+		"starperf/internal/model",
+		"starperf/internal/queueing",
+	)
+	deterministic := func(p string) bool {
+		return strings.HasPrefix(p, "starperf/internal/") && p != "starperf/internal/lint"
+	}
+	documented := inPackages(
+		"starperf/internal/model",
+		"starperf/internal/stargraph",
+	)
+	return []Rule{
+		NewMapOrder(simulation),
+		NewFloatEq(numerical, "EqualWithin", "Close", "approxEq"),
+		NewSeedRand(deterministic),
+		NewAPIErr("starperf", anyPackage),
+		NewEqDoc(documented),
+	}
+}
+
+// rootIdent unwraps selectors, indexing, dereferences and parens down
+// to the base identifier of an lvalue, or nil when the base is not an
+// identifier (e.g. a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

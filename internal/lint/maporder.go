@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// mapOrder flags `range` loops over maps whose bodies perform
+// order-sensitive writes to state declared outside the loop. Go
+// randomises map iteration order, so any such write makes event
+// order — and with it every simulator statistic — differ run to run.
+//
+// Allowed inside a map-range body:
+//   - writes to variables declared inside the loop;
+//   - integer/bool accumulation into a plain local variable
+//     (count++, seen = true): commutative, hence order-insensitive;
+//   - indexed writes whose index is the range key (out[k] = v):
+//     distinct keys touch distinct elements;
+//   - the collect-then-sort idiom: appending the key or value to a
+//     function-local slice that is sorted after the loop.
+//
+// Everything else — appends, float accumulation, writes through
+// selectors or pointers — is reported.
+type mapOrder struct {
+	applies func(string) bool
+}
+
+// NewMapOrder returns the maporder rule restricted to packages
+// matched by applies.
+func NewMapOrder(applies func(string) bool) Rule { return &mapOrder{applies: applies} }
+
+func (r *mapOrder) Name() string { return "maporder" }
+
+func (r *mapOrder) Doc() string {
+	return "no order-sensitive writes inside range-over-map loops (simulator determinism)"
+}
+
+func (r *mapOrder) Applies(p string) bool { return r.applies(p) }
+
+func (r *mapOrder) Check(pkg *Package, report ReportFunc) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pkg.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				r.checkBody(pkg, fd, rs, report)
+				return true
+			})
+		}
+	}
+}
+
+func (r *mapOrder) checkBody(pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt, report ReportFunc) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				var rhs ast.Expr
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				}
+				r.checkWrite(pkg, fd, rs, lhs, rhs, report)
+			}
+		case *ast.IncDecStmt:
+			r.checkWrite(pkg, fd, rs, st.X, nil, report)
+		case *ast.CallExpr:
+			if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "delete" &&
+				pkg.Info.Uses[id] == types.Universe.Lookup("delete") && len(st.Args) > 0 {
+				r.checkWrite(pkg, fd, rs, st.Args[0], nil, report)
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite reports lhs if it writes order-sensitively to state
+// declared outside the range statement. rhs is the assigned
+// expression when the write comes from an assignment (nil otherwise).
+func (r *mapOrder) checkWrite(pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt,
+	lhs, rhs ast.Expr, report ReportFunc) {
+	root := rootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return
+	}
+	obj := pkg.Info.ObjectOf(root)
+	if obj == nil || declaredWithin(obj, rs) {
+		return
+	}
+	// out[k] = v with the range key as index: distinct keys touch
+	// distinct elements, so the write order cannot matter.
+	if ix, ok := lhs.(*ast.IndexExpr); ok && r.isRangeVar(pkg, rs, ix.Index) {
+		return
+	}
+	if id, ok := lhs.(*ast.Ident); ok {
+		// Plain integer/bool accumulators are commutative.
+		if isOrderFree(obj.Type()) {
+			return
+		}
+		// keys = append(keys, k) followed by a sort of keys after the
+		// loop: the canonical deterministic-iteration idiom.
+		if rhs != nil && r.isSortedAppend(pkg, fd, rs, id, rhs) {
+			return
+		}
+	}
+	report(lhs.Pos(), fmt.Sprintf(
+		"write to %q inside range over map %s: map iteration order is randomised, "+
+			"so this makes simulator state depend on it; iterate over sorted keys instead",
+		exprString(lhs), exprString(rs.X)))
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// range statement (loop variables and body-local declarations).
+func declaredWithin(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()
+}
+
+// isOrderFree reports whether accumulating into a value of type t is
+// commutative: integers and booleans are, floats/strings/slices are
+// not.
+func isOrderFree(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsInteger|types.IsBoolean) != 0
+}
+
+// isRangeVar reports whether e is exactly one of the loop variables
+// of rs.
+func (r *mapOrder) isRangeVar(pkg *Package, rs *ast.RangeStmt, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		vid, ok := v.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if vobj := pkg.Info.ObjectOf(vid); vobj != nil && vobj == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortedAppend recognises `x = append(x, k)` (or `, v`) into a
+// function-local slice x that is passed to a sort or slices call
+// after the loop ends — collect-then-sort, which is deterministic
+// overall.
+func (r *mapOrder) isSortedAppend(pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt,
+	lhs *ast.Ident, rhs ast.Expr) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" || pkg.Info.Uses[fun] != types.Universe.Lookup("append") {
+		return false
+	}
+	if len(call.Args) < 2 {
+		return false
+	}
+	base, ok := call.Args[0].(*ast.Ident)
+	if !ok || pkg.Info.ObjectOf(base) != pkg.Info.ObjectOf(lhs) {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		if !r.isRangeVar(pkg, rs, arg) {
+			return false
+		}
+	}
+	obj := pkg.Info.ObjectOf(lhs)
+	// Look for sort.X(x, ...) / slices.SortX(x, ...) after the loop.
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := c.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pkg.Info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range c.Args {
+			if ai := rootIdent(arg); ai != nil && pkg.Info.ObjectOf(ai) == obj {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// exprString renders a short source form of e for diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[" + exprString(x.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(x.X) + ")"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(…)"
+	case *ast.BasicLit:
+		return x.Value
+	default:
+		return "expr"
+	}
+}

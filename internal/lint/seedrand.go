@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// seedRand flags calls that smuggle ambient nondeterminism into the
+// simulation and model packages: math/rand's package-level functions
+// (they draw from the unseeded global source) and time.Now/Since/
+// Until (wall-clock reads). All randomness must flow through an
+// injected seeded generator (traffic.RNG or a *rand.Rand built with
+// rand.New(rand.NewSource(seed))), so that a Config plus a Seed fully
+// determines a run.
+//
+// This rule also covers _test.go files: a test drawing from the
+// global source is flaky by construction. Test files carry no type
+// information, so for them the check falls back to matching the
+// file's import table.
+type seedRand struct {
+	applies func(string) bool
+}
+
+// NewSeedRand returns the seedrand rule restricted to packages
+// matched by applies.
+func NewSeedRand(applies func(string) bool) Rule { return &seedRand{applies: applies} }
+
+func (r *seedRand) Name() string { return "seedrand" }
+
+func (r *seedRand) Doc() string {
+	return "no math/rand global-source calls or wall-clock reads in simulation/model code"
+}
+
+func (r *seedRand) Applies(p string) bool { return r.applies(p) }
+
+// bannedRand are the math/rand (and v2) package-level functions that
+// draw from the global source. Constructors (New, NewSource, NewZipf,
+// NewPCG, NewChaCha8) and *rand.Rand methods stay allowed.
+var bannedRand = map[string]bool{
+	"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true,
+	// math/rand/v2 spellings
+	"N": true, "IntN": true, "Int32N": true, "Int64N": true,
+	"UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+var bannedTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func (r *seedRand) Check(pkg *Package, report ReportFunc) {
+	for _, file := range pkg.Files {
+		r.checkFile(pkg, file, true, report)
+	}
+	for _, file := range pkg.TestFiles {
+		r.checkFile(pkg, file, false, report)
+	}
+}
+
+func (r *seedRand) checkFile(pkg *Package, file *ast.File, typed bool, report ReportFunc) {
+	imports := importTable(file)
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		path, ok := r.resolvePackage(pkg, base, imports, typed)
+		if !ok {
+			return true
+		}
+		switch {
+		case (path == "math/rand" || path == "math/rand/v2") && bannedRand[sel.Sel.Name]:
+			report(call.Pos(), fmt.Sprintf(
+				"%s.%s draws from the unseeded global source: inject a seeded *rand.Rand "+
+					"(rand.New(rand.NewSource(seed))) so the run is reproducible",
+				base.Name, sel.Sel.Name))
+		case path == "time" && bannedTime[sel.Sel.Name]:
+			report(call.Pos(), fmt.Sprintf(
+				"time.%s reads the wall clock: simulation/model code must be a pure "+
+					"function of its Config; use the simulated clock or inject the time",
+				sel.Sel.Name))
+		}
+		return true
+	})
+}
+
+// resolvePackage maps the base identifier of a selector to an import
+// path: through type information when available, otherwise through
+// the file's import table (which cannot be fooled by shadowing but
+// suffices for test files).
+func (r *seedRand) resolvePackage(pkg *Package, base *ast.Ident,
+	imports map[string]string, typed bool) (string, bool) {
+	if typed {
+		pn, ok := pkg.Info.Uses[base].(*types.PkgName)
+		if !ok {
+			return "", false
+		}
+		return pn.Imported().Path(), true
+	}
+	path, ok := imports[base.Name]
+	return path, ok
+}
+
+// importTable maps local package names to import paths for one file.
+func importTable(file *ast.File) map[string]string {
+	t := make(map[string]string, len(file.Imports))
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		if path == "math/rand/v2" {
+			name = "rand"
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		t[name] = path
+	}
+	return t
+}

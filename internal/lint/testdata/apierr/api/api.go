@@ -1,0 +1,15 @@
+// Package api is the stand-in API surface for the apierr fixture.
+package api
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+// Run always fails.
+func Run() error { return errBoom }
+
+// Value returns a value and an error.
+func Value() (int, error) { return 7, errBoom }
+
+// Pure returns no error and may be called bare.
+func Pure() int { return 1 }

@@ -1,0 +1,49 @@
+// Package use is a starlint test fixture. Lines tagged
+// "// want apierr" must produce exactly one apierr finding.
+package use
+
+import "fix/apierr/api"
+
+func badBare() {
+	api.Run() // want apierr
+}
+
+func badBlank() int {
+	v, _ := api.Value() // want apierr
+	return v
+}
+
+func badDefer() {
+	defer api.Run() // want apierr
+}
+
+func badGo() {
+	go api.Run() // want apierr
+}
+
+func goodPropagate() error {
+	return api.Run()
+}
+
+func goodHandled() int {
+	v, err := api.Value()
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+func goodPure() {
+	api.Pure()
+}
+
+func goodLocalDiscard() {
+	local() // not the API surface
+}
+
+func local() error { return nil }
+
+func suppressed() {
+	//lint:ignore apierr fixture demonstrating the suppression syntax
+	api.Run()
+}

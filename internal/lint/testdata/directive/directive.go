@@ -1,0 +1,8 @@
+// Package directive is a starlint test fixture holding exactly one
+// malformed suppression directive (missing its mandatory reason).
+package directive
+
+func noop() {
+	//lint:ignore floateq
+	_ = 0
+}

@@ -1,0 +1,31 @@
+// Package eqdoc is a starlint test fixture. Lines tagged
+// "// want eqdoc" must produce exactly one eqdoc finding.
+package eqdoc
+
+// Documented implements the fixture analogue of the paper's eq. 7.
+func Documented() int { return 7 }
+
+// MeanLatency returns the fixture's mean latency (paper section 3.2).
+func MeanLatency() float64 { return 0 }
+
+func Missing() int { return 0 } // want eqdoc
+
+// This comment does not start with the function name.
+func BadStart() int { return 0 } // want eqdoc
+
+func unexported() int { return 0 }
+
+// Thing is an exported carrier type for method checks.
+type Thing struct{}
+
+// Touch documents the exported method.
+func (Thing) Touch() {}
+
+func (Thing) Bare() {} // want eqdoc
+
+type hidden struct{}
+
+func (hidden) Method() int { return 0 } // method on unexported type: exempt
+
+//lint:ignore eqdoc fixture demonstrating the suppression syntax
+func Suppressed() int { return 0 }

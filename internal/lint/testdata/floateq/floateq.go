@@ -1,0 +1,55 @@
+// Package floateq is a starlint test fixture. Lines tagged
+// "// want floateq" must produce exactly one floateq finding.
+package floateq
+
+type temp float64
+
+func badEq(a, b float64) bool {
+	return a == b // want floateq
+}
+
+func badNeq(a, b float32) bool {
+	return a != b // want floateq
+}
+
+func badZeroSentinel(x float64) bool {
+	return x == 0 // want floateq
+}
+
+func badNamedFloat(a, b temp) bool {
+	return a == b // want floateq
+}
+
+func badNested(xs []float64) int {
+	n := 0
+	for _, x := range xs {
+		if x != 1.5 { // want floateq
+			n++
+		}
+	}
+	return n
+}
+
+func goodInt(a, b int) bool { return a == b }
+
+func goodInequality(a, b float64) bool { return a <= b || a > b }
+
+func goodNaNIdiom(x float64) bool { return x != x }
+
+// EqualWithin is the allowlisted tolerance helper: exact comparisons
+// are its fast path.
+func EqualWithin(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floateq fixture demonstrating the suppression syntax
+	return a == b
+}

@@ -1,0 +1,90 @@
+// Package maporder is a starlint test fixture. Lines tagged
+// "// want maporder" must produce exactly one maporder finding.
+package maporder
+
+import "sort"
+
+type state struct{ total float64 }
+
+func badAppendAndField(m map[string]float64, s *state) []string {
+	var out []string
+	for k, v := range m {
+		out = append(out, k) // want maporder
+		s.total += v         // want maporder
+	}
+	return out
+}
+
+func badFloatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want maporder
+	}
+	return sum
+}
+
+func badDelete(m, other map[int]int) {
+	for k := range m {
+		delete(other, 0) // want maporder
+		_ = k
+	}
+}
+
+func badIndirectIndex(m map[int]int, out []int) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want maporder
+		i++
+	}
+}
+
+func goodCounter(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func goodKeyIndex(m map[int]float64, out []float64) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+func goodLocal(m map[int]int) int {
+	best := 0
+	for _, v := range m {
+		x := v * v
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+func goodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodSliceRange(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v // slices iterate in order: not a map-order hazard
+	}
+	return sum
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:ignore maporder fixture demonstrating the suppression syntax
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+// Package seedrand is a starlint test fixture. Lines tagged
+// "// want seedrand" must produce exactly one seedrand finding.
+package seedrand
+
+import (
+	mrand "math/rand"
+	"time"
+)
+
+func badGlobalInt() int {
+	return mrand.Intn(10) // want seedrand
+}
+
+func badGlobalFloat() float64 {
+	return mrand.Float64() // want seedrand
+}
+
+func badShuffle(xs []int) {
+	mrand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want seedrand
+}
+
+func badNow() int64 {
+	return time.Now().UnixNano() // want seedrand
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want seedrand
+}
+
+func goodSeeded(seed int64) int {
+	rng := mrand.New(mrand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func goodInjected(rng *mrand.Rand) float64 {
+	return rng.Float64()
+}
+
+func goodDuration() time.Duration {
+	return 3 * time.Second
+}
+
+func suppressed() int {
+	//lint:ignore seedrand fixture demonstrating the suppression syntax
+	return mrand.Int()
+}

@@ -1,0 +1,21 @@
+// Test files are scanned too (syntactically): a test drawing from the
+// global source is flaky by construction.
+package seedrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFixtureBad(t *testing.T) {
+	if rand.Float64() < -1 { // want seedrand
+		t.Fatal("impossible")
+	}
+}
+
+func TestFixtureGood(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if rng.Float64() < -1 {
+		t.Fatal("impossible")
+	}
+}

@@ -230,14 +230,14 @@ func Evaluate(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	damping := cfg.Damping
-	if damping == 0 {
-		damping = 0.5
-	}
 	if damping < 0 || damping > 1 {
 		return nil, fmt.Errorf("model: damping %v outside (0,1]", damping)
 	}
+	if damping <= 0 { // unset: negatives were rejected above
+		damping = 0.5
+	}
 	tol := cfg.Tol
-	if tol == 0 {
+	if tol <= 0 {
 		tol = 1e-10
 	}
 	maxIter := cfg.MaxIter

@@ -33,7 +33,7 @@ func MG1Wait(lambda, s, variance float64) (float64, error) {
 	if lambda < 0 || s < 0 || variance < 0 {
 		return 0, fmt.Errorf("queueing: negative parameter (λ=%v, S=%v, σ²=%v)", lambda, s, variance)
 	}
-	if lambda == 0 || s == 0 {
+	if lambda <= 0 || s <= 0 { // negatives were rejected above
 		return 0, nil
 	}
 	rho := lambda * s
@@ -124,7 +124,7 @@ func Multiplexing(p []float64) float64 {
 		num += float64(v*v) * pv
 		den += float64(v) * pv
 	}
-	if den == 0 {
+	if den <= 0 { // no busy samples (the summands are non-negative)
 		return 1
 	}
 	return num / den
