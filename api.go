@@ -3,6 +3,7 @@ package starperf
 import (
 	"starperf/internal/desim"
 	"starperf/internal/experiments"
+	"starperf/internal/faults"
 	"starperf/internal/hypercube"
 	"starperf/internal/mesh"
 	"starperf/internal/model"
@@ -82,6 +83,55 @@ type (
 
 // Simulate runs the flit-level simulator (deterministic per config).
 func Simulate(cfg SimConfig) (*SimResult, error) { return desim.Run(cfg) }
+
+// Fault-injection re-exports: a FaultPlan is a deterministic,
+// seed-derived set of failed links, failed nodes and transient link
+// flaps; a FaultedTopology is a base topology viewed through a plan
+// (see internal/faults).
+type (
+	FaultPlan       = faults.Plan
+	FaultOptions    = faults.Options
+	FaultedTopology = faults.Faulted
+	FaultLink       = faults.Link
+	FaultFlap       = faults.Flap
+)
+
+// UnreachableError is the typed injection-time failure returned when a
+// traffic pattern addresses a node a fault plan has stranded.
+type UnreachableError = routing.UnreachableError
+
+// NewFaultPlan draws a deterministic fault plan for top from seed.
+// Unless opts.AllowDisconnected is set, plans that would disconnect
+// the network are resampled.
+func NewFaultPlan(top Topology, seed uint64, opts FaultOptions) (*FaultPlan, error) {
+	return faults.NewPlan(top, seed, opts)
+}
+
+// ApplyFaults views top through plan, recomputing distances and
+// diameter on the degraded graph.
+func ApplyFaults(top Topology, plan *FaultPlan) (*FaultedTopology, error) {
+	return faults.Apply(top, plan)
+}
+
+// SimulateWithFaults runs the simulator on cfg.Top degraded by plan:
+// the routing spec is re-resolved against the faulted topology (the
+// degraded diameter can exceed the pristine one, raising the escape-VC
+// minimum), transient flaps drive channel availability inside the
+// event loop, and the progress watchdog reports deadlock or starvation
+// through SimResult.Aborted instead of an eternity at the drain limit.
+func SimulateWithFaults(cfg SimConfig, plan *FaultPlan) (*SimResult, error) {
+	ft, err := faults.Apply(cfg.Top, plan)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := routing.New(cfg.Spec.Kind, ft, cfg.Spec.V())
+	if err != nil {
+		return nil, err
+	}
+	cfg.Top = ft
+	cfg.Spec = spec
+	return desim.Run(cfg)
+}
 
 // ModelConfig configures one analytical-model evaluation; ModelResult
 // carries the prediction. PathStructure abstracts the minimal-path

@@ -121,3 +121,72 @@ func TestFacadeSaturationRate(t *testing.T) {
 		t.Fatalf("S5 V=6 M=32 saturation %v outside the expected 0.015 neighbourhood", sat)
 	}
 }
+
+// TestFacadeFaultInjection exercises the fault-injection entry
+// points end to end: draw a plan, degrade the paper's topology, and
+// simulate on it — the run must finish deadlock-free and
+// deterministically.
+func TestFacadeFaultInjection(t *testing.T) {
+	star, err := NewStarGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewFaultPlan(star, 19, FaultOptions{FailLinks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := ApplyFaults(star, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ft.Reachability().Connected {
+		t.Fatal("NewFaultPlan produced a disconnecting plan")
+	}
+	spec, err := NewRouting(EnhancedNbc, star, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SimConfig{
+		Top: star, Spec: spec, Policy: PreferClassA,
+		Rate: 0.02, MsgLen: 16, Seed: 4,
+		WarmupCycles: 2000, MeasureCycles: 8000,
+	}
+	res, err := SimulateWithFaults(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked || res.Aborted {
+		t.Fatalf("faulted run not deadlock-free: %s", res.AbortReason)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("no deliveries on the degraded star")
+	}
+	res2, err := SimulateWithFaults(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res2.Delivered ||
+		math.Float64bits(res.Latency.Mean()) != math.Float64bits(res2.Latency.Mean()) {
+		t.Fatal("same fault seed, diverging results")
+	}
+	// a hand-written plan that disconnects the network must be
+	// rejected unless explicitly allowed
+	ring, err := NewHypercube(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &FaultPlan{Links: []FaultLink{{Node: 0, Dim: 0}, {Node: 0, Dim: 1}},
+		Flaps: []FaultFlap{{Node: 1, Dim: 1, Period: 64, Down: 8}}}
+	if _, err := ApplyFaults(ring, bad); err == nil {
+		t.Fatal("disconnecting plan accepted")
+	}
+	bad.AllowDisconnected = true
+	cut, err := ApplyFaults(ring, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Reachability().Connected {
+		t.Fatal("cut ring still reports connected")
+	}
+	var _ Topology = ft
+}

@@ -89,6 +89,15 @@ type Config struct {
 	// any flit transfer (while messages are in flight) after which
 	// the run aborts with Result.Deadlocked (default 50000 when 0).
 	DeadlockThreshold int64
+	// MaxMsgAge, when positive, arms the over-age half of the
+	// progress watchdog: if any message stays in the network (from
+	// injection-VC acquisition) longer than this many cycles, the run
+	// aborts gracefully with Result.Aborted and the stalled message's
+	// route in Result.StallTrace — catching livelocks and
+	// fault-induced starvation that global progress (which
+	// DeadlockThreshold monitors) does not see. Zero disables the
+	// check, preserving byte-identical results for existing configs.
+	MaxMsgAge int64
 	// Paranoid enables structural invariant checking every
 	// ParanoidEvery cycles (default 64 when 0); a violation aborts
 	// the run with an error. Costs roughly 2× runtime; intended for
@@ -105,6 +114,8 @@ func (c *Config) validate() error {
 	switch {
 	case c.Top == nil:
 		return errors.New("desim: nil topology")
+	case c.Top.N() <= 0:
+		return fmt.Errorf("desim: topology %q has no nodes", c.Top.Name())
 	case c.Spec.V() <= 0:
 		return errors.New("desim: routing spec has no virtual channels")
 	case c.Rate < 0:
@@ -113,10 +124,42 @@ func (c *Config) validate() error {
 		return fmt.Errorf("desim: message length %d", c.MsgLen)
 	case c.MsgLen > 1<<14:
 		return fmt.Errorf("desim: message length %d too large", c.MsgLen)
-	case c.WarmupCycles < 0 || c.MeasureCycles <= 0:
-		return errors.New("desim: bad warmup/measure window")
+	case c.WarmupCycles < 0:
+		return fmt.Errorf("desim: negative WarmupCycles %d", c.WarmupCycles)
+	case c.MeasureCycles <= 0:
+		return fmt.Errorf("desim: MeasureCycles %d must be positive", c.MeasureCycles)
+	case c.DrainCycles < 0:
+		return fmt.Errorf("desim: negative DrainCycles %d", c.DrainCycles)
+	case c.DeadlockThreshold < 0:
+		return fmt.Errorf("desim: negative DeadlockThreshold %d", c.DeadlockThreshold)
+	case c.MaxMsgAge < 0:
+		return fmt.Errorf("desim: negative MaxMsgAge %d", c.MaxMsgAge)
+	case c.TraceCap < 0:
+		return fmt.Errorf("desim: negative TraceCap %d", c.TraceCap)
 	}
 	return nil
+}
+
+// ChannelFlapper is implemented by fault-injecting topologies
+// (internal/faults.Faulted) whose physical links go down and come
+// back in deterministic periodic windows. The simulator queries
+// every network channel once at start-up; channel (node, dim) is
+// down at cycle t iff (t+phase) mod period < down.
+type ChannelFlapper interface {
+	// FlapWindow returns the flap window of channel (node, dim);
+	// ok is false when the channel never flaps.
+	FlapWindow(node, dim int) (period, down, phase int64, ok bool)
+}
+
+// NodeHealth is implemented by fault-injecting topologies in which
+// whole nodes can fail. The simulator skips the arrival process of a
+// failed node and draws default uniform destinations over live nodes
+// only; a custom pattern that addresses a dead (or otherwise
+// unreachable) destination aborts the run at injection with a typed
+// routing.UnreachableError.
+type NodeHealth interface {
+	// NodeUp reports whether node survives the fault plan.
+	NodeUp(node int) bool
 }
 
 // Result aggregates one run's measurements.
@@ -204,16 +247,34 @@ type Result struct {
 	// before the drain limit; when false the latency figures are
 	// biased low (a saturation symptom).
 	Drained bool
+	// Aborted reports that the progress watchdog ended the run early
+	// — a no-flit-advanced window (then Deadlocked is also set) or an
+	// over-age message (Config.MaxMsgAge) — instead of burning cycles
+	// to the drain limit. AbortReason says which and why, StallCycle
+	// is the cycle the watchdog fired, and StallTrace reconstructs
+	// the oldest in-flight message's route (generation, injection and
+	// one grant event per still-held virtual channel) from the live
+	// channel chains, independent of Config.TraceCap.
+	Aborted     bool
+	AbortReason string
+	StallCycle  int64
+	StallTrace  []Event
+	// Misroutes counts hops granted on non-minimal channels — the
+	// escape/misroute fallback taken when transient faults had every
+	// profitable channel of a hop down. Always zero on fault-free
+	// topologies.
+	Misroutes uint64
 }
 
 // Saturated heuristically reports whether the run operated beyond
-// saturation: the detector fired, measured messages never drained, or
-// the source queues ended the run holding more than four messages per
-// node on average (arrivals continue through the drain period, so a
-// stable network ends with short steady-state queues while an
-// overloaded one accumulates them linearly).
+// saturation: the detector fired, the watchdog aborted the run,
+// measured messages never drained, or the source queues ended the
+// run holding more than four messages per node on average (arrivals
+// continue through the drain period, so a stable network ends with
+// short steady-state queues while an overloaded one accumulates them
+// linearly).
 func (r *Result) Saturated() bool {
-	return r.Deadlocked || !r.Drained ||
+	return r.Deadlocked || r.Aborted || !r.Drained ||
 		(r.Nodes > 0 && r.EndQueueLen > 4*r.Nodes)
 }
 
@@ -265,7 +326,17 @@ type network struct {
 	routePending []*message
 	decisions    []int32
 	grantCount   []uint32 // per network channel, after warm-up
-	chanExists   []bool   // per channel; false only for mesh borders
+	chanExists   []bool   // per channel; false for mesh borders and failed links
+
+	// Transient-fault state (nil/false on fault-free topologies, so
+	// the hot loops keep their fast paths). flapOfChan maps a channel
+	// to its flap window in flapWindows (−1: never flaps); checkReach
+	// enables the per-message injection reachability check; nodeUp is
+	// the per-node liveness mask.
+	flapOfChan  []int32
+	flapWindows []flapWindow
+	checkReach  bool
+	nodeUp      []bool
 
 	// Active-channel tracking: the transfer loop visits only channels
 	// with at least one owned VC instead of scanning the whole
@@ -297,6 +368,12 @@ type network struct {
 type pair struct {
 	gvc int32
 	vc  int
+}
+
+// flapWindow is the resolved per-channel form of a transient link
+// fault: down at cycle t iff (t+phase) mod period < down.
+type flapWindow struct {
+	period, down, phase int64
 }
 
 // channel index helpers: per node, slots 0..deg-1 are network

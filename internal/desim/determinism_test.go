@@ -7,6 +7,7 @@ import (
 	"math"
 	"testing"
 
+	"starperf/internal/faults"
 	"starperf/internal/hypercube"
 	"starperf/internal/routing"
 	"starperf/internal/stargraph"
@@ -52,6 +53,7 @@ func fingerprint(t *testing.T, r *Result) []byte {
 		put(math.Float64bits(x))
 	}
 	put(r.SuggestedWarmup, r.Deadlocked, r.Drained)
+	put(r.Aborted, r.StallCycle, r.Misroutes, int64(len(r.StallTrace)))
 	return buf.Bytes()
 }
 
@@ -62,12 +64,25 @@ func fingerprint(t *testing.T, r *Result) []byte {
 // event order, unseeded randomness, scheduling-dependent float
 // summation — fails this test.
 func TestDeterminismByteIdentical(t *testing.T) {
+	s4 := stargraph.MustNew(4)
+	// a faulted topology must be exactly as deterministic as a
+	// pristine one: same fault seed → byte-identical Result,
+	// including the flap-driven misroute fallback
+	faultPlan, err := faults.NewPlan(s4, 97, faults.Options{FailLinks: 1, Flaps: 1,
+		FlapPeriod: 512, FlapDown: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
 	tops := []struct {
 		name string
 		top  topology.Topology
+		v    int
 	}{
-		{"S4", stargraph.MustNew(4)},
-		{"Q4", hypercube.MustNew(4)},
+		{"S4", s4, 4},
+		{"Q4", hypercube.MustNew(4), 4},
+		// the degraded diameter can exceed the pristine one, raising
+		// the escape-level minimum — hence the larger budget
+		{"S4-faulted", faults.MustApply(s4, faultPlan), 6},
 	}
 	kinds := []routing.Kind{routing.NHop, routing.EnhancedNbc}
 	for _, tc := range tops {
@@ -75,7 +90,7 @@ func TestDeterminismByteIdentical(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/%s", tc.name, kind), func(t *testing.T) {
 				cfg := Config{
 					Top:           tc.top,
-					Spec:          routing.MustNew(kind, tc.top, 4),
+					Spec:          routing.MustNew(kind, tc.top, tc.v),
 					Policy:        routing.PreferClassA,
 					Rate:          0.02,
 					MsgLen:        8,

@@ -113,7 +113,95 @@ func newNetwork(cfg Config) (*network, error) {
 			nw.chanExists[ch] = slot >= deg || topology.HasChannel(top, node, slot)
 		}
 	}
+	if err := nw.wireFaults(); err != nil {
+		return nil, err
+	}
 	return nw, nil
+}
+
+// wireFaults resolves the fault view of the topology, when it has
+// one: per-channel transient flap windows (ChannelFlapper), the node
+// liveness mask and a live-nodes-only default traffic pattern
+// (NodeHealth), and the injection-time reachability check. Fault-free
+// topologies leave every field nil and the hot loops untouched.
+func (nw *network) wireFaults() error {
+	n := nw.top.N()
+	if f, ok := nw.top.(ChannelFlapper); ok {
+		for node := 0; node < n; node++ {
+			for dim := 0; dim < nw.deg; dim++ {
+				period, down, phase, has := f.FlapWindow(node, dim)
+				if !has {
+					continue
+				}
+				if period <= 0 || down < 0 || down >= period || phase < 0 {
+					return fmt.Errorf("desim: invalid flap window %d/%d/%d on channel (%d,%d)",
+						down, period, phase, node, dim)
+				}
+				if nw.flapOfChan == nil {
+					nw.flapOfChan = make([]int32, n*nw.slots)
+					for i := range nw.flapOfChan {
+						nw.flapOfChan[i] = -1
+					}
+				}
+				nw.flapOfChan[nw.chanIdx(node, dim)] = int32(len(nw.flapWindows))
+				nw.flapWindows = append(nw.flapWindows, flapWindow{period, down, phase})
+			}
+		}
+	}
+	if h, ok := nw.top.(NodeHealth); ok {
+		nw.checkReach = true
+		nw.nodeUp = make([]bool, n)
+		var live []int
+		for node := 0; node < n; node++ {
+			nw.nodeUp[node] = h.NodeUp(node)
+			if nw.nodeUp[node] {
+				live = append(live, node)
+			}
+		}
+		if nw.cfg.Rate > 0 && len(live) < 2 {
+			return fmt.Errorf("desim: %s has %d live node(s); traffic needs at least 2",
+				nw.top.Name(), len(live))
+		}
+		if nw.cfg.Pattern == nil {
+			nw.pattern = uniformLive{nodes: live}
+		}
+		// dead nodes generate nothing: drop their arrival processes
+		for node := 0; node < n && nw.arrivals != nil; node++ {
+			if !nw.nodeUp[node] {
+				nw.arrivals[node] = nil
+			}
+		}
+	}
+	return nil
+}
+
+// uniformLive draws destinations uniformly over the live nodes of a
+// degraded topology, excluding the source — the fault-aware
+// counterpart of traffic.Uniform.
+type uniformLive struct{ nodes []int }
+
+// Name identifies the pattern.
+func (u uniformLive) Name() string { return "uniform-live" }
+
+// Destination draws a live destination other than src.
+func (u uniformLive) Destination(src int, rng *traffic.RNG) int {
+	for {
+		d := u.nodes[rng.Intn(len(u.nodes))]
+		if d != src {
+			return d
+		}
+	}
+}
+
+// linkUpChan reports whether channel ch's physical link is up this
+// cycle (always true without a flap schedule).
+func (nw *network) linkUpChan(ch int32) bool {
+	fi := nw.flapOfChan[ch]
+	if fi < 0 {
+		return true
+	}
+	w := nw.flapWindows[fi]
+	return (nw.cycle+w.phase)%w.period >= w.down
 }
 
 func (nw *network) loop() error {
@@ -123,7 +211,9 @@ func (nw *network) loop() error {
 		paranoidEvery = 64
 	}
 	for nw.cycle = 0; ; nw.cycle++ {
-		nw.doArrivals()
+		if err := nw.doArrivals(); err != nil {
+			return err
+		}
 		grants := nw.doInjection()
 		grants += nw.doRouting()
 		moved := nw.doTransfers()
@@ -141,6 +231,12 @@ func (nw *network) loop() error {
 		} else if nw.res.Generated > nw.res.Delivered+uint64(nw.totalQueued) &&
 			nw.cycle-nw.lastProgress > nw.cfg.DeadlockThreshold {
 			nw.res.Deadlocked = true
+			nw.abortRun(fmt.Sprintf("no flit advanced for %d cycles with %d messages in flight",
+				nw.cycle-nw.lastProgress,
+				nw.res.Generated-nw.res.Delivered-uint64(nw.totalQueued)))
+			return nil
+		}
+		if nw.cfg.MaxMsgAge > 0 && (nw.cycle+1)%watchdogEvery == 0 && nw.checkOverAge() {
 			return nil
 		}
 		if nw.cycle+1 >= nw.measureEnd {
@@ -215,17 +311,26 @@ func (nw *network) newMessage() *message {
 	return &message{}
 }
 
-func (nw *network) doArrivals() {
+func (nw *network) doArrivals() error {
 	if nw.arrivals == nil {
-		return
+		return nil
 	}
 	now := float64(nw.cycle)
 	for node, p := range nw.arrivals {
+		if p == nil { // failed node: generates no traffic
+			continue
+		}
 		for p.NextArrival() <= now {
 			p.Pop()
 			m := nw.newMessage()
 			m.src = node
 			m.dst = nw.pattern.Destination(node, nw.rng)
+			if nw.checkReach && nw.top.Distance(node, m.dst) < 0 {
+				// reject at injection: the destination is stranded
+				// by the fault plan and the message could never
+				// release the channels it would acquire
+				return &routing.UnreachableError{Top: nw.top.Name(), Src: node, Dst: m.dst}
+			}
 			m.length = nw.msgLen
 			if nw.cfg.LenDist != nil {
 				l := nw.cfg.LenDist.Sample(nw.rng)
@@ -248,6 +353,7 @@ func (nw *network) doArrivals() {
 			nw.pushQueue(node, m)
 		}
 	}
+	return nil
 }
 
 func (nw *network) pushQueue(node int, m *message) {
@@ -401,21 +507,64 @@ func (nw *network) allocate(m *message) bool {
 		m.waitStart = nw.cycle
 	}
 	dims := nw.top.ProfitableDims(node, m.dst, nw.dimBuf[:0])
+	if nw.flapOfChan != nil {
+		// transient faults: a profitable channel whose link is down
+		// this cycle cannot be granted
+		live := dims[:0]
+		for _, dim := range dims {
+			if nw.linkUpChan(nw.chanIdx(node, dim)) {
+				live = append(live, dim)
+			}
+		}
+		dims = live
+	}
 	if nw.cfg.Policy == routing.FirstProfitable && len(dims) > 1 {
 		dims = dims[:1] // deterministic minimal path baseline
 	}
 	hopNeg := nw.top.Color(node) == 1
 	nextColor := 1 - nw.top.Color(node)
-	dRem := nw.top.Distance(node, m.dst) - 1
-	elig := nw.spec.EligibleVCs(m.st, hopNeg, nextColor, dRem, nw.eligBuf[:0])
-
+	misroute := false
 	pairs := nw.pairBuf[:0]
-	for _, dim := range dims {
-		base := int(nw.chanIdx(node, dim)) * nw.v
-		for _, vc := range elig {
-			gvc := int32(base + vc)
-			if nw.owner[gvc] == nil {
-				pairs = append(pairs, pair{gvc: gvc, vc: vc})
+	if len(dims) > 0 {
+		dRem := nw.top.Distance(node, m.dst) - 1
+		elig := nw.spec.EligibleVCs(m.st, hopNeg, nextColor, dRem, nw.eligBuf[:0])
+		for _, dim := range dims {
+			base := int(nw.chanIdx(node, dim)) * nw.v
+			for _, vc := range elig {
+				gvc := int32(base + vc)
+				if nw.owner[gvc] == nil {
+					pairs = append(pairs, pair{gvc: gvc, vc: vc})
+				}
+			}
+		}
+	} else if nw.flapOfChan != nil {
+		// Every profitable channel of this hop is transiently down:
+		// fall back to a misroute over the live non-minimal channels.
+		// routing.MisrouteVCs only admits hops with class-b headroom
+		// for the longer remaining journey, so deadlock freedom is
+		// preserved; with no headroom the message waits for a link to
+		// come back up (flaps always do: Down < Period).
+		misroute = true
+		for dim := 0; dim < nw.deg; dim++ {
+			ch := nw.chanIdx(node, dim)
+			if !nw.chanExists[ch] || !nw.linkUpChan(ch) {
+				continue
+			}
+			nbr := nw.top.Neighbor(node, dim)
+			if nbr < 0 {
+				continue
+			}
+			dRem := nw.top.Distance(nbr, m.dst)
+			if dRem < 0 {
+				continue
+			}
+			elig := nw.spec.MisrouteVCs(m.st, hopNeg, nextColor, dRem, nw.eligBuf[:0])
+			base := int(ch) * nw.v
+			for _, vc := range elig {
+				gvc := int32(base + vc)
+				if nw.owner[gvc] == nil {
+					pairs = append(pairs, pair{gvc: gvc, vc: vc})
+				}
 			}
 		}
 	}
@@ -427,6 +576,9 @@ func (nw *network) allocate(m *message) bool {
 
 	chosen := nw.choose(pairs)
 	vc := chosen.vc
+	if misroute {
+		nw.res.Misroutes++
+	}
 	if nw.spec.IsClassA(vc) {
 		nw.res.ClassAUse++
 	} else {
@@ -527,6 +679,9 @@ func (nw *network) doTransfers() int {
 	nw.decisions = nw.decisions[:0]
 	for _, ch32 := range nw.active {
 		ch := int(ch32)
+		if nw.flapOfChan != nil && ch%nw.slots < nw.deg && !nw.linkUpChan(ch32) {
+			continue // link transiently down: flits hold their buffers
+		}
 		base := ch * nw.v
 		start := int(nw.rr[ch])
 		eject := ch%nw.slots == nw.deg

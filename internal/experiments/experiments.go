@@ -13,6 +13,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"starperf/internal/desim"
 	"starperf/internal/model"
@@ -36,6 +37,18 @@ type SimOptions struct {
 	BufCap int
 	// Workers bounds simulation parallelism (default NumCPU).
 	Workers int
+	// PointTimeout, when positive, is the wall-clock budget of one
+	// (point, seed) simulation. A run past the budget is marked
+	// failed (Point.Failed) and its goroutine left to finish in the
+	// background (every run is cycle-bounded by the drain limit, so
+	// it terminates). The budget makes which points are marked
+	// timing-dependent, so leave it zero when byte-reproducible panel
+	// output matters.
+	PointTimeout time.Duration
+	// MaxMsgAge arms the simulator's over-age watchdog per run (see
+	// desim.Config.MaxMsgAge); aborted runs get one retry at an
+	// escalated drain window, then mark the point failed.
+	MaxMsgAge int64
 }
 
 func (o SimOptions) withDefaults() SimOptions {
@@ -71,6 +84,15 @@ type Point struct {
 	Sim          float64
 	SimHW        float64
 	SimSaturated bool
+	// Failed marks a point at least one of whose replications
+	// produced no usable result — a panic, a watchdog abort that
+	// survived the escalated-drain retry, or a wall-budget timeout —
+	// with Err carrying the first failure. Sim aggregates the
+	// surviving replications (NaN when none survived); the panel
+	// renders the point as failed instead of the whole figure
+	// failing.
+	Failed bool
+	Err    string
 }
 
 // Series is one curve (fixed V, M, algorithm) over a rate sweep.
@@ -121,6 +143,7 @@ func runSweep(top topology.Topology, panels []*Series, opts SimOptions, pattern 
 						WarmupCycles:  opts.Warmup,
 						MeasureCycles: opts.Measure,
 						DrainCycles:   opts.Drain,
+						MaxMsgAge:     opts.MaxMsgAge,
 					},
 				})
 			}
@@ -139,7 +162,7 @@ func runSweep(top topology.Topology, panels []*Series, opts SimOptions, pattern 
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				res, err := desim.Run(jobs[i].cfg)
+				res, err := runPoint(jobs[i].cfg, opts.PointTimeout)
 				results[i] = outcome{job: jobs[i], res: res, err: err}
 			}
 		}()
@@ -150,22 +173,27 @@ func runSweep(top topology.Topology, panels []*Series, opts SimOptions, pattern 
 	close(ch)
 	wg.Wait()
 
-	// aggregate per point over seeds
+	// aggregate per point over seeds; failed replications mark the
+	// point instead of failing the whole sweep
 	type agg struct {
-		lat  []float64
-		sat  bool
-		seen int
+		lat    []float64
+		sat    bool
+		seen   int
+		errMsg string
 	}
 	aggs := make(map[[2]int]*agg)
 	for _, oc := range results {
-		if oc.err != nil {
-			return oc.err
-		}
 		key := [2]int{oc.job.series, oc.job.point}
 		a := aggs[key]
 		if a == nil {
 			a = &agg{}
 			aggs[key] = a
+		}
+		if oc.err != nil {
+			if a.errMsg == "" {
+				a.errMsg = fmt.Sprintf("seed %d: %v", oc.job.seed, oc.err)
+			}
+			continue
 		}
 		a.lat = append(a.lat, oc.res.Latency.Mean())
 		a.sat = a.sat || oc.res.Saturated()
@@ -178,12 +206,82 @@ func runSweep(top topology.Topology, panels []*Series, opts SimOptions, pattern 
 			st.Add(l)
 		}
 		p.Sim = st.Mean()
+		if st.N() == 0 {
+			p.Sim = math.NaN()
+		}
 		p.SimSaturated = a.sat
+		p.Failed = a.errMsg != ""
+		p.Err = a.errMsg
 		if st.N() >= 2 {
 			p.SimHW = 1.96 * st.StdDev() / math.Sqrt(float64(st.N()))
 		}
 	}
 	return nil
+}
+
+// drainEscalation multiplies DrainCycles on the single retry granted
+// to a run the watchdog aborted — the degraded-point second chance
+// before the point is marked failed.
+const drainEscalation = 4
+
+// runPoint executes one (point, seed) simulation with the harness's
+// resilience policy: panics become errors instead of killing the
+// sweep, a watchdog abort earns one retry at an escalated drain
+// window, and a positive wall budget bounds how long the caller
+// waits.
+func runPoint(cfg desim.Config, wall time.Duration) (*desim.Result, error) {
+	res, err := runRecovered(cfg, wall)
+	if err == nil && !res.Aborted {
+		return res, nil
+	}
+	retry := cfg
+	retry.DrainCycles = drainEscalation * cfg.DrainCycles
+	res2, err2 := runRecovered(retry, wall)
+	switch {
+	case err2 == nil && !res2.Aborted:
+		return res2, nil
+	case err != nil:
+		return nil, err
+	case err2 != nil:
+		return nil, fmt.Errorf("aborted at cycle %d (%s); retry at %d× drain: %w",
+			res.StallCycle, res.AbortReason, drainEscalation, err2)
+	default:
+		return nil, fmt.Errorf("aborted at cycle %d (%s); retry at %d× drain aborted too (%s)",
+			res.StallCycle, res.AbortReason, drainEscalation, res2.AbortReason)
+	}
+}
+
+// runRecovered is desim.Run with panics converted to errors and an
+// optional wall budget. On timeout the simulation goroutine is left
+// to run out its (bounded) drain window in the background and its
+// result is discarded.
+func runRecovered(cfg desim.Config, wall time.Duration) (*desim.Result, error) {
+	run := func() (res *desim.Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("experiments: simulation panicked: %v", r)
+			}
+		}()
+		return desim.Run(cfg)
+	}
+	if wall <= 0 {
+		return run()
+	}
+	type outcome struct {
+		res *desim.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := run()
+		done <- outcome{res, err}
+	}()
+	select {
+	case oc := <-done:
+		return oc.res, oc.err
+	case <-time.After(wall):
+		return nil, fmt.Errorf("experiments: simulation exceeded wall budget %v", wall)
+	}
 }
 
 // fillModel fills the Model fields of a star-graph series.

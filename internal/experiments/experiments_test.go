@@ -16,6 +16,9 @@ func fastOpts() SimOptions {
 }
 
 func TestFigure1PanelA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute soak under -race")
+	}
 	p, err := Figure1('a', 5, fastOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -59,6 +62,9 @@ func TestFigure1BadPanel(t *testing.T) {
 }
 
 func TestShapeChecksOnRealPanel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute soak under -race")
+	}
 	opts := fastOpts()
 	opts.Seeds = []uint64{3, 4, 5}
 	p, err := Figure1('a', 6, opts)
@@ -115,6 +121,9 @@ func TestAblationMixtureRows(t *testing.T) {
 }
 
 func TestAblationAlgorithmsOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute soak under -race")
+	}
 	opts := fastOpts()
 	p, err := AblationAlgorithms(6, 32, 4, opts)
 	if err != nil {
@@ -215,6 +224,9 @@ func TestValidationGridSmall(t *testing.T) {
 }
 
 func TestSwitchingComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute soak under -race")
+	}
 	opts := fastOpts()
 	opts.Seeds = []uint64{5}
 	p, err := SwitchingComparison(6, 32, 6, opts)

@@ -24,10 +24,16 @@ func RenderPanel(w io.Writer, p *Panel) {
 			case !pt.ModelSaturated && !math.IsNaN(pt.Model):
 				model = fmt.Sprintf("%.2f", pt.Model)
 			}
-			sim := fmt.Sprintf("%.2f", pt.Sim)
+			sim := "-"
+			if !math.IsNaN(pt.Sim) {
+				sim = fmt.Sprintf("%.2f", pt.Sim)
+			}
 			notes := ""
 			if pt.SimSaturated {
 				notes = "sim saturated"
+			}
+			if pt.Failed {
+				notes = "FAILED: " + pt.Err
 			}
 			hw := ""
 			if pt.SimHW > 0 {
@@ -39,18 +45,23 @@ func RenderPanel(w io.Writer, p *Panel) {
 }
 
 // RenderPanelCSV writes a Panel as CSV: series,rate,model,sim,hw,
-// model_saturated,sim_saturated.
+// model_saturated,sim_saturated,failed. Sim is empty when no
+// replication of the point survived (Point.Failed with NaN Sim).
 func RenderPanelCSV(w io.Writer, p *Panel) {
-	fmt.Fprintln(w, "series,v,msglen,rate,model,sim,hw,model_saturated,sim_saturated")
+	fmt.Fprintln(w, "series,v,msglen,rate,model,sim,hw,model_saturated,sim_saturated,failed")
 	for _, s := range p.Series {
 		for _, pt := range s.Points {
 			m := ""
 			if !math.IsNaN(pt.Model) {
 				m = fmt.Sprintf("%.4f", pt.Model)
 			}
-			fmt.Fprintf(w, "%s,%d,%d,%.6f,%s,%.4f,%.4f,%v,%v\n",
-				s.Name, s.V, s.MsgLen, pt.Rate, m, pt.Sim, pt.SimHW,
-				pt.ModelSaturated, pt.SimSaturated)
+			sim := ""
+			if !math.IsNaN(pt.Sim) {
+				sim = fmt.Sprintf("%.4f", pt.Sim)
+			}
+			fmt.Fprintf(w, "%s,%d,%d,%.6f,%s,%s,%.4f,%v,%v,%v\n",
+				s.Name, s.V, s.MsgLen, pt.Rate, m, sim, pt.SimHW,
+				pt.ModelSaturated, pt.SimSaturated, pt.Failed)
 		}
 	}
 }

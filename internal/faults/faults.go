@@ -1,0 +1,591 @@
+// Package faults implements deterministic fault injection for the
+// simulator's topologies: seed-driven fault plans (permanently failed
+// links, failed nodes, transient link flaps with periodic up/down
+// windows) and a Faulted wrapper that presents the degraded network
+// through the ordinary topology.Topology interface, so the routing
+// layer and the flit-level simulator run on it unchanged.
+//
+// Masking is physical: failing a link removes the channel in both
+// directions, and failing a node removes every channel incident to
+// it. Because every base topology is bipartite and its links are
+// transpositions of the bipartition, masking preserves bipartiteness,
+// so the negative-hop deadlock-freedom argument survives — provided
+// distances and the diameter are recomputed on the masked graph,
+// which Faulted does by breadth-first search at construction. Plans
+// that disconnect the network are rejected (or, with
+// Plan.AllowDisconnected, accepted and reported), mirroring the
+// fault-tolerant-routing literature's insistence that a router first
+// know which destinations remain reachable.
+//
+// Everything is deterministic: plans are drawn from a seeded
+// splittable PRNG (traffic.RNG), flap windows are pure functions of
+// the cycle counter, and no map iteration or wall-clock read occurs
+// anywhere in the package.
+package faults
+
+import (
+	"fmt"
+
+	"starperf/internal/topology"
+	"starperf/internal/traffic"
+)
+
+// MaxNodes bounds the networks Faulted will wrap: the wrapper stores
+// an all-pairs distance table (N² int16 entries) because closed-form
+// distances are wrong on a degraded graph. 5040 = |S_7| keeps the
+// table around 50 MB; larger networks need a different representation
+// and are rejected.
+const MaxNodes = 5040
+
+// Link identifies one directed channel (node, dim) of a topology;
+// failing it also fails the paired reverse channel(s), because a
+// fault takes out the physical link, not one direction of it.
+type Link struct {
+	Node, Dim int
+}
+
+// Flap describes a transient link fault: the physical link carrying
+// channel (Node, Dim) — both directions — is down for Down cycles at
+// the start of every Period-cycle window, shifted by Phase. The link
+// is down at cycle t iff (t+Phase) mod Period < Down. Down must be
+// strictly less than Period; a permanently dead link belongs in
+// Plan.Links so that reachability and distances account for it.
+type Flap struct {
+	Node, Dim           int
+	Period, Down, Phase int64
+}
+
+// Plan is one reproducible fault scenario. Plans are value objects:
+// the same plan applied to the same topology always yields the same
+// Faulted wrapper, and the simulator is byte-deterministic across
+// runs for a fixed (Config, Plan) pair.
+type Plan struct {
+	// Seed identifies the plan (NewPlan draws from it); it is carried
+	// for labelling and has no effect in Apply.
+	Seed uint64
+	// Links are permanently failed links (each fails both directions).
+	Links []Link
+	// Nodes are failed nodes: every incident channel is removed and
+	// the node neither generates nor receives traffic.
+	Nodes []int
+	// Flaps are transient link faults wired into the simulator's
+	// event loop.
+	Flaps []Flap
+	// AllowDisconnected accepts plans whose static faults disconnect
+	// the live nodes. Apply then reports the stranded component via
+	// Faulted.Reachability instead of failing, and the simulator
+	// rejects messages to unreachable destinations at injection with
+	// a typed routing.UnreachableError.
+	AllowDisconnected bool
+}
+
+// String summarises the plan.
+func (p *Plan) String() string {
+	return fmt.Sprintf("faults{seed=%#x links=%d nodes=%d flaps=%d}",
+		p.Seed, len(p.Links), len(p.Nodes), len(p.Flaps))
+}
+
+// Options shapes the random plans drawn by NewPlan.
+type Options struct {
+	// FailLinks, FailNodes and Flaps are the number of faults of each
+	// kind to draw.
+	FailLinks, FailNodes, Flaps int
+	// FlapPeriod and FlapDown are the flap window parameters
+	// (defaults 2048 and 256 cycles); each drawn flap gets a
+	// deterministic per-flap phase so flaps do not beat in unison.
+	FlapPeriod, FlapDown int64
+	// AllowDisconnected is copied into the plan; without it NewPlan
+	// resamples (boundedly) until the drawn faults leave the live
+	// nodes connected.
+	AllowDisconnected bool
+}
+
+// planAttempts bounds how many candidate plans NewPlan draws before
+// giving up on finding a connected one.
+const planAttempts = 64
+
+// NewPlan draws a deterministic fault plan for top from seed: opts
+// counts of failed links, failed nodes and flapping links, sampled
+// without replacement over the existing channels. Unless
+// opts.AllowDisconnected is set, candidate plans whose static faults
+// disconnect the live nodes are resampled (up to a bounded number of
+// attempts) so the returned plan always describes a degraded but
+// routable network.
+func NewPlan(top topology.Topology, seed uint64, opts Options) (*Plan, error) {
+	n, deg := top.N(), top.Degree()
+	if n > MaxNodes {
+		return nil, fmt.Errorf("faults: %s has %d nodes, above the supported %d",
+			top.Name(), n, MaxNodes)
+	}
+	if opts.FailLinks < 0 || opts.FailNodes < 0 || opts.Flaps < 0 {
+		return nil, fmt.Errorf("faults: negative fault count in %+v", opts)
+	}
+	if opts.FailNodes > n-2 {
+		return nil, fmt.Errorf("faults: failing %d of %d nodes leaves fewer than two live nodes",
+			opts.FailNodes, n)
+	}
+	if opts.FlapPeriod == 0 {
+		opts.FlapPeriod = 2048
+	}
+	if opts.FlapDown == 0 {
+		opts.FlapDown = 256
+	}
+	if opts.FlapPeriod < 0 || opts.FlapDown < 0 || opts.FlapDown >= opts.FlapPeriod {
+		return nil, fmt.Errorf("faults: flap window %d/%d invalid (need 0 ≤ down < period)",
+			opts.FlapDown, opts.FlapPeriod)
+	}
+	rng := traffic.NewRNG(seed)
+	var lastErr error
+	for attempt := 0; attempt < planAttempts; attempt++ {
+		plan := &Plan{Seed: seed, AllowDisconnected: opts.AllowDisconnected}
+		// failed nodes, distinct
+		taken := make([]bool, n)
+		for len(plan.Nodes) < opts.FailNodes {
+			node := rng.Intn(n)
+			if !taken[node] {
+				taken[node] = true
+				plan.Nodes = append(plan.Nodes, node)
+			}
+		}
+		// failed links: distinct physical links between live nodes
+		seen := make([]bool, n*deg)
+		drawLink := func() (Link, bool) {
+			for tries := 0; tries < 16*n*deg; tries++ {
+				node, dim := rng.Intn(n), rng.Intn(deg)
+				nbr := top.Neighbor(node, dim)
+				if nbr < 0 || !topology.HasChannel(top, node, dim) {
+					continue
+				}
+				if taken[node] || taken[nbr] || seen[node*deg+dim] {
+					continue
+				}
+				seen[node*deg+dim] = true
+				// mark every reverse channel too, so the physical
+				// link is drawn at most once
+				for d := 0; d < deg; d++ {
+					if top.Neighbor(nbr, d) == node {
+						seen[nbr*deg+d] = true
+					}
+				}
+				return Link{Node: node, Dim: dim}, true
+			}
+			return Link{}, false
+		}
+		ok := true
+		for i := 0; i < opts.FailLinks; i++ {
+			l, found := drawLink()
+			if !found {
+				ok = false
+				break
+			}
+			plan.Links = append(plan.Links, l)
+		}
+		for i := 0; ok && i < opts.Flaps; i++ {
+			l, found := drawLink()
+			if !found {
+				ok = false
+				break
+			}
+			plan.Flaps = append(plan.Flaps, Flap{
+				Node: l.Node, Dim: l.Dim,
+				Period: opts.FlapPeriod, Down: opts.FlapDown,
+				Phase: int64(rng.Intn(int(opts.FlapPeriod))),
+			})
+		}
+		if !ok {
+			lastErr = fmt.Errorf("faults: %s cannot host %d failed + %d flapping links",
+				top.Name(), opts.FailLinks, opts.Flaps)
+			continue
+		}
+		if !opts.AllowDisconnected {
+			if r := CheckReachability(top, plan); !r.Connected {
+				lastErr = fmt.Errorf("faults: plan strands %d of %d live nodes", len(r.Stranded), r.Live)
+				continue
+			}
+		}
+		return plan, nil
+	}
+	return nil, fmt.Errorf("faults: no viable plan for %s after %d attempts: %w",
+		top.Name(), planAttempts, lastErr)
+}
+
+// Reachability describes the static connectivity of a faulted
+// topology (transient flaps do not count: a flapping link is up part
+// of every window, so it never strands a node permanently).
+type Reachability struct {
+	// Connected reports whether every live node can reach every
+	// other live node through non-failed channels.
+	Connected bool
+	// Live is the number of non-failed nodes.
+	Live int
+	// Stranded lists the live nodes unreachable from the
+	// lowest-indexed live node, in ascending order (empty when
+	// Connected).
+	Stranded []int
+}
+
+// CheckReachability computes the static connectivity of top under
+// plan's permanent faults by breadth-first search from the
+// lowest-indexed live node.
+func CheckReachability(top topology.Topology, plan *Plan) Reachability {
+	down, nodeDown, err := buildMasks(top, plan)
+	if err != nil {
+		// An invalid plan reaches nothing; Apply surfaces the error.
+		return Reachability{}
+	}
+	return reachabilityOf(top, down, nodeDown)
+}
+
+// buildMasks expands a plan into per-channel and per-node masks,
+// failing both directions of every listed link and every channel
+// incident to a failed node.
+func buildMasks(top topology.Topology, plan *Plan) (down, nodeDown []bool, err error) {
+	n, deg := top.N(), top.Degree()
+	down = make([]bool, n*deg)
+	nodeDown = make([]bool, n)
+	for _, node := range plan.Nodes {
+		if node < 0 || node >= n {
+			return nil, nil, fmt.Errorf("faults: failed node %d outside [0,%d)", node, n)
+		}
+		nodeDown[node] = true
+	}
+	live := 0
+	for _, d := range nodeDown {
+		if !d {
+			live++
+		}
+	}
+	if live < 2 {
+		return nil, nil, fmt.Errorf("faults: only %d live node(s) remain", live)
+	}
+	failBoth := func(node, dim int) error {
+		if node < 0 || node >= n || dim < 0 || dim >= deg {
+			return fmt.Errorf("faults: link (%d,%d) outside %s", node, dim, top.Name())
+		}
+		nbr := top.Neighbor(node, dim)
+		if nbr < 0 || !topology.HasChannel(top, node, dim) {
+			return fmt.Errorf("faults: link (%d,%d) does not exist in %s", node, dim, top.Name())
+		}
+		down[node*deg+dim] = true
+		for d := 0; d < deg; d++ {
+			if top.Neighbor(nbr, d) == node {
+				down[nbr*deg+d] = true
+			}
+		}
+		return nil
+	}
+	for _, l := range plan.Links {
+		if err := failBoth(l.Node, l.Dim); err != nil {
+			return nil, nil, err
+		}
+	}
+	for node := 0; node < n; node++ {
+		if !nodeDown[node] {
+			continue
+		}
+		for dim := 0; dim < deg; dim++ {
+			nbr := top.Neighbor(node, dim)
+			if nbr < 0 || !topology.HasChannel(top, node, dim) {
+				continue
+			}
+			down[node*deg+dim] = true
+			for d := 0; d < deg; d++ {
+				if top.Neighbor(nbr, d) == node {
+					down[nbr*deg+d] = true
+				}
+			}
+		}
+	}
+	return down, nodeDown, nil
+}
+
+// reachabilityOf runs the BFS behind CheckReachability. The masks are
+// symmetric (links fail in both directions), so forward reachability
+// from one live node decides connectivity of the whole live set.
+func reachabilityOf(top topology.Topology, down, nodeDown []bool) Reachability {
+	n, deg := top.N(), top.Degree()
+	r := Reachability{}
+	start := -1
+	for node := 0; node < n; node++ {
+		if !nodeDown[node] {
+			r.Live++
+			if start < 0 {
+				start = node
+			}
+		}
+	}
+	if start < 0 {
+		return r
+	}
+	visited := make([]bool, n)
+	visited[start] = true
+	queue := []int{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for dim := 0; dim < deg; dim++ {
+			if down[cur*deg+dim] {
+				continue
+			}
+			nbr := top.Neighbor(cur, dim)
+			if nbr < 0 || !topology.HasChannel(top, cur, dim) || visited[nbr] {
+				continue
+			}
+			visited[nbr] = true
+			queue = append(queue, nbr)
+		}
+	}
+	for node := 0; node < n; node++ {
+		if !nodeDown[node] && !visited[node] {
+			r.Stranded = append(r.Stranded, node)
+		}
+	}
+	r.Connected = len(r.Stranded) == 0
+	return r
+}
+
+// Faulted is a topology with a fault plan applied. It implements
+// topology.Topology and topology.Partial: failed channels report
+// HasChannel false and Neighbor −1 (the mesh convention), so the
+// simulator's channel statistics skip them and minimal routing never
+// selects one. Distances, the diameter and the average distance are
+// recomputed on the masked graph by BFS — the closed-form formulas of
+// the pristine topology are wrong once a link is gone, and the
+// negative-hop feasibility windows (and therefore deadlock freedom)
+// depend on exact degraded distances. Distance returns −1 for
+// unreachable pairs, a documented deviation from the pristine
+// Topology contract that the simulator converts into a typed
+// routing.UnreachableError at injection.
+//
+// Transient flaps do not enter the static mask; the simulator polls
+// them per cycle through the FlapWindow method and falls back to the
+// routing layer's misroute eligibility when every profitable channel
+// of a hop is transiently down.
+type Faulted struct {
+	base     topology.Topology
+	plan     *Plan
+	n, deg   int
+	down     []bool  // node*deg+dim → statically failed
+	nodeDown []bool  // node → failed
+	dist     []int16 // a*n+b → masked distance, −1 unreachable
+	diameter int
+	avgDist  float64
+	reach    Reachability
+	name     string
+}
+
+// Apply wraps top with plan. It validates the plan against the
+// topology, rejects plans that disconnect the live nodes unless
+// plan.AllowDisconnected is set, and precomputes the masked all-pairs
+// distance table (O(N²) memory, O(N²·deg) time — the price of exact
+// degraded distances; see MaxNodes).
+func Apply(top topology.Topology, plan *Plan) (*Faulted, error) {
+	n, deg := top.N(), top.Degree()
+	if n > MaxNodes {
+		return nil, fmt.Errorf("faults: %s has %d nodes, above the supported %d",
+			top.Name(), n, MaxNodes)
+	}
+	down, nodeDown, err := buildMasks(top, plan)
+	if err != nil {
+		return nil, err
+	}
+	for _, fl := range plan.Flaps {
+		if fl.Node < 0 || fl.Node >= n || fl.Dim < 0 || fl.Dim >= deg ||
+			top.Neighbor(fl.Node, fl.Dim) < 0 || !topology.HasChannel(top, fl.Node, fl.Dim) {
+			return nil, fmt.Errorf("faults: flap on missing link (%d,%d)", fl.Node, fl.Dim)
+		}
+		if down[fl.Node*deg+fl.Dim] {
+			return nil, fmt.Errorf("faults: flap on permanently failed link (%d,%d)", fl.Node, fl.Dim)
+		}
+		if fl.Period <= 0 || fl.Down < 0 || fl.Down >= fl.Period || fl.Phase < 0 {
+			return nil, fmt.Errorf("faults: flap window %+v invalid (need period > down ≥ 0, phase ≥ 0)", fl)
+		}
+	}
+	reach := reachabilityOf(top, down, nodeDown)
+	if !reach.Connected && !plan.AllowDisconnected {
+		sample := reach.Stranded
+		if len(sample) > 8 {
+			sample = sample[:8]
+		}
+		return nil, fmt.Errorf("faults: plan disconnects %s: %d of %d live nodes stranded (e.g. %v)",
+			top.Name(), len(reach.Stranded), reach.Live, sample)
+	}
+	f := &Faulted{
+		base: top, plan: plan, n: n, deg: deg,
+		down: down, nodeDown: nodeDown,
+		dist:  make([]int16, n*n),
+		reach: reach,
+		name:  fmt.Sprintf("%s+%s", top.Name(), plan),
+	}
+	f.computeDistances()
+	return f, nil
+}
+
+// MustApply is Apply but panics on error.
+func MustApply(top topology.Topology, plan *Plan) *Faulted {
+	f, err := Apply(top, plan)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// computeDistances fills the all-pairs table by one BFS per source
+// over the masked adjacency, and derives the diameter and average
+// distance of the degraded graph.
+func (f *Faulted) computeDistances() {
+	for i := range f.dist {
+		f.dist[i] = -1
+	}
+	queue := make([]int32, 0, f.n)
+	var sum float64
+	var pairs int64
+	maxD := 0
+	for src := 0; src < f.n; src++ {
+		if f.nodeDown[src] {
+			continue
+		}
+		row := f.dist[src*f.n : (src+1)*f.n]
+		row[src] = 0
+		queue = append(queue[:0], int32(src))
+		for len(queue) > 0 {
+			cur := int(queue[0])
+			queue = queue[1:]
+			d := row[cur]
+			for dim := 0; dim < f.deg; dim++ {
+				if f.down[cur*f.deg+dim] {
+					continue
+				}
+				nbr := f.base.Neighbor(cur, dim)
+				if nbr < 0 || !topology.HasChannel(f.base, cur, dim) || row[nbr] >= 0 {
+					continue
+				}
+				row[nbr] = d + 1
+				queue = append(queue, int32(nbr))
+			}
+		}
+		for dst, d := range row {
+			if dst == src || d < 0 {
+				continue
+			}
+			sum += float64(d)
+			pairs++
+			if int(d) > maxD {
+				maxD = int(d)
+			}
+		}
+	}
+	f.diameter = maxD
+	if pairs > 0 {
+		f.avgDist = sum / float64(pairs)
+	}
+}
+
+// Name labels the instance with its base topology and plan summary.
+func (f *Faulted) Name() string { return f.name }
+
+// N returns the node count of the base topology (failed nodes keep
+// their indices; they are masked, not renumbered).
+func (f *Faulted) N() int { return f.n }
+
+// Degree returns the base topology's degree.
+func (f *Faulted) Degree() int { return f.deg }
+
+// Base returns the wrapped pristine topology.
+func (f *Faulted) Base() topology.Topology { return f.base }
+
+// Plan returns the applied fault plan.
+func (f *Faulted) Plan() *Plan { return f.plan }
+
+// Reachability returns the static connectivity report computed at
+// Apply time.
+func (f *Faulted) Reachability() Reachability { return f.reach }
+
+// Neighbor returns the node reached along dim, or −1 when the
+// channel is statically failed (or missing in the base topology).
+func (f *Faulted) Neighbor(node, dim int) int {
+	if f.down[node*f.deg+dim] {
+		return -1
+	}
+	return f.base.Neighbor(node, dim)
+}
+
+// HasChannel implements topology.Partial: a channel exists iff the
+// base topology has it and the plan did not fail it.
+func (f *Faulted) HasChannel(node, dim int) bool {
+	return !f.down[node*f.deg+dim] &&
+		f.base.Neighbor(node, dim) >= 0 && topology.HasChannel(f.base, node, dim)
+}
+
+// NodeUp reports whether a node survives the plan. The simulator
+// skips arrival processes at failed nodes and draws default uniform
+// destinations over live nodes only.
+func (f *Faulted) NodeUp(node int) bool { return !f.nodeDown[node] }
+
+// Distance returns the masked-graph distance, or −1 when dst is
+// unreachable from src (stranded component or failed endpoint).
+func (f *Faulted) Distance(a, b int) int { return int(f.dist[a*f.n+b]) }
+
+// ProfitableDims appends the live dimensions at cur that lie on a
+// minimal path of the degraded graph towards dst. Because distances
+// are recomputed on the masked graph, the set is non-empty whenever
+// dst is reachable and cur ≠ dst — static faults alone never strand a
+// routable message mid-path.
+func (f *Faulted) ProfitableDims(cur, dst int, buf []int) []int {
+	if cur == dst {
+		return buf
+	}
+	d := f.dist[cur*f.n+dst]
+	if d < 0 {
+		return buf
+	}
+	row := f.dist[dst*f.n:]
+	for dim := 0; dim < f.deg; dim++ {
+		if f.down[cur*f.deg+dim] {
+			continue
+		}
+		nbr := f.base.Neighbor(cur, dim)
+		if nbr < 0 || !topology.HasChannel(f.base, cur, dim) {
+			continue
+		}
+		if row[nbr] == d-1 {
+			buf = append(buf, dim)
+		}
+	}
+	return buf
+}
+
+// Color delegates to the base topology: removing links or nodes
+// never changes the bipartition.
+func (f *Faulted) Color(node int) int { return f.base.Color(node) }
+
+// Diameter returns the maximum finite pairwise distance of the
+// degraded graph — it can exceed the pristine diameter, which is why
+// routing specs must be resolved against the Faulted wrapper (the
+// escape-level budget ⌈H/2⌉+1 depends on it).
+func (f *Faulted) Diameter() int { return f.diameter }
+
+// AvgDistance returns the mean distance over all ordered reachable
+// pairs of live nodes. A degraded graph is no longer node-symmetric,
+// so the fixed-source reading of the Topology contract does not
+// apply; the all-pairs mean is the natural generalisation.
+func (f *Faulted) AvgDistance() float64 { return f.avgDist }
+
+// FlapWindow reports the transient flap window covering channel
+// (node, dim), in either direction of the physical link; ok is false
+// when the channel never flaps. The simulator queries this once per
+// channel at start-up and evaluates the window against its cycle
+// counter, keeping flap state deterministic and allocation-free.
+func (f *Faulted) FlapWindow(node, dim int) (period, down, phase int64, ok bool) {
+	nbr := f.base.Neighbor(node, dim)
+	for _, fl := range f.plan.Flaps {
+		if fl.Node == node && fl.Dim == dim {
+			return fl.Period, fl.Down, fl.Phase, true
+		}
+		// reverse direction of the same physical link
+		if fl.Node == nbr && f.base.Neighbor(fl.Node, fl.Dim) == node {
+			return fl.Period, fl.Down, fl.Phase, true
+		}
+	}
+	return 0, 0, 0, false
+}

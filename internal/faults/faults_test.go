@@ -1,0 +1,265 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"starperf/internal/hypercube"
+	"starperf/internal/stargraph"
+	"starperf/internal/topology"
+)
+
+func TestNewPlanDeterministic(t *testing.T) {
+	g := stargraph.MustNew(4)
+	opts := Options{FailLinks: 2, FailNodes: 1, Flaps: 1}
+	p1, err := NewPlan(g, 42, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPlan(g, 42, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("same seed, different plans:\n%+v\n%+v", p1, p2)
+	}
+	p3, err := NewPlan(g, 43, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(p1, p3) {
+		t.Fatal("different seeds drew identical plans")
+	}
+	if len(p1.Links) != 2 || len(p1.Nodes) != 1 || len(p1.Flaps) != 1 {
+		t.Fatalf("plan shape: %+v", p1)
+	}
+	// without AllowDisconnected, drawn plans must leave the network connected
+	if r := CheckReachability(g, p1); !r.Connected {
+		t.Fatalf("NewPlan returned a disconnecting plan: %+v", r)
+	}
+}
+
+func TestNewPlanRejectsBadOptions(t *testing.T) {
+	g := hypercube.MustNew(3)
+	for _, opts := range []Options{
+		{FailLinks: -1},
+		{FailNodes: g.N() - 1},                     // fewer than two live nodes
+		{Flaps: 1, FlapPeriod: 100, FlapDown: 100}, // down == period
+		{Flaps: 1, FlapPeriod: -5},
+	} {
+		if _, err := NewPlan(g, 1, opts); err == nil {
+			t.Errorf("NewPlan accepted %+v", opts)
+		}
+	}
+}
+
+func TestApplyFailsBothDirections(t *testing.T) {
+	g := hypercube.MustNew(3)
+	plan := &Plan{Links: []Link{{Node: 0, Dim: 1}}} // 0 <-> 2
+	f, err := Apply(g, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Neighbor(0, 1) != -1 || f.HasChannel(0, 1) {
+		t.Fatal("forward channel survived the fault")
+	}
+	if f.Neighbor(2, 1) != -1 || f.HasChannel(2, 1) {
+		t.Fatal("reverse channel survived the fault")
+	}
+	// the other channels are untouched
+	if f.Neighbor(0, 0) != g.Neighbor(0, 0) || !f.HasChannel(0, 0) {
+		t.Fatal("healthy channel masked")
+	}
+	// the base topology is not mutated
+	if g.Neighbor(0, 1) != 2 {
+		t.Fatal("base topology mutated")
+	}
+	var _ topology.Topology = f
+	var _ topology.Partial = f
+}
+
+func TestApplyNodeFault(t *testing.T) {
+	g := hypercube.MustNew(3)
+	const dead = 5
+	f, err := Apply(g, &Plan{Nodes: []int{dead}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NodeUp(dead) || !f.NodeUp(0) {
+		t.Fatal("NodeUp mask wrong")
+	}
+	for dim := 0; dim < g.Degree(); dim++ {
+		if f.HasChannel(dead, dim) {
+			t.Fatalf("dead node kept channel dim %d", dim)
+		}
+		nbr := g.Neighbor(dead, dim)
+		for d := 0; d < g.Degree(); d++ {
+			if g.Neighbor(nbr, d) == dead && f.HasChannel(nbr, d) {
+				t.Fatalf("channel into dead node (%d,%d) survived", nbr, d)
+			}
+		}
+	}
+	if f.Distance(0, dead) != -1 || f.Distance(dead, 0) != -1 {
+		t.Fatal("distance to a dead node must be -1")
+	}
+	// Q3 minus one node stays connected among live nodes
+	if r := f.Reachability(); !r.Connected || r.Live != g.N()-1 {
+		t.Fatalf("reachability: %+v", r)
+	}
+}
+
+func TestApplyRejectsDisconnectingPlan(t *testing.T) {
+	g := hypercube.MustNew(2) // 4-cycle
+	plan := &Plan{Links: []Link{{Node: 0, Dim: 0}, {Node: 0, Dim: 1}}}
+	_, err := Apply(g, plan)
+	if err == nil {
+		t.Fatal("disconnecting plan accepted")
+	}
+	if !strings.Contains(err.Error(), "stranded") {
+		t.Fatalf("error does not report the stranded component: %v", err)
+	}
+	plan.AllowDisconnected = true
+	f, err := Apply(g, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.Reachability()
+	if r.Connected || r.Live != 4 || len(r.Stranded) != 3 {
+		t.Fatalf("reachability of isolated node 0: %+v", r)
+	}
+	if f.Distance(0, 3) != -1 {
+		t.Fatal("stranded pair must report distance -1")
+	}
+}
+
+func TestApplyRejectsBadLinksAndFlaps(t *testing.T) {
+	g := hypercube.MustNew(3)
+	for _, plan := range []*Plan{
+		{Links: []Link{{Node: -1, Dim: 0}}},
+		{Links: []Link{{Node: 0, Dim: 99}}},
+		{Nodes: []int{g.N()}},
+		{Flaps: []Flap{{Node: 0, Dim: 0, Period: 8, Down: 8}}},
+		{Flaps: []Flap{{Node: 0, Dim: 0, Period: 0, Down: 0}}},
+		{Flaps: []Flap{{Node: 0, Dim: 99, Period: 8, Down: 2}}},
+		// flap on a permanently failed link is contradictory
+		{Links: []Link{{Node: 0, Dim: 0}}, Flaps: []Flap{{Node: 0, Dim: 0, Period: 8, Down: 2}}},
+	} {
+		if _, err := Apply(g, plan); err == nil {
+			t.Errorf("Apply accepted invalid plan %+v", plan)
+		}
+	}
+}
+
+func TestDistancesRecomputed(t *testing.T) {
+	g := stargraph.MustNew(4)
+	plan, err := NewPlan(g, 7, Options{FailLinks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Apply(g, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Diameter() < g.Diameter() {
+		t.Fatalf("degraded diameter %d below pristine %d", f.Diameter(), g.Diameter())
+	}
+	grew := false
+	for a := 0; a < g.N(); a++ {
+		for b := 0; b < g.N(); b++ {
+			df, db := f.Distance(a, b), g.Distance(a, b)
+			if df < db {
+				t.Fatalf("d(%d,%d): faulted %d < pristine %d", a, b, df, db)
+			}
+			if df != f.Distance(b, a) {
+				t.Fatalf("asymmetric faulted distance (%d,%d)", a, b)
+			}
+			if df > db {
+				grew = true
+			}
+		}
+	}
+	if !grew {
+		t.Fatal("failing two links changed no distance — masks not applied?")
+	}
+	// every profitable dim must step exactly one closer on the degraded graph
+	for a := 0; a < g.N(); a++ {
+		for b := 0; b < g.N(); b++ {
+			if a == b {
+				continue
+			}
+			dims := f.ProfitableDims(a, b, nil)
+			if len(dims) == 0 {
+				t.Fatalf("no profitable dim for reachable pair (%d,%d)", a, b)
+			}
+			for _, dim := range dims {
+				nbr := f.Neighbor(a, dim)
+				if nbr < 0 || f.Distance(nbr, b) != f.Distance(a, b)-1 {
+					t.Fatalf("dim %d at (%d,%d) not minimal", dim, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestColorPreserved(t *testing.T) {
+	g := stargraph.MustNew(4)
+	plan, err := NewPlan(g, 3, Options{FailLinks: 1, FailNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := MustApply(g, plan)
+	for node := 0; node < g.N(); node++ {
+		if f.Color(node) != g.Color(node) {
+			t.Fatalf("masking changed the bipartition at node %d", node)
+		}
+	}
+}
+
+func TestFlapWindowCoversBothDirections(t *testing.T) {
+	g := hypercube.MustNew(3)
+	plan := &Plan{Flaps: []Flap{{Node: 1, Dim: 2, Period: 64, Down: 16, Phase: 5}}}
+	f := MustApply(g, plan)
+	nbr := g.Neighbor(1, 2)
+	check := func(node, dim int) {
+		period, down, phase, ok := f.FlapWindow(node, dim)
+		if !ok || period != 64 || down != 16 || phase != 5 {
+			t.Fatalf("FlapWindow(%d,%d) = %d/%d/%d ok=%v", node, dim, period, down, phase, ok)
+		}
+	}
+	check(1, 2)
+	// the reverse channel of the same physical link flaps identically
+	var revDim = -1
+	for d := 0; d < g.Degree(); d++ {
+		if g.Neighbor(nbr, d) == 1 {
+			revDim = d
+		}
+	}
+	check(nbr, revDim)
+	if _, _, _, ok := f.FlapWindow(0, 0); ok {
+		t.Fatal("non-flapping channel reported a window")
+	}
+	// flaps are transient: they do not enter the static masks
+	if !f.HasChannel(1, 2) || f.Neighbor(1, 2) != nbr {
+		t.Fatal("flap leaked into the static channel mask")
+	}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	g := stargraph.MustNew(4)
+	plan, err := NewPlan(g, 11, Options{FailLinks: 2, Flaps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := MustApply(g, plan)
+	f2 := MustApply(g, plan)
+	if f1.Name() != f2.Name() || f1.Diameter() != f2.Diameter() ||
+		f1.AvgDistance() != f2.AvgDistance() {
+		t.Fatal("Apply is not deterministic")
+	}
+	for i := 0; i < g.N()*g.N(); i++ {
+		if f1.Distance(i/g.N(), i%g.N()) != f2.Distance(i/g.N(), i%g.N()) {
+			t.Fatal("distance tables differ between identical applications")
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+
+	"starperf/internal/hypercube"
+	"starperf/internal/stargraph"
+	"starperf/internal/topology"
+)
+
+// fuzzTops caches the small topologies the fuzzer degrades, so fuzz
+// executions do not rebuild node tables; all are immutable after
+// construction and safe for the fuzzer's parallel workers.
+var fuzzTops sync.Map // int -> topology.Topology
+
+func fuzzTop(sel int) topology.Topology {
+	if g, ok := fuzzTops.Load(sel); ok {
+		return g.(topology.Topology)
+	}
+	var g topology.Topology
+	switch sel {
+	case 0:
+		g = stargraph.MustNew(3)
+	case 1:
+		g = stargraph.MustNew(4)
+	case 2:
+		g = hypercube.MustNew(3)
+	default:
+		g = hypercube.MustNew(4)
+	}
+	got, _ := fuzzTops.LoadOrStore(sel, g)
+	return got.(topology.Topology)
+}
+
+// oracleDistances computes the all-pairs distances of a degraded
+// topology by BFS over the wrapper's own adjacency (Neighbor and
+// HasChannel), independent of the Faulted distance table it checks.
+func oracleDistances(f *Faulted) []int {
+	n, deg := f.N(), f.Degree()
+	dist := make([]int, n*n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	for src := 0; src < n; src++ {
+		if !f.NodeUp(src) {
+			continue
+		}
+		row := dist[src*n : (src+1)*n]
+		row[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for dim := 0; dim < deg; dim++ {
+				if !f.HasChannel(cur, dim) {
+					continue
+				}
+				nbr := f.Neighbor(cur, dim)
+				if nbr < 0 || row[nbr] >= 0 {
+					continue
+				}
+				row[nbr] = row[cur] + 1
+				queue = append(queue, nbr)
+			}
+		}
+	}
+	return dist
+}
+
+// FuzzFaultReachability cross-checks the Faulted wrapper against an
+// independent BFS oracle on arbitrary seed-drawn fault plans over
+// S_3, S_4, Q_3 and Q_4: the precomputed distance table, the
+// symmetry of the masks, the reachability verdict and the stranded
+// set must all agree with plain BFS over the wrapper's adjacency.
+func FuzzFaultReachability(f *testing.F) {
+	f.Add(uint8(0), uint64(1), uint8(1), uint8(0))
+	f.Add(uint8(1), uint64(42), uint8(3), uint8(1))
+	f.Add(uint8(2), uint64(7), uint8(2), uint8(2))
+	f.Add(uint8(3), uint64(99), uint8(5), uint8(0))
+	f.Fuzz(func(t *testing.T, topSel uint8, seed uint64, failLinks, failNodes uint8) {
+		top := fuzzTop(int(topSel % 4))
+		opts := Options{
+			FailLinks:         int(failLinks % 8),
+			FailNodes:         int(failNodes % 3),
+			AllowDisconnected: true,
+		}
+		if opts.FailNodes > top.N()-2 {
+			opts.FailNodes = top.N() - 2
+		}
+		plan, err := NewPlan(top, seed, opts)
+		if err != nil {
+			t.Skip() // topology too small to host the drawn fault count
+		}
+		ft, err := Apply(top, plan)
+		if err != nil {
+			t.Fatalf("Apply rejected its own NewPlan output: %v", err)
+		}
+
+		n := top.N()
+		oracle := oracleDistances(ft)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				want := oracle[a*n+b]
+				if !ft.NodeUp(a) || !ft.NodeUp(b) {
+					want = -1
+					if a == b && ft.NodeUp(a) {
+						want = 0
+					}
+				}
+				if got := ft.Distance(a, b); got != want {
+					t.Fatalf("%s: Distance(%d,%d) = %d, BFS oracle says %d",
+						ft.Name(), a, b, got, want)
+				}
+			}
+		}
+
+		// masks are physically symmetric: a channel exists iff some
+		// reverse channel exists
+		for node := 0; node < n; node++ {
+			for dim := 0; dim < top.Degree(); dim++ {
+				if !ft.HasChannel(node, dim) {
+					continue
+				}
+				nbr := ft.Neighbor(node, dim)
+				back := false
+				for d := 0; d < top.Degree(); d++ {
+					if ft.HasChannel(nbr, d) && ft.Neighbor(nbr, d) == node {
+						back = true
+					}
+				}
+				if !back {
+					t.Fatalf("%s: channel (%d,%d) alive but no reverse channel", ft.Name(), node, dim)
+				}
+			}
+		}
+
+		// the reachability verdict must match the oracle's view from
+		// the lowest live node
+		r := CheckReachability(top, plan)
+		start := -1
+		live := 0
+		for node := 0; node < n; node++ {
+			if ft.NodeUp(node) {
+				live++
+				if start < 0 {
+					start = node
+				}
+			}
+		}
+		if r.Live != live {
+			t.Fatalf("Live = %d, oracle counts %d", r.Live, live)
+		}
+		var stranded []int
+		for node := 0; node < n; node++ {
+			if ft.NodeUp(node) && node != start && oracle[start*n+node] < 0 {
+				stranded = append(stranded, node)
+			}
+		}
+		if r.Connected != (len(stranded) == 0) {
+			t.Fatalf("Connected = %v but oracle strands %v", r.Connected, stranded)
+		}
+		if len(r.Stranded) != len(stranded) {
+			t.Fatalf("Stranded = %v, oracle says %v", r.Stranded, stranded)
+		}
+		for i := range stranded {
+			if r.Stranded[i] != stranded[i] {
+				t.Fatalf("Stranded = %v, oracle says %v", r.Stranded, stranded)
+			}
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package faults_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"starperf/internal/desim"
+	"starperf/internal/faults"
+	"starperf/internal/hypercube"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+)
+
+// TestFaultedStarDeadlockFree is the acceptance scenario: a
+// simulation on S4 with one failed link must complete, stay
+// deadlock-free under Enhanced-Nbc, and be byte-identical across two
+// runs with the same fault seed.
+func TestFaultedStarDeadlockFree(t *testing.T) {
+	g := stargraph.MustNew(4)
+	plan, err := faults.NewPlan(g, 5, faults.Options{FailLinks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := faults.Apply(g, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := routing.New(routing.EnhancedNbc, ft, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *desim.Result {
+		res, err := desim.Run(desim.Config{
+			Top: ft, Spec: spec, Policy: routing.PreferClassA,
+			Rate: 0.02, MsgLen: 16, Seed: 11,
+			WarmupCycles: 2000, MeasureCycles: 8000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1 := run()
+	if r1.Deadlocked || r1.Aborted {
+		t.Fatalf("faulted S4 not deadlock-free: Deadlocked=%v Aborted=%v (%s)",
+			r1.Deadlocked, r1.Aborted, r1.AbortReason)
+	}
+	if r1.Delivered == 0 || r1.MeasuredDelivered == 0 || !r1.Drained {
+		t.Fatalf("degraded network did not deliver: %+v", r1)
+	}
+	r2 := run()
+	if r1.Delivered != r2.Delivered || r1.Generated != r2.Generated ||
+		math.Float64bits(r1.Latency.Mean()) != math.Float64bits(r2.Latency.Mean()) ||
+		math.Float64bits(r1.Latency.Variance()) != math.Float64bits(r2.Latency.Variance()) ||
+		r1.Cycles != r2.Cycles {
+		t.Fatal("two runs with the same fault seed diverged")
+	}
+}
+
+// TestFlapsForceMisroutes drives S4 through an aggressive flap
+// schedule (links down 75% of every window) and checks the simulator
+// exercises the non-minimal fallback, delivers traffic, and stays
+// deterministic.
+func TestFlapsForceMisroutes(t *testing.T) {
+	g := stargraph.MustNew(4)
+	plan, err := faults.NewPlan(g, 23, faults.Options{
+		Flaps: 6, FlapPeriod: 128, FlapDown: 96,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := faults.MustApply(g, plan)
+	spec, err := routing.New(routing.EnhancedNbc, ft, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *desim.Result {
+		res, err := desim.Run(desim.Config{
+			Top: ft, Spec: spec, Policy: routing.PreferClassA,
+			Rate: 0.02, MsgLen: 8, Seed: 3,
+			WarmupCycles: 2000, MeasureCycles: 8000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.Deadlocked || res.Aborted {
+		t.Fatalf("flapping S4 aborted: %s", res.AbortReason)
+	}
+	if res.Misroutes == 0 {
+		t.Fatal("aggressive flaps produced no misroutes — fallback never exercised")
+	}
+	if res.MeasuredDelivered == 0 {
+		t.Fatal("no deliveries under flaps")
+	}
+	if res2 := run(); res2.Misroutes != res.Misroutes || res2.Delivered != res.Delivered {
+		t.Fatal("flap schedule is not deterministic across runs")
+	}
+}
+
+// TestUnreachableDestinationTyped strands a node with an
+// AllowDisconnected plan and checks the simulator rejects traffic to
+// it at injection with the typed routing.UnreachableError.
+func TestUnreachableDestinationTyped(t *testing.T) {
+	g := hypercube.MustNew(2)
+	plan := &faults.Plan{
+		Links:             []faults.Link{{Node: 0, Dim: 0}, {Node: 0, Dim: 1}},
+		AllowDisconnected: true,
+	}
+	ft := faults.MustApply(g, plan)
+	spec := routing.Spec{Kind: routing.NHop, V2: 2, MaxNeg: 1}
+	_, err := desim.Run(desim.Config{
+		Top: ft, Spec: spec,
+		Rate: 0.05, MsgLen: 4, Seed: 1,
+		WarmupCycles: 100, MeasureCycles: 2000,
+	})
+	var ue *routing.UnreachableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want *routing.UnreachableError, got %v", err)
+	}
+	if ue.Src != 0 && ue.Dst != 0 {
+		t.Fatalf("stranded node 0 not involved: %+v", ue)
+	}
+}
+
+// TestDeadNodeTrafficSkipped fails a node and checks the default
+// pattern never addresses it: the run completes with no unreachable
+// errors and the dead node receives nothing.
+func TestDeadNodeTrafficSkipped(t *testing.T) {
+	g := hypercube.MustNew(3)
+	ft := faults.MustApply(g, &faults.Plan{Nodes: []int{5}})
+	spec, err := routing.New(routing.NHop, ft, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := desim.Run(desim.Config{
+		Top: ft, Spec: spec,
+		Rate: 0.03, MsgLen: 8, Seed: 2,
+		WarmupCycles: 1000, MeasureCycles: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted || res.Deadlocked || res.MeasuredDelivered == 0 {
+		t.Fatalf("degraded Q3 run unhealthy: %+v", res)
+	}
+}

@@ -185,6 +185,7 @@ func DefaultRules() []Rule {
 		"starperf/internal/desim",
 		"starperf/internal/routing",
 		"starperf/internal/experiments",
+		"starperf/internal/faults",
 	)
 	numerical := inPackages(
 		"starperf/internal/model",

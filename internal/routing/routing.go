@@ -210,6 +210,58 @@ func (s Spec) Advance(st State, hopNeg bool, vc int) State {
 	return st
 }
 
+// UnreachableError reports an injection-time routing failure: the
+// destination cannot be reached from the source in the (possibly
+// degraded) topology. The simulator returns it when a traffic pattern
+// addresses a node stranded by a fault plan — rejecting the message
+// at injection, before it can occupy channels it could never release.
+type UnreachableError struct {
+	// Top names the topology instance.
+	Top string
+	// Src and Dst are the unroutable pair.
+	Src, Dst int
+}
+
+// Error formats the unreachable pair.
+func (e *UnreachableError) Error() string {
+	return fmt.Sprintf("routing: %s: no path from node %d to node %d", e.Top, e.Src, e.Dst)
+}
+
+// MisrouteVCs appends the VC indices a message in state st may occupy
+// on a non-minimal (misroute) hop described by hopNeg/nextColor, with
+// dRemaining hops still to go after the hop — for a misroute that is
+// the distance from the hop's target, typically one more than before
+// the hop. The simulator falls back to this when transient faults
+// take down every profitable channel of the current hop.
+//
+// Deadlock freedom is preserved by a headroom rule: the hop is
+// permitted only when the class-b feasibility window for the longer
+// remaining journey is non-empty (lo ≤ V2−1−R′, with R′ the exact
+// negative-hop requirement from the hop's target). Misrouting
+// consumes that headroom — each detour adds distance, hence future
+// negative hops, hence a tighter window — so a message can only
+// detour finitely often before MisrouteVCs returns empty and the
+// message must wait for a profitable channel to come back up. Waiting
+// is safe: transient flaps end by construction (Down < Period), and a
+// message that waits holds only channels ordered below the level it
+// still has headroom to claim, so the class-b ordering argument of
+// the package comment is untouched. For NHop the same rule applies to
+// the exact level NegHops+neg. An empty result means "wait".
+func (s Spec) MisrouteVCs(st State, hopNeg bool, nextColor, dRemaining int, buf []int) []int {
+	neg := 0
+	if hopNeg {
+		neg = 1
+	}
+	lo := st.Level + neg
+	if s.Kind == NHop {
+		lo = st.NegHops + neg
+	}
+	if lo > s.V2-1-topology.RequiredNegativeHops(nextColor, dRemaining) {
+		return buf
+	}
+	return s.EligibleVCs(st, hopNeg, nextColor, dRemaining, buf)
+}
+
 // Policy selects among free eligible virtual channels; it must match
 // between the simulator and the analytical model's class-occupancy
 // estimate.
