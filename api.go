@@ -1,12 +1,14 @@
 package starperf
 
 import (
+	"starperf/internal/cfgerr"
 	"starperf/internal/desim"
 	"starperf/internal/experiments"
 	"starperf/internal/faults"
 	"starperf/internal/hypercube"
 	"starperf/internal/mesh"
 	"starperf/internal/model"
+	"starperf/internal/obs"
 	"starperf/internal/routing"
 	"starperf/internal/stargraph"
 	"starperf/internal/topology"
@@ -19,6 +21,19 @@ import (
 // re-exported here via type aliases, so downstream modules can import
 // just "starperf" and reach every entry point while the internals
 // stay free to evolve.
+//
+// Error contract. Every entry point reports failures in one of three
+// documented classes, distinguishable with errors.Is / errors.As:
+//
+//   - invalid configuration → errors.Is(err, ErrInvalidConfig):
+//     out-of-range parameters, unknown kinds, inconsistent options —
+//     anywhere the inputs, not the computation, are at fault;
+//   - saturation → errors.Is(err, ErrSaturated): the model has no
+//     steady state at the requested operating point (Predict only);
+//   - unreachable destination → errors.As(err, *UnreachableError):
+//     a traffic pattern addressed a node the fault plan stranded.
+//
+// Anything else (I/O, internal failures) is a plain error.
 
 // Topology is a direct interconnection network as seen by the
 // routing layer, the simulator and the model.
@@ -74,6 +89,12 @@ const (
 	FirstProfitable   = routing.FirstProfitable
 )
 
+// ErrInvalidConfig is the sentinel all configuration-validation
+// failures match: errors.Is(err, ErrInvalidConfig) holds for every
+// rejected parameter across topologies, routing, the model, the
+// simulator, fault plans and the experiment harness.
+var ErrInvalidConfig = cfgerr.ErrInvalid
+
 // SimConfig configures one flit-level wormhole simulation; SimResult
 // carries its measurements.
 type (
@@ -83,6 +104,24 @@ type (
 
 // Simulate runs the flit-level simulator (deterministic per config).
 func Simulate(cfg SimConfig) (*SimResult, error) { return desim.Run(cfg) }
+
+// Observability re-exports: an Observer attached via
+// SimConfig.Observer receives lifecycle events (SimEvent) and a
+// per-cycle tick without perturbing the run; Collector is the
+// standard implementation in internal/obs (cycle-sampled gauges,
+// bounded trace ring with JSONL export, per-hop blocking counters
+// aligned with the model's P_block and w̄ terms).
+type (
+	Observer         = desim.Observer
+	SimEvent         = desim.Event
+	Collector        = obs.Collector
+	CollectorOptions = obs.Options
+	ObsSummary       = obs.Summary
+)
+
+// NewCollector returns a Collector ready to attach to
+// SimConfig.Observer.
+func NewCollector(opts CollectorOptions) *Collector { return obs.New(opts) }
 
 // Fault-injection re-exports: a FaultPlan is a deterministic,
 // seed-derived set of failed links, failed nodes and transient link
@@ -189,21 +228,41 @@ type (
 )
 
 // Experiment harness re-exports: Panel/Series/Point latency curves,
-// the Figure-1 regenerator and the throughput sweep.
+// the Figure-1 regenerator and the throughput sweep. The config-struct
+// entry points (Figure1Panel, ThroughputSweep) are the current API;
+// the positional forms below remain as deprecated shims.
 type (
-	Panel         = experiments.Panel
-	SimOptions    = experiments.SimOptions
-	ThroughputRow = experiments.ThroughputRow
+	Panel            = experiments.Panel
+	SimOptions       = experiments.SimOptions
+	ThroughputRow    = experiments.ThroughputRow
+	Figure1Config    = experiments.Figure1Config
+	ThroughputConfig = experiments.ThroughputConfig
 )
+
+// Figure1Panel regenerates one panel of the paper's Figure 1
+// (cfg.Panel 'a', 'b' or 'c').
+func Figure1Panel(cfg Figure1Config) (*Panel, error) {
+	return experiments.Figure1Panel(cfg)
+}
+
+// ThroughputSweep sweeps offered load past saturation and reports
+// accepted throughput.
+func ThroughputSweep(cfg ThroughputConfig) ([]ThroughputRow, error) {
+	return experiments.ThroughputSweep(cfg)
+}
 
 // Figure1 regenerates one panel of the paper's Figure 1 ('a', 'b' or
 // 'c').
+//
+// Deprecated: use Figure1Panel with a Figure1Config.
 func Figure1(panel byte, points int, opts SimOptions) (*Panel, error) {
 	return experiments.Figure1(panel, points, opts)
 }
 
 // ThroughputCurve sweeps offered load past saturation and reports
 // accepted throughput.
+//
+// Deprecated: use ThroughputSweep with a ThroughputConfig.
 func ThroughputCurve(top Topology, kind RoutingKind, v, msgLen, points int,
 	maxRate float64, opts SimOptions) ([]ThroughputRow, error) {
 	return experiments.ThroughputCurve(top, kind, v, msgLen, points, maxRate, opts)

@@ -17,14 +17,28 @@
 // Usage:
 //
 //	starfig -panel a [-points 15] [-seeds 3] [-measure 50000] [-csv] [-plot]
+//	        [-metrics sidecar.csv] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -metrics attaches a passive observer to the first replication of
+// every sweep point and writes a per-point metrics sidecar next to the
+// panel (CSV, or JSON when the path ends in .json) — channel
+// utilization, VC occupancy, queue depths and the per-hop blocking
+// counters that mirror the model's P_block/w̄ terms. It applies to the
+// curve panels rendered through the shared emitter (a|b|c, compare,
+// a2, a3, x7, star).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"starperf/internal/experiments"
+	"starperf/internal/obs"
 	"starperf/internal/routing"
 	"starperf/internal/stargraph"
 )
@@ -41,16 +55,55 @@ func main() {
 	m := flag.Int("m", 32, "message length (compare/a1/a2/a3/tput panels)")
 	maxRate := flag.Float64("maxrate", 0.03, "sweep ceiling (tput panel)")
 	starN := flag.Int("n", 6, "star size (star panel)")
+	metricsPath := flag.String("metrics", "", "write a per-point metrics sidecar (CSV, or JSON for .json paths)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+	}()
 
 	opts := experiments.SimOptions{Warmup: *warmup, Measure: *measure}
 	for s := 1; s <= *seeds; s++ {
 		opts.Seeds = append(opts.Seeds, uint64(s))
 	}
+	if *metricsPath != "" {
+		opts.Observe = &obs.Options{TraceCap: -1}
+	}
 
 	emit := func(p *experiments.Panel, err error) {
 		if err != nil {
 			fail(err)
+		}
+		if *metricsPath != "" {
+			write := experiments.WriteMetricsSidecarCSV
+			if strings.HasSuffix(*metricsPath, ".json") {
+				write = experiments.WriteMetricsSidecarJSON
+			}
+			writeSidecar(*metricsPath, p, write)
 		}
 		if *csv {
 			experiments.RenderPanelCSV(os.Stdout, p)
@@ -132,6 +185,21 @@ func main() {
 		experiments.RenderThroughput(os.Stdout, rows)
 	default:
 		fail(fmt.Errorf("unknown panel %q", *panel))
+	}
+}
+
+// writeSidecar writes the panel's per-point metrics sidecar to path.
+func writeSidecar(path string, p *experiments.Panel, write func(w io.Writer, p *experiments.Panel) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := write(f, p); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
 	}
 }
 

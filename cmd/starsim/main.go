@@ -9,16 +9,31 @@
 //	        [-policy prefer-a|random|lowest-b|deterministic]
 //	        [-seed 1] [-warmup 10000] [-measure 50000] [-drain 0]
 //	        [-pattern uniform|hotspot] [-hotfrac 0.1]
+//	        [-trace out.jsonl] [-metrics out.csv] [-hops out.csv]
+//	        [-sample-every 256] [-trace-cap 4096]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// The observability flags attach an obs.Collector to the run: -trace
+// writes the message-lifecycle ring as JSON Lines, -metrics the
+// cycle-sampled gauge series as CSV, and -hops the per-hop blocking
+// counters (the simulator's P_block/w̄ counterparts) as CSV.
+// Observation is passive, so the printed statistics are identical
+// with and without these flags. -cpuprofile/-memprofile write
+// standard pprof profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"starperf/internal/desim"
 	"starperf/internal/hypercube"
 	"starperf/internal/mesh"
+	"starperf/internal/obs"
 	"starperf/internal/routing"
 	"starperf/internal/stargraph"
 	"starperf/internal/topology"
@@ -44,7 +59,26 @@ func main() {
 	drain := flag.Int64("drain", 0, "drain limit cycles (0 = auto)")
 	patternS := flag.String("pattern", "uniform", "traffic pattern: uniform|hotspot")
 	hotfrac := flag.Float64("hotfrac", 0.1, "hotspot traffic fraction")
+	tracePath := flag.String("trace", "", "write the message-lifecycle trace as JSONL to this file")
+	metricsPath := flag.String("metrics", "", "write the cycle-sampled gauge series as CSV to this file")
+	hopsPath := flag.String("hops", "", "write per-hop blocking counters as CSV to this file")
+	sampleEvery := flag.Int64("sample-every", 256, "gauge sampling interval in cycles")
+	traceCap := flag.Int("trace-cap", 4096, "trace ring capacity in events")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var top topology.Topology
 	switch {
@@ -111,13 +145,35 @@ func main() {
 		fail(fmt.Errorf("unknown pattern %q", *patternS))
 	}
 
-	res, err := desim.Run(desim.Config{
+	var col *obs.Collector
+	cfg := desim.Config{
 		Top: top, Spec: spec, Policy: policy, Pattern: pattern,
 		Rate: *rate, MsgLen: *m, Seed: *seed,
 		WarmupCycles: *warmup, MeasureCycles: *measure, DrainCycles: *drain,
-	})
+	}
+	if *tracePath != "" || *metricsPath != "" || *hopsPath != "" {
+		col = obs.New(obs.Options{SampleEvery: *sampleEvery, TraceCap: *traceCap})
+		cfg.Observer = col
+	}
+	res, err := desim.Run(cfg)
 	if err != nil {
 		fail(err)
+	}
+	if col != nil {
+		writeArtifact(*tracePath, col.WriteTraceJSONL)
+		writeArtifact(*metricsPath, col.Metrics().WriteSeriesCSV)
+		writeArtifact(*hopsPath, col.Counters().WriteHopCSV)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
 	}
 
 	fmt.Printf("simulation: %s V=%d M=%d %s policy=%s rate=%.5f seed=%d\n",
@@ -154,6 +210,25 @@ func max(a, b uint64) uint64 {
 		return a
 	}
 	return b
+}
+
+// writeArtifact writes one observer export to path (no-op when the
+// flag was left empty).
+func writeArtifact(path string, write func(w io.Writer) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
 }
 
 func fail(err error) {

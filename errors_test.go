@@ -1,0 +1,122 @@
+package starperf
+
+// Facade error-contract tests: every validation failure across the
+// facade must match ErrInvalidConfig via errors.Is, saturation must
+// match ErrSaturated (and nothing else), and stranded destinations
+// must surface as *UnreachableError via errors.As — see the contract
+// in api.go.
+
+import (
+	"errors"
+	"testing"
+
+	"starperf/internal/hypercube"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+)
+
+// TestInvalidConfigSentinel sweeps one rejected input per subsystem
+// and requires the shared sentinel.
+func TestInvalidConfigSentinel(t *testing.T) {
+	s4 := stargraph.MustNew(4)
+	paths, err := NewStarPaths(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"stargraph", func() error { _, err := NewStarGraph(1); return err }},
+		{"hypercube", func() error { _, err := NewHypercube(0); return err }},
+		{"torus", func() error { _, err := NewTorus(3, 2); return err }},
+		{"mesh", func() error { _, err := NewMesh(1, 2); return err }},
+		{"routing-few-vcs", func() error { _, err := NewRouting(EnhancedNbc, s4, 1); return err }},
+		{"routing-unknown-kind", func() error { _, err := NewRouting(RoutingKind(99), s4, 6); return err }},
+		{"simulate-rate", func() error {
+			_, err := Simulate(SimConfig{Top: s4, Spec: routing.MustNew(EnhancedNbc, s4, 4),
+				Rate: -1, MsgLen: 8, MeasureCycles: 100})
+			return err
+		}},
+		{"simulate-bufcap", func() error {
+			_, err := Simulate(SimConfig{Top: s4, Spec: routing.MustNew(EnhancedNbc, s4, 4),
+				Rate: 0.01, MsgLen: 8, MeasureCycles: 100, BufCap: -1})
+			return err
+		}},
+		{"predict-msglen", func() error {
+			_, err := Predict(ModelConfig{Paths: paths, Top: s4, Kind: EnhancedNbc, V: 6,
+				MsgLen: 0, Rate: 0.001})
+			return err
+		}},
+		{"faults-negative", func() error {
+			_, err := NewFaultPlan(s4, 1, FaultOptions{FailLinks: -1})
+			return err
+		}},
+		{"figure1-panel", func() error { _, err := Figure1Panel(Figure1Config{Panel: 'z'}); return err }},
+		{"throughput-top", func() error {
+			_, err := ThroughputSweep(ThroughputConfig{Kind: EnhancedNbc, V: 4, MsgLen: 8, MaxRate: 0.01})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.err()
+			if err == nil {
+				t.Fatal("invalid input accepted")
+			}
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("error %q does not match ErrInvalidConfig", err)
+			}
+			if errors.Is(err, ErrSaturated) {
+				t.Fatalf("validation error %q also matches ErrSaturated", err)
+			}
+		})
+	}
+}
+
+// TestSaturatedSentinel drives the model past saturation and checks
+// the class separation.
+func TestSaturatedSentinel(t *testing.T) {
+	paths, err := NewStarPaths(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4 := stargraph.MustNew(4)
+	_, err = Predict(ModelConfig{Paths: paths, Top: s4, Kind: EnhancedNbc, V: 6,
+		MsgLen: 32, Rate: 10})
+	if err == nil {
+		t.Fatal("rate 10 msgs/node/cycle converged")
+	}
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("error %q does not match ErrSaturated", err)
+	}
+	if errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("saturation error %q also matches ErrInvalidConfig", err)
+	}
+}
+
+// TestUnreachableTyped checks the errors.As leg of the contract via a
+// disconnecting fault plan.
+func TestUnreachableTyped(t *testing.T) {
+	g := hypercube.MustNew(2)
+	plan := &FaultPlan{
+		Links:             []FaultLink{{Node: 0, Dim: 0}, {Node: 0, Dim: 1}},
+		AllowDisconnected: true,
+	}
+	ft, err := ApplyFaults(g, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Simulate(SimConfig{
+		Top: ft, Spec: routing.Spec{Kind: NHop, V2: 2, MaxNeg: 1},
+		Rate: 0.05, MsgLen: 4, Seed: 1,
+		WarmupCycles: 100, MeasureCycles: 2000,
+	})
+	var ue *UnreachableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want *UnreachableError, got %v", err)
+	}
+	if errors.Is(err, ErrInvalidConfig) || errors.Is(err, ErrSaturated) {
+		t.Fatalf("unreachable error %q matches a validation/saturation sentinel", err)
+	}
+}

@@ -1,0 +1,50 @@
+// Package cfgerr defines the shared validation-error contract of the
+// starperf facade. Every package that validates caller-supplied
+// configuration — simulator configs, model configs, routing budgets,
+// topology constructor arguments, fault-plan options — builds its
+// rejection through this package, so downstream code can classify any
+// facade error with a single check:
+//
+//	if errors.Is(err, starperf.ErrInvalidConfig) { ... caller bug ... }
+//
+// instead of string-matching per-package prefixes. The error text is
+// carried verbatim (each package keeps its conventional "pkg: ..."
+// message), only the errors.Is identity is unified.
+//
+// The facade's full error contract (documented in api.go) has three
+// classes: ErrInvalid here for rejected configurations,
+// model.ErrSaturated for operating points beyond the model's
+// saturation fixed point, and routing.UnreachableError for traffic
+// addressed to nodes a fault plan has stranded.
+package cfgerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid is the sentinel matched (via errors.Is) by every
+// configuration-validation failure across the facade.
+var ErrInvalid = errors.New("invalid configuration")
+
+// invalidError carries a package-specific message while matching
+// ErrInvalid under errors.Is. It deliberately does not embed the
+// sentinel's text: the message a user sees is exactly what the
+// validating package wrote.
+type invalidError struct{ msg string }
+
+func (e *invalidError) Error() string { return e.msg }
+
+// Is reports the ErrInvalid identity for errors.Is.
+func (e *invalidError) Is(target error) bool { return target == ErrInvalid }
+
+// New returns a validation error with the given message that matches
+// ErrInvalid.
+func New(msg string) error { return &invalidError{msg: msg} }
+
+// Errorf returns a formatted validation error that matches ErrInvalid.
+// Unlike fmt.Errorf it does not interpret %w; validation errors are
+// leaves.
+func Errorf(format string, args ...any) error {
+	return &invalidError{msg: fmt.Sprintf(format, args...)}
+}

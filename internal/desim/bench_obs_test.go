@@ -1,0 +1,83 @@
+package desim_test
+
+// Observer-overhead benchmarks, in the external test package because
+// they attach the real internal/obs Collector (obs imports desim, so
+// the internal test package cannot import it back).
+//
+// The acceptance bar for the observability layer is ≤5% overhead with
+// the observer disabled (BenchmarkSimObserver/off vs the pre-layer
+// baseline) — the hooks must stay a nil check on the hot path.
+// cmd/starbench runs the same matrix outside the testing framework
+// and records it in BENCH_sim.json.
+
+import (
+	"testing"
+
+	"starperf/internal/desim"
+	"starperf/internal/obs"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+)
+
+// benchConfig is the fixed S_4 workload shared with the determinism
+// test and cmd/starbench: EnhancedNbc, V=4, rate 0.02, M=8, 1000
+// warmup + 5000 measured cycles.
+func benchConfig() desim.Config {
+	s4 := stargraph.MustNew(4)
+	return desim.Config{
+		Top:           s4,
+		Spec:          routing.MustNew(routing.EnhancedNbc, s4, 4),
+		Policy:        routing.PreferClassA,
+		Rate:          0.02,
+		MsgLen:        8,
+		Seed:          12345,
+		WarmupCycles:  1000,
+		MeasureCycles: 5000,
+	}
+}
+
+func runBench(b *testing.B, cfg desim.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := desim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*cycles), "ns/cycle")
+}
+
+// BenchmarkSimObserver measures the cost of the observer hooks:
+// off (nil Observer — the ≤5% budget), counters-only (tracing
+// disabled), and the full collector with trace ring.
+func BenchmarkSimObserver(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		runBench(b, benchConfig())
+	})
+	b.Run("counters", func(b *testing.B) {
+		cfg := benchConfig()
+		cfg.Observer = obs.New(obs.Options{TraceCap: -1})
+		runBench(b, cfg)
+	})
+	b.Run("full", func(b *testing.B) {
+		cfg := benchConfig()
+		cfg.Observer = obs.New(obs.Options{})
+		runBench(b, cfg)
+	})
+}
+
+// BenchmarkSimTracer isolates the Result.Trace path (no observer):
+// TraceCap off vs the cap used by the determinism test.
+func BenchmarkSimTracer(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		runBench(b, benchConfig())
+	})
+	b.Run("cap64", func(b *testing.B) {
+		cfg := benchConfig()
+		cfg.TraceCap = 64
+		runBench(b, cfg)
+	})
+}

@@ -28,9 +28,7 @@
 package desim
 
 import (
-	"errors"
-	"fmt"
-
+	"starperf/internal/cfgerr"
 	"starperf/internal/routing"
 	"starperf/internal/stats"
 	"starperf/internal/topology"
@@ -108,34 +106,39 @@ type Config struct {
 	// Result.Trace (generation, injection, per-hop VC grants,
 	// delivery) for debugging and for the wormhole-ordering tests.
 	TraceCap int
+	// Observer, when non-nil, receives lifecycle events, per-cycle
+	// ticks and a read-only state probe (see Observer). Observation is
+	// strictly passive: attaching one cannot change the Result. The
+	// standard implementation lives in internal/obs.
+	Observer Observer
 }
 
 func (c *Config) validate() error {
 	switch {
 	case c.Top == nil:
-		return errors.New("desim: nil topology")
+		return cfgerr.New("desim: nil topology")
 	case c.Top.N() <= 0:
-		return fmt.Errorf("desim: topology %q has no nodes", c.Top.Name())
+		return cfgerr.Errorf("desim: topology %q has no nodes", c.Top.Name())
 	case c.Spec.V() <= 0:
-		return errors.New("desim: routing spec has no virtual channels")
+		return cfgerr.New("desim: routing spec has no virtual channels")
 	case c.Rate < 0:
-		return fmt.Errorf("desim: negative rate %v", c.Rate)
+		return cfgerr.Errorf("desim: negative rate %v", c.Rate)
 	case c.MsgLen <= 0:
-		return fmt.Errorf("desim: message length %d", c.MsgLen)
+		return cfgerr.Errorf("desim: message length %d", c.MsgLen)
 	case c.MsgLen > 1<<14:
-		return fmt.Errorf("desim: message length %d too large", c.MsgLen)
+		return cfgerr.Errorf("desim: message length %d too large", c.MsgLen)
 	case c.WarmupCycles < 0:
-		return fmt.Errorf("desim: negative WarmupCycles %d", c.WarmupCycles)
+		return cfgerr.Errorf("desim: negative WarmupCycles %d", c.WarmupCycles)
 	case c.MeasureCycles <= 0:
-		return fmt.Errorf("desim: MeasureCycles %d must be positive", c.MeasureCycles)
+		return cfgerr.Errorf("desim: MeasureCycles %d must be positive", c.MeasureCycles)
 	case c.DrainCycles < 0:
-		return fmt.Errorf("desim: negative DrainCycles %d", c.DrainCycles)
+		return cfgerr.Errorf("desim: negative DrainCycles %d", c.DrainCycles)
 	case c.DeadlockThreshold < 0:
-		return fmt.Errorf("desim: negative DeadlockThreshold %d", c.DeadlockThreshold)
+		return cfgerr.Errorf("desim: negative DeadlockThreshold %d", c.DeadlockThreshold)
 	case c.MaxMsgAge < 0:
-		return fmt.Errorf("desim: negative MaxMsgAge %d", c.MaxMsgAge)
+		return cfgerr.Errorf("desim: negative MaxMsgAge %d", c.MaxMsgAge)
 	case c.TraceCap < 0:
-		return fmt.Errorf("desim: negative TraceCap %d", c.TraceCap)
+		return cfgerr.Errorf("desim: negative TraceCap %d", c.TraceCap)
 	}
 	return nil
 }
@@ -352,6 +355,12 @@ type network struct {
 	pairBuf    []pair
 
 	freeList *message
+
+	// Observability: obs is Config.Observer (nil when detached) and
+	// wantEvents caches TraceCap>0 || obs!=nil so the hot paths pay a
+	// single boolean test — and build no Event — when both are off.
+	obs        Observer
+	wantEvents bool
 
 	intervalSum   float64
 	intervalCount int64

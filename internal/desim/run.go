@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"starperf/internal/cfgerr"
 	"starperf/internal/routing"
 	"starperf/internal/stats"
 	"starperf/internal/topology"
@@ -11,16 +12,31 @@ import (
 )
 
 // Run executes one simulation described by cfg and returns its
-// measurements. It is deterministic for a fixed cfg.
+// measurements. It is deterministic for a fixed cfg, and byte-for-byte
+// independent of whether a Config.Observer is attached.
 func Run(cfg Config) (*Result, error) {
 	nw, err := newNetwork(cfg)
 	if err != nil {
 		return nil, err
 	}
+	if nw.obs != nil {
+		nw.obs.BeginRun(RunInfo{
+			Topology: nw.top.Name(),
+			Nodes:    nw.top.N(),
+			Degree:   nw.deg,
+			Slots:    nw.slots,
+			V:        nw.v,
+			Cfg:      nw.cfg,
+			Probe:    nw,
+		})
+	}
 	if err := nw.loop(); err != nil {
 		return nil, err
 	}
 	nw.finish()
+	if nw.obs != nil {
+		nw.obs.EndRun(&nw.res)
+	}
 	return &nw.res, nil
 }
 
@@ -35,11 +51,11 @@ func newNetwork(cfg Config) (*network, error) {
 		}
 	}
 	if cfg.CutThrough && cfg.BufCap < cfg.MsgLen {
-		return nil, fmt.Errorf("desim: cut-through needs BufCap ≥ MsgLen (%d < %d)",
+		return nil, cfgerr.Errorf("desim: cut-through needs BufCap ≥ MsgLen (%d < %d)",
 			cfg.BufCap, cfg.MsgLen)
 	}
 	if cfg.BufCap < 1 || cfg.BufCap > 1<<14 {
-		return nil, fmt.Errorf("desim: buffer depth %d out of range", cfg.BufCap)
+		return nil, cfgerr.Errorf("desim: buffer depth %d out of range", cfg.BufCap)
 	}
 	if cfg.DrainCycles == 0 {
 		cfg.DrainCycles = 4 * (cfg.WarmupCycles + cfg.MeasureCycles)
@@ -76,6 +92,8 @@ func newNetwork(cfg Config) (*network, error) {
 		dimBuf:       make([]int, 0, deg),
 		eligBuf:      make([]int, 0, v),
 		pairBuf:      make([]pair, 0, deg*v),
+		obs:          cfg.Observer,
+		wantEvents:   cfg.TraceCap > 0 || cfg.Observer != nil,
 		measureStart: cfg.WarmupCycles,
 		measureEnd:   cfg.WarmupCycles + cfg.MeasureCycles,
 	}
@@ -134,7 +152,7 @@ func (nw *network) wireFaults() error {
 					continue
 				}
 				if period <= 0 || down < 0 || down >= period || phase < 0 {
-					return fmt.Errorf("desim: invalid flap window %d/%d/%d on channel (%d,%d)",
+					return cfgerr.Errorf("desim: invalid flap window %d/%d/%d on channel (%d,%d)",
 						down, period, phase, node, dim)
 				}
 				if nw.flapOfChan == nil {
@@ -159,7 +177,7 @@ func (nw *network) wireFaults() error {
 			}
 		}
 		if nw.cfg.Rate > 0 && len(live) < 2 {
-			return fmt.Errorf("desim: %s has %d live node(s); traffic needs at least 2",
+			return cfgerr.Errorf("desim: %s has %d live node(s); traffic needs at least 2",
 				nw.top.Name(), len(live))
 		}
 		if nw.cfg.Pattern == nil {
@@ -218,6 +236,9 @@ func (nw *network) loop() error {
 		grants += nw.doRouting()
 		moved := nw.doTransfers()
 		nw.doSampling()
+		if nw.obs != nil {
+			nw.obs.EndCycle(nw.cycle)
+		}
 		if nw.cfg.Paranoid && nw.cycle%paranoidEvery == 0 {
 			if err := nw.checkInvariants(); err != nil {
 				return fmt.Errorf("cycle %d: %w", nw.cycle, err)
@@ -346,7 +367,10 @@ func (nw *network) doArrivals() error {
 			m.measured = nw.cycle >= nw.measureStart && nw.cycle < nw.measureEnd
 			m.id = nw.res.Generated
 			nw.res.Generated++
-			nw.traceEvent(EvGenerate, m.id, int32(node), -1)
+			if nw.wantEvents {
+				nw.traceEvent(Event{Cycle: nw.cycle, Kind: EvGenerate, Msg: m.id,
+					Node: int32(node), VC: -1})
+			}
 			if m.measured {
 				nw.measuredInFly++
 			}
@@ -425,7 +449,10 @@ func (nw *network) doInjection() int {
 		if m.measured {
 			nw.res.QueueTime.Add(float64(nw.cycle - m.genCycle))
 		}
-		nw.traceEvent(EvInject, m.id, int32(node), gvc)
+		if nw.wantEvents {
+			nw.traceEvent(Event{Cycle: nw.cycle, Kind: EvInject, Msg: m.id,
+				Node: int32(node), VC: gvc})
+		}
 		m.waitStart = -1
 		m.routing = true
 		nw.routePending = append(nw.routePending, m)
@@ -494,16 +521,38 @@ func (nw *network) allocate(m *message) bool {
 		for vc := 0; vc < nw.v; vc++ {
 			gvc := int32(base + vc)
 			if nw.owner[gvc] == nil {
+				wait := int64(0)
+				if m.waitStart >= 0 {
+					wait = nw.cycle - m.waitStart
+					m.waitStart = -1
+				}
 				nw.grantVC(m, gvc)
 				m.routing = false
+				if nw.wantEvents {
+					nw.traceEvent(Event{Cycle: nw.cycle, Kind: EvGrant, Msg: m.id,
+						Node: int32(node), VC: gvc, Hop: int32(m.hops), Wait: int32(wait)})
+				}
 				return true
+			}
+		}
+		// Every ejection VC is occupied. One EvBlock per blocking
+		// episode (first failed attempt), mirroring the network hops;
+		// waitStart here feeds only the Wait of the eventual ejection
+		// grant, never Result.HopWait.
+		if m.waitStart < 0 {
+			m.waitStart = nw.cycle
+			if nw.wantEvents {
+				nw.traceEvent(Event{Cycle: nw.cycle, Kind: EvBlock, Msg: m.id,
+					Node: int32(node), VC: -1, Hop: int32(m.hops),
+					Reason: routing.BlockEjectionBusy})
 			}
 		}
 		return false
 	}
 
 	nw.res.Attempts++
-	if m.waitStart < 0 {
+	firstAttempt := m.waitStart < 0
+	if firstAttempt {
 		m.waitStart = nw.cycle
 	}
 	dims := nw.top.ProfitableDims(node, m.dst, nw.dimBuf[:0])
@@ -571,6 +620,18 @@ func (nw *network) allocate(m *message) bool {
 	nw.pairBuf = pairs[:0]
 	if len(pairs) == 0 {
 		nw.res.BlockedAttempts++
+		// One EvBlock per blocking episode. An empty dims means the
+		// flap filter (or the misroute headroom rule) removed every
+		// candidate link — a fault denial, not the VC contention the
+		// model's P_block describes.
+		if nw.wantEvents && firstAttempt {
+			reason := routing.BlockVCsBusy
+			if len(dims) == 0 {
+				reason = routing.BlockLinkDown
+			}
+			nw.traceEvent(Event{Cycle: nw.cycle, Kind: EvBlock, Msg: m.id,
+				Node: int32(node), VC: -1, Hop: int32(m.hops), Reason: reason})
+		}
 		return false
 	}
 
@@ -588,6 +649,8 @@ func (nw *network) allocate(m *message) bool {
 	if m.measured {
 		nw.res.HopWait.Add(float64(nw.cycle - m.waitStart))
 	}
+	wait := nw.cycle - m.waitStart
+	hop := int32(m.hops)
 	m.waitStart = -1
 	m.st = nw.spec.Advance(m.st, hopNeg, vc)
 	m.curNode = int32(nw.downstreamNode(chosen.gvc / int32(nw.v)))
@@ -596,6 +659,11 @@ func (nw *network) allocate(m *message) bool {
 	}
 	nw.grantVC(m, chosen.gvc)
 	m.hops++
+	if nw.wantEvents {
+		nw.traceEvent(Event{Cycle: nw.cycle, Kind: EvGrant, Msg: m.id,
+			Node: int32(nw.nodeOfChan(chosen.gvc / int32(nw.v))), VC: chosen.gvc,
+			Hop: hop, Wait: int32(wait), Misroute: misroute})
+	}
 	return true
 }
 
@@ -650,14 +718,14 @@ func (nw *network) choose(pairs []pair) pair {
 }
 
 // grantVC records that m now owns gvc, linked after its previous
-// head channel.
+// head channel. Event emission stays with the callers in allocate,
+// which know the hop index and accumulated wait.
 func (nw *network) grantVC(m *message, gvc int32) {
 	nw.owner[gvc] = m
 	nw.prev[gvc] = m.headVC
 	m.headVC = gvc
 	nw.grantCycle[gvc] = nw.cycle
 	nw.markBusy(gvc)
-	nw.traceEvent(EvGrant, m.id, int32(nw.nodeOfChan(gvc/int32(nw.v))), gvc)
 }
 
 // markBusy accounts a newly owned VC, activating its channel when it
@@ -757,7 +825,10 @@ const latencyInterval = 512
 
 func (nw *network) deliver(m *message, gvc int32) {
 	nw.freeVC(gvc)
-	nw.traceEvent(EvDeliver, m.id, int32(m.dst), -1)
+	if nw.wantEvents {
+		nw.traceEvent(Event{Cycle: nw.cycle, Kind: EvDeliver, Msg: m.id,
+			Node: int32(m.dst), VC: -1, Hop: int32(m.hops)})
+	}
 	nw.intervalSum += float64(nw.cycle + 1 - m.genCycle)
 	nw.intervalCount++
 	nw.res.Delivered++

@@ -17,6 +17,7 @@ import (
 
 	"starperf/internal/desim"
 	"starperf/internal/model"
+	"starperf/internal/obs"
 	"starperf/internal/routing"
 	"starperf/internal/stargraph"
 	"starperf/internal/stats"
@@ -49,6 +50,12 @@ type SimOptions struct {
 	// desim.Config.MaxMsgAge); aborted runs get one retry at an
 	// escalated drain window, then mark the point failed.
 	MaxMsgAge int64
+	// Observe, when non-nil, attaches an obs.Collector to the
+	// first-seed replication of every point and stores its Summary in
+	// Point.Obs — the per-point metrics sidecar
+	// (WriteMetricsSidecarCSV/JSON). Observation is passive, so the
+	// latency statistics are unchanged by enabling it.
+	Observe *obs.Options
 }
 
 func (o SimOptions) withDefaults() SimOptions {
@@ -93,6 +100,9 @@ type Point struct {
 	// failing.
 	Failed bool
 	Err    string
+	// Obs is the observer summary of the point's first-seed
+	// replication; nil unless SimOptions.Observe was set.
+	Obs *obs.Summary
 }
 
 // Series is one curve (fixed V, M, algorithm) over a rate sweep.
@@ -122,6 +132,7 @@ type simJob struct {
 func runSweep(top topology.Topology, panels []*Series, opts SimOptions, pattern traffic.Pattern) error {
 	opts = opts.withDefaults()
 	var jobs []simJob
+	var collectors []*obs.Collector // parallel to jobs; nil when unobserved
 	for si, s := range panels {
 		spec, err := routing.New(s.Kind, top, s.V)
 		if err != nil {
@@ -129,6 +140,11 @@ func runSweep(top topology.Topology, panels []*Series, opts SimOptions, pattern 
 		}
 		for pi, p := range s.Points {
 			for ki, seed := range opts.Seeds {
+				var col *obs.Collector
+				if opts.Observe != nil && ki == 0 {
+					col = obs.New(*opts.Observe)
+				}
+				collectors = append(collectors, col)
 				jobs = append(jobs, simJob{
 					series: si, point: pi, seed: ki,
 					cfg: desim.Config{
@@ -146,6 +162,11 @@ func runSweep(top topology.Topology, panels []*Series, opts SimOptions, pattern 
 						MaxMsgAge:     opts.MaxMsgAge,
 					},
 				})
+				if col != nil {
+					// assigned outside the literal: a nil *obs.Collector
+					// stored directly would make the interface non-nil
+					jobs[len(jobs)-1].cfg.Observer = col
+				}
 			}
 		}
 	}
@@ -182,7 +203,7 @@ func runSweep(top topology.Topology, panels []*Series, opts SimOptions, pattern 
 		errMsg string
 	}
 	aggs := make(map[[2]int]*agg)
-	for _, oc := range results {
+	for i, oc := range results {
 		key := [2]int{oc.job.series, oc.job.point}
 		a := aggs[key]
 		if a == nil {
@@ -198,6 +219,10 @@ func runSweep(top topology.Topology, panels []*Series, opts SimOptions, pattern 
 		a.lat = append(a.lat, oc.res.Latency.Mean())
 		a.sat = a.sat || oc.res.Saturated()
 		a.seen++
+		if col := collectors[i]; col != nil {
+			s := col.Summary()
+			panels[oc.job.series].Points[oc.job.point].Obs = &s
+		}
 	}
 	for key, a := range aggs {
 		p := &panels[key[0]].Points[key[1]]
@@ -319,32 +344,12 @@ func ratesUpTo(max float64, count int) []float64 {
 	return out
 }
 
-// Figure1 reproduces one panel of the paper's Figure 1: S5 latency
-// versus traffic generation rate for the given virtual-channel count
-// (panel 'a' → V=6, 'b' → V=9, 'c' → V=12), with one model and one
-// simulation series per message length M ∈ {32, 64}. The sweep spans
-// the paper's x-axis (0..0.015 for a and b, 0..0.02 for c) with
-// `points` samples per curve.
+// Figure1 reproduces one panel of the paper's Figure 1.
+//
+// Deprecated: use Figure1Panel with a Figure1Config; this positional
+// shim delegates unchanged.
 func Figure1(panel byte, points int, opts SimOptions) (*Panel, error) {
-	var v int
-	maxRate := 0.015
-	switch panel {
-	case 'a':
-		v = 6
-	case 'b':
-		v = 9
-	case 'c':
-		v = 12
-		maxRate = 0.02
-	default:
-		return nil, fmt.Errorf("experiments: unknown Figure 1 panel %q", panel)
-	}
-	p, err := StarPanel(5, v, []int{32, 64}, maxRate, points, opts)
-	if err != nil {
-		return nil, err
-	}
-	p.Title = fmt.Sprintf("Figure 1(%c): 5-star, V=%d", panel, v)
-	return p, nil
+	return Figure1Panel(Figure1Config{Panel: panel, Points: points, Sim: opts})
 }
 
 // StarPanel generalises Figure 1 to any star size: model and

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"starperf/internal/obs"
+)
+
+// Metrics sidecars: per-point observer summaries exported next to a
+// panel's latency data. Points carry an Obs summary only when the
+// sweep ran with SimOptions.Observe set; both writers skip unobserved
+// points, and both are byte-deterministic (fixed column order, %g
+// floats, no timestamps) so sidecars fall under the repo's
+// reproducible-artifact discipline.
+
+// WriteMetricsSidecarCSV writes one CSV row per observed point of the
+// panel.
+func WriteMetricsSidecarCSV(w io.Writer, p *Panel) error {
+	if _, err := fmt.Fprintln(w, "series,rate,samples,mean_chan_util,peak_chan_util,mean_vc_occupancy,mean_queued,peak_queue,grants,block_episodes,block_prob,mean_wait,wait_per_grant,misroutes,flap_denials"); err != nil {
+		return err
+	}
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			o := pt.Obs
+			if o == nil {
+				continue
+			}
+			_, err := fmt.Fprintf(w, "%s,%g,%d,%g,%g,%g,%g,%d,%d,%d,%g,%g,%g,%d,%d\n",
+				s.Name, pt.Rate, o.Samples, o.MeanChanUtil, o.PeakChanUtil,
+				o.MeanVCOccupancy, o.MeanQueued, o.PeakQueue,
+				o.Grants, o.BlockEpisodes, o.BlockProb, o.MeanWait, o.WaitPerGrant,
+				o.Misroutes, o.FlapDenials)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sidecarPoint and sidecarSeries shape the JSON sidecar; field order
+// is fixed by the structs.
+type sidecarPoint struct {
+	Rate float64      `json:"rate"`
+	Obs  *obs.Summary `json:"obs"`
+}
+
+type sidecarSeries struct {
+	Name   string         `json:"name"`
+	Points []sidecarPoint `json:"points"`
+}
+
+type sidecarPanel struct {
+	Title  string          `json:"title"`
+	Series []sidecarSeries `json:"series"`
+}
+
+// WriteMetricsSidecarJSON writes the observed points of the panel as
+// indented JSON grouped by series.
+func WriteMetricsSidecarJSON(w io.Writer, p *Panel) error {
+	out := sidecarPanel{Title: p.Title}
+	for _, s := range p.Series {
+		ss := sidecarSeries{Name: s.Name, Points: []sidecarPoint{}}
+		for _, pt := range s.Points {
+			if pt.Obs == nil {
+				continue
+			}
+			ss.Points = append(ss.Points, sidecarPoint{Rate: pt.Rate, Obs: pt.Obs})
+		}
+		out.Series = append(out.Series, ss)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"starperf/internal/obs"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+)
+
+// TestObservedSweepAndSidecars runs a small observed panel and checks
+// that (a) every point carries a summary, (b) enabling observation
+// leaves the latency statistics untouched, and (c) the sidecar
+// writers produce deterministic non-trivial output.
+func TestObservedSweepAndSidecars(t *testing.T) {
+	opts := fastOpts()
+	plain, err := StarPanel(4, 4, []int{16}, 0.02, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Observe = &obs.Options{SampleEvery: 512, TraceCap: -1}
+	observed, err := StarPanel(4, 4, []int{16}, 0.02, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, s := range observed.Series {
+		for pi, pt := range s.Points {
+			if pt.Obs == nil {
+				t.Fatalf("series %d point %d: no observer summary", si, pi)
+			}
+			if pt.Obs.Samples == 0 || pt.Obs.Grants == 0 {
+				t.Errorf("series %d point %d: empty summary %+v", si, pi, pt.Obs)
+			}
+			// Passivity: the observed sweep's latency statistics match
+			// the unobserved ones bit for bit.
+			ref := plain.Series[si].Points[pi]
+			if pt.Sim != ref.Sim || pt.SimHW != ref.SimHW || pt.SimSaturated != ref.SimSaturated {
+				t.Errorf("series %d point %d: observation changed statistics: %+v vs %+v",
+					si, pi, pt, ref)
+			}
+		}
+	}
+	var csv1, csv2, js bytes.Buffer
+	if err := WriteMetricsSidecarCSV(&csv1, observed); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricsSidecarCSV(&csv2, observed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv1.Bytes(), csv2.Bytes()) {
+		t.Error("sidecar CSV not deterministic")
+	}
+	wantRows := 1 + len(observed.Series)*3 // header + every observed point
+	if got := strings.Count(csv1.String(), "\n"); got != wantRows {
+		t.Errorf("sidecar CSV has %d rows, want %d", got, wantRows)
+	}
+	if err := WriteMetricsSidecarJSON(&js, observed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"mean_chan_util"`) || !strings.Contains(js.String(), `"block_prob"`) {
+		t.Errorf("sidecar JSON missing summary fields:\n%s", js.String())
+	}
+	// An unobserved panel yields an empty (header/skeleton only) sidecar.
+	var empty bytes.Buffer
+	if err := WriteMetricsSidecarCSV(&empty, plain); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(empty.String(), "\n"); got != 1 {
+		t.Errorf("unobserved sidecar CSV has %d rows, want header only", got)
+	}
+}
+
+// TestThroughputSweepConfig covers the new config-struct entry point
+// and its validation.
+func TestThroughputSweepConfig(t *testing.T) {
+	g := stargraph.MustNew(4)
+	rows, err := ThroughputSweep(ThroughputConfig{
+		Top: g, Kind: routing.EnhancedNbc, V: 4, MsgLen: 16,
+		Points: 3, MaxRate: 0.06, Sim: fastOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if _, err := ThroughputSweep(ThroughputConfig{Kind: routing.EnhancedNbc, V: 4, MsgLen: 16, Points: 3, MaxRate: 0.06}); err == nil {
+		t.Error("nil Top accepted")
+	}
+	if _, err := ThroughputSweep(ThroughputConfig{Top: g, Kind: routing.EnhancedNbc, V: 4, MsgLen: 16, Points: 3}); err == nil {
+		t.Error("zero MaxRate accepted")
+	}
+}

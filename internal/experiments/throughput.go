@@ -1,9 +1,6 @@
 package experiments
 
 import (
-	"sync"
-
-	"starperf/internal/desim"
 	"starperf/internal/routing"
 	"starperf/internal/topology"
 )
@@ -22,54 +19,16 @@ type ThroughputRow struct {
 }
 
 // ThroughputCurve sweeps offered load past saturation and records
-// accepted throughput — the standard companion plot to latency curves
-// (the plateau height is the network's saturation throughput). Points
-// run in parallel.
+// accepted throughput.
+//
+// Deprecated: use ThroughputSweep with a ThroughputConfig; this
+// positional shim delegates unchanged.
 func ThroughputCurve(top topology.Topology, kind routing.Kind, v, msgLen, points int,
 	maxRate float64, opts SimOptions) ([]ThroughputRow, error) {
-	opts = opts.withDefaults()
-	spec, err := routing.New(kind, top, v)
-	if err != nil {
-		return nil, err
-	}
-	rates := ratesUpTo(maxRate, points)
-	rows := make([]ThroughputRow, len(rates))
-	errs := make([]error, len(rates))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for i, rate := range rates {
-		wg.Add(1)
-		go func(i int, rate float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := desim.Run(desim.Config{
-				Top: top, Spec: spec, Policy: opts.Policy,
-				Rate: rate, MsgLen: msgLen, BufCap: opts.BufCap,
-				Seed:         opts.Seeds[0]*7919 + uint64(i),
-				WarmupCycles: opts.Warmup, MeasureCycles: opts.Measure,
-				DrainCycles: opts.Drain,
-			})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			rows[i] = ThroughputRow{
-				Offered: rate,
-				Accepted: float64(res.DeliveredInWindow) /
-					float64(opts.Measure) / float64(top.N()),
-				Latency:   res.Latency.Mean(),
-				Saturated: res.Saturated(),
-			}
-		}(i, rate)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return rows, nil
+	return ThroughputSweep(ThroughputConfig{
+		Top: top, Kind: kind, V: v, MsgLen: msgLen,
+		Points: points, MaxRate: maxRate, Sim: opts,
+	})
 }
 
 // SaturationThroughput returns the peak accepted rate of a curve.

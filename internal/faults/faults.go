@@ -26,6 +26,7 @@ package faults
 import (
 	"fmt"
 
+	"starperf/internal/cfgerr"
 	"starperf/internal/topology"
 	"starperf/internal/traffic"
 )
@@ -114,14 +115,14 @@ const planAttempts = 64
 func NewPlan(top topology.Topology, seed uint64, opts Options) (*Plan, error) {
 	n, deg := top.N(), top.Degree()
 	if n > MaxNodes {
-		return nil, fmt.Errorf("faults: %s has %d nodes, above the supported %d",
+		return nil, cfgerr.Errorf("faults: %s has %d nodes, above the supported %d",
 			top.Name(), n, MaxNodes)
 	}
 	if opts.FailLinks < 0 || opts.FailNodes < 0 || opts.Flaps < 0 {
-		return nil, fmt.Errorf("faults: negative fault count in %+v", opts)
+		return nil, cfgerr.Errorf("faults: negative fault count in %+v", opts)
 	}
 	if opts.FailNodes > n-2 {
-		return nil, fmt.Errorf("faults: failing %d of %d nodes leaves fewer than two live nodes",
+		return nil, cfgerr.Errorf("faults: failing %d of %d nodes leaves fewer than two live nodes",
 			opts.FailNodes, n)
 	}
 	if opts.FlapPeriod == 0 {
@@ -131,7 +132,7 @@ func NewPlan(top topology.Topology, seed uint64, opts Options) (*Plan, error) {
 		opts.FlapDown = 256
 	}
 	if opts.FlapPeriod < 0 || opts.FlapDown < 0 || opts.FlapDown >= opts.FlapPeriod {
-		return nil, fmt.Errorf("faults: flap window %d/%d invalid (need 0 ≤ down < period)",
+		return nil, cfgerr.Errorf("faults: flap window %d/%d invalid (need 0 ≤ down < period)",
 			opts.FlapDown, opts.FlapPeriod)
 	}
 	rng := traffic.NewRNG(seed)
@@ -382,7 +383,7 @@ type Faulted struct {
 func Apply(top topology.Topology, plan *Plan) (*Faulted, error) {
 	n, deg := top.N(), top.Degree()
 	if n > MaxNodes {
-		return nil, fmt.Errorf("faults: %s has %d nodes, above the supported %d",
+		return nil, cfgerr.Errorf("faults: %s has %d nodes, above the supported %d",
 			top.Name(), n, MaxNodes)
 	}
 	down, nodeDown, err := buildMasks(top, plan)

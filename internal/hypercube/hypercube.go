@@ -7,6 +7,8 @@ package hypercube
 import (
 	"fmt"
 	"math/bits"
+
+	"starperf/internal/cfgerr"
 )
 
 // Graph is an in-memory Q_m. All methods are pure and safe for
@@ -24,7 +26,7 @@ const MaxM = 30
 // New constructs Q_m for 1 ≤ m ≤ MaxM.
 func New(m int) (*Graph, error) {
 	if m < 1 || m > MaxM {
-		return nil, fmt.Errorf("hypercube: m=%d out of range [1,%d]", m, MaxM)
+		return nil, cfgerr.Errorf("hypercube: m=%d out of range [1,%d]", m, MaxM)
 	}
 	n := 1 << m
 	// average distance to the 2^m −1 other nodes: Σ k·C(m,k) = m·2^(m−1)

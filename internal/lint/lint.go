@@ -186,6 +186,7 @@ func DefaultRules() []Rule {
 		"starperf/internal/routing",
 		"starperf/internal/experiments",
 		"starperf/internal/faults",
+		"starperf/internal/obs",
 	)
 	numerical := inPackages(
 		"starperf/internal/model",

@@ -163,6 +163,7 @@ func TestDefaultRulesScopes(t *testing.T) {
 		want      bool
 	}{
 		{"maporder", "starperf/internal/desim", true},
+		{"maporder", "starperf/internal/obs", true},
 		{"maporder", "starperf/internal/model", false},
 		{"floateq", "starperf/internal/model", true},
 		{"floateq", "starperf/internal/desim", false},

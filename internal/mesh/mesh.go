@@ -14,6 +14,8 @@ package mesh
 
 import (
 	"fmt"
+
+	"starperf/internal/cfgerr"
 )
 
 // Graph is an in-memory k-ary n-mesh. Nodes are n-digit radix-k
@@ -30,17 +32,17 @@ type Graph struct {
 // New constructs a k-ary n-mesh, k ≥ 2, n ≥ 1, at most 2^26 nodes.
 func New(k, n int) (*Graph, error) {
 	if k < 2 {
-		return nil, fmt.Errorf("mesh: radix k=%d must be ≥ 2", k)
+		return nil, cfgerr.Errorf("mesh: radix k=%d must be ≥ 2", k)
 	}
 	if n < 1 {
-		return nil, fmt.Errorf("mesh: dimension n=%d must be ≥ 1", n)
+		return nil, cfgerr.Errorf("mesh: dimension n=%d must be ≥ 1", n)
 	}
 	nodes := 1
 	pow := make([]int, n+1)
 	pow[0] = 1
 	for i := 1; i <= n; i++ {
 		if nodes > (1<<26)/k {
-			return nil, fmt.Errorf("mesh: %d-ary %d-mesh too large", k, n)
+			return nil, cfgerr.Errorf("mesh: %d-ary %d-mesh too large", k, n)
 		}
 		nodes *= k
 		pow[i] = nodes

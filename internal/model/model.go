@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 
+	"starperf/internal/cfgerr"
 	"starperf/internal/queueing"
 	"starperf/internal/routing"
 	"starperf/internal/stargraph"
@@ -214,16 +215,16 @@ var ErrSaturated = errors.New("model: operating point beyond saturation")
 // Evaluate solves the model at cfg's operating point.
 func Evaluate(cfg Config) (*Result, error) {
 	if cfg.Paths == nil || cfg.Top == nil {
-		return nil, errors.New("model: nil path structure or topology")
+		return nil, cfgerr.New("model: nil path structure or topology")
 	}
 	if cfg.MsgLen <= 0 {
-		return nil, fmt.Errorf("model: message length %d", cfg.MsgLen)
+		return nil, cfgerr.Errorf("model: message length %d", cfg.MsgLen)
 	}
 	if cfg.MsgLenVar < 0 {
-		return nil, fmt.Errorf("model: negative message-length variance %v", cfg.MsgLenVar)
+		return nil, cfgerr.Errorf("model: negative message-length variance %v", cfg.MsgLenVar)
 	}
 	if cfg.Rate < 0 {
-		return nil, fmt.Errorf("model: negative rate %v", cfg.Rate)
+		return nil, cfgerr.Errorf("model: negative rate %v", cfg.Rate)
 	}
 	spec, err := routing.New(cfg.Kind, cfg.Top, cfg.V)
 	if err != nil {
@@ -231,7 +232,7 @@ func Evaluate(cfg Config) (*Result, error) {
 	}
 	damping := cfg.Damping
 	if damping < 0 || damping > 1 {
-		return nil, fmt.Errorf("model: damping %v outside (0,1]", damping)
+		return nil, cfgerr.Errorf("model: damping %v outside (0,1]", damping)
 	}
 	if damping <= 0 { // unset: negatives were rejected above
 		damping = 0.5
@@ -246,18 +247,18 @@ func Evaluate(cfg Config) (*Result, error) {
 	}
 	if cfg.FixedOccupancy != nil {
 		if len(cfg.FixedOccupancy) != cfg.V+1 {
-			return nil, fmt.Errorf("model: FixedOccupancy has %d entries, want V+1=%d",
+			return nil, cfgerr.Errorf("model: FixedOccupancy has %d entries, want V+1=%d",
 				len(cfg.FixedOccupancy), cfg.V+1)
 		}
 		var s float64
 		for _, p := range cfg.FixedOccupancy {
 			if p < 0 {
-				return nil, errors.New("model: negative FixedOccupancy entry")
+				return nil, cfgerr.New("model: negative FixedOccupancy entry")
 			}
 			s += p
 		}
 		if math.Abs(s-1) > 1e-6 {
-			return nil, fmt.Errorf("model: FixedOccupancy sums to %v", s)
+			return nil, cfgerr.Errorf("model: FixedOccupancy sums to %v", s)
 		}
 	}
 

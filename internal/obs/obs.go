@@ -1,0 +1,232 @@
+// Package obs is the standard observability layer of the simulator:
+// an opt-in desim.Observer that turns the raw hook stream into
+//
+//   - cycle-sampled gauges — per-physical-channel utilization,
+//     per-VC-class occupancy, injection-queue depth — collected into a
+//     fixed-interval time series (Metrics);
+//   - a structured message-lifecycle trace (generate → inject →
+//     per-hop grant/block → deliver) in a bounded ring buffer with a
+//     deterministic JSONL export (Trace, WriteTraceJSONL);
+//   - per-hop blocking counters that map one-to-one onto the model's
+//     terms (Counters): HopStats.BlockProb is the simulator's
+//     counterpart of P_block and HopStats.WaitPerGrant of the
+//     P_block·w̄ product of eqs. 6 and 15, localised per hop, while
+//     flap denials and misroutes — fault effects outside the model —
+//     are separated out so they cannot masquerade as contention.
+//
+// A Collector observes exactly one run (desim.Config.Observer); the
+// sweep harness in internal/experiments attaches a fresh Collector per
+// point and exports per-point summaries as CSV/JSON sidecars.
+// Observation is passive by the desim.Observer contract: results are
+// byte-identical with and without a Collector attached.
+package obs
+
+import (
+	"starperf/internal/desim"
+	"starperf/internal/routing"
+)
+
+// Options tunes one Collector. The zero value enables everything at
+// default cadence.
+type Options struct {
+	// SampleEvery is the gauge sampling interval in cycles
+	// (default 256 when 0). Each sample sweeps every physical channel
+	// and source queue, so the sampling cost is
+	// O(Nodes·Slots·V / SampleEvery) per cycle.
+	SampleEvery int64
+	// TraceCap bounds the lifecycle ring buffer: 0 selects the default
+	// 4096 events, negative disables tracing entirely. When the ring
+	// is full the oldest events are dropped (and counted), so the ring
+	// always holds the most recent window.
+	TraceCap int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 256
+	}
+	if o.TraceCap == 0 {
+		o.TraceCap = 4096
+	}
+	return o
+}
+
+// Collector implements desim.Observer. The reports (Metrics,
+// Counters, Summary, Trace) are valid after a run returns; attaching
+// the same Collector to another run resets it (last run wins).
+type Collector struct {
+	opts Options
+	info desim.RunInfo
+
+	// gauges
+	countdown int64
+	samples   []Sample
+	chanBusy  []uint64 // per physical channel: samples with ≥1 busy VC
+	netChans  int      // existing network channels (ChanUtil denominator)
+
+	// counters
+	perHop   []HopStats
+	ejection HopStats
+	byReason [routing.NumBlockReasons]uint64
+	lifec    [5]uint64 // per desim.EventKind event counts
+
+	// trace ring
+	ring      []desim.Event
+	ringStart int
+	dropped   uint64
+}
+
+// New returns a Collector with the given options.
+func New(opts Options) *Collector {
+	return &Collector{opts: opts.withDefaults()}
+}
+
+// BeginRun resets the Collector and sizes the per-channel
+// accumulators from the run's dimensions. The reset makes a Collector
+// reusable across runs with last-run-wins semantics — in particular
+// the experiments harness may re-run an aborted point at an escalated
+// drain window with the same Collector attached.
+func (c *Collector) BeginRun(info desim.RunInfo) {
+	c.info = info
+	c.chanBusy = make([]uint64, info.Probe.Channels())
+	c.netChans = 0
+	for ch := range c.chanBusy {
+		if info.Probe.NetworkChannel(ch) {
+			c.netChans++
+		}
+	}
+	c.samples = c.samples[:0]
+	c.perHop = make([]HopStats, 0, 8)
+	c.ejection = HopStats{}
+	c.byReason = [routing.NumBlockReasons]uint64{}
+	c.lifec = [5]uint64{}
+	c.ring = c.ring[:0]
+	c.ringStart = 0
+	c.dropped = 0
+	c.countdown = 1 // sample the first cycle, then every SampleEvery
+}
+
+// hop returns the per-hop accumulator for index h, growing the slice
+// as deeper hops appear (bounded by the topology diameter plus any
+// misroute detours).
+func (c *Collector) hop(h int32) *HopStats {
+	for int(h) >= len(c.perHop) {
+		c.perHop = append(c.perHop, HopStats{})
+	}
+	return &c.perHop[h]
+}
+
+// HandleEvent folds one lifecycle event into the counters and the
+// trace ring.
+func (c *Collector) HandleEvent(ev desim.Event) {
+	if int(ev.Kind) < len(c.lifec) {
+		c.lifec[ev.Kind]++
+	}
+	switch ev.Kind {
+	case desim.EvGrant:
+		st := &c.ejection
+		if c.isNetworkVC(ev.VC) {
+			st = c.hop(ev.Hop)
+		}
+		st.Grants++
+		st.WaitSum += uint64(ev.Wait)
+		if ev.Misroute {
+			st.Misroutes++
+		}
+	case desim.EvBlock:
+		if int(ev.Reason) < len(c.byReason) {
+			c.byReason[ev.Reason]++
+		}
+		if ev.Reason == routing.BlockEjectionBusy {
+			c.ejection.Blocked++
+		} else {
+			c.hop(ev.Hop).Blocked++
+		}
+	}
+	if c.opts.TraceCap > 0 {
+		if len(c.ring) < c.opts.TraceCap {
+			c.ring = append(c.ring, ev)
+		} else {
+			c.ring[c.ringStart] = ev
+			c.ringStart++
+			if c.ringStart == len(c.ring) {
+				c.ringStart = 0
+			}
+			c.dropped++
+		}
+	}
+}
+
+// isNetworkVC reports whether global VC index gvc lies on a network
+// channel (as opposed to the ejection/injection slots).
+func (c *Collector) isNetworkVC(gvc int32) bool {
+	if gvc < 0 {
+		return false
+	}
+	ch := int(gvc) / c.info.V
+	return ch%c.info.Slots < c.info.Degree
+}
+
+// EndCycle samples the gauges every SampleEvery cycles.
+func (c *Collector) EndCycle(cycle int64) {
+	c.countdown--
+	if c.countdown > 0 {
+		return
+	}
+	c.countdown = c.opts.SampleEvery
+	p := c.info.Probe
+	s := Sample{Cycle: cycle}
+	busyVCs := 0
+	for ch := 0; ch < len(c.chanBusy); ch++ {
+		if !p.NetworkChannel(ch) {
+			continue
+		}
+		b := p.BusyVCs(ch)
+		if b == 0 {
+			continue
+		}
+		c.chanBusy[ch]++
+		s.BusyChannels++
+		busyVCs += b
+		for vc := 0; vc < c.info.V; vc++ {
+			if p.VCBusy(ch, vc) {
+				if c.info.Cfg.Spec.IsClassA(vc) {
+					s.ClassABusy++
+				} else {
+					s.ClassBBusy++
+				}
+			}
+		}
+	}
+	if c.netChans > 0 {
+		s.ChanUtil = float64(s.BusyChannels) / float64(c.netChans)
+		s.VCOccupancy = float64(busyVCs) / float64(c.netChans*c.info.V)
+	}
+	s.Queued = p.QueuedTotal()
+	for node := 0; node < c.info.Nodes; node++ {
+		if q := p.QueueLen(node); q > s.MaxQueue {
+			s.MaxQueue = q
+		}
+	}
+	c.samples = append(c.samples, s)
+}
+
+// EndRun completes the desim.Observer interface. The Collector needs
+// no sealing: all reports read the accumulated state directly.
+func (c *Collector) EndRun(*Result) {}
+
+// Result aliases desim.Result for the EndRun signature without
+// re-importing desim at every call site.
+type Result = desim.Result
+
+// Trace returns the ring-buffered lifecycle events in emission order
+// (oldest surviving event first).
+func (c *Collector) Trace() []desim.Event {
+	out := make([]desim.Event, 0, len(c.ring))
+	out = append(out, c.ring[c.ringStart:]...)
+	out = append(out, c.ring[:c.ringStart]...)
+	return out
+}
+
+// TraceDropped counts events evicted from the full ring.
+func (c *Collector) TraceDropped() uint64 { return c.dropped }

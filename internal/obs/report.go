@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"starperf/internal/desim"
+	"starperf/internal/routing"
+)
+
+// Sample is one fixed-interval gauge snapshot, taken at the end of the
+// sampled cycle (after arrivals, injection, routing and transfers).
+type Sample struct {
+	// Cycle is the simulated cycle the snapshot was taken at.
+	Cycle int64
+	// BusyChannels is the number of network channels with at least one
+	// occupied virtual channel; ChanUtil normalises it by the number of
+	// existing network channels.
+	BusyChannels int
+	ChanUtil     float64
+	// VCOccupancy is the busy fraction over all network virtual
+	// channels; ClassABusy/ClassBBusy split the busy count by VC class
+	// (adaptive class a vs deterministic class b, eq. 13's V1/V2).
+	VCOccupancy float64
+	ClassABusy  int
+	ClassBBusy  int
+	// Queued is the total source-queue depth across nodes; MaxQueue the
+	// deepest single queue.
+	Queued   int
+	MaxQueue int
+}
+
+// Metrics is the gauge time series of one run.
+type Metrics struct {
+	// SampleEvery is the sampling interval in cycles.
+	SampleEvery int64
+	// Samples holds the snapshots in cycle order.
+	Samples []Sample
+	// ChannelBusy is, per physical channel, the fraction of samples in
+	// which the channel had at least one busy VC — the empirical
+	// counterpart of the per-channel utilization the model assumes
+	// uniform. Injection/ejection slots and missing channels read 0.
+	ChannelBusy []float64
+}
+
+// Metrics returns the collected gauge time series.
+func (c *Collector) Metrics() Metrics {
+	m := Metrics{
+		SampleEvery: c.opts.SampleEvery,
+		Samples:     append([]Sample(nil), c.samples...),
+		ChannelBusy: make([]float64, len(c.chanBusy)),
+	}
+	if n := len(c.samples); n > 0 {
+		for ch, busy := range c.chanBusy {
+			m.ChannelBusy[ch] = float64(busy) / float64(n)
+		}
+	}
+	return m
+}
+
+// HopStats accumulates virtual-channel allocation outcomes at one
+// network-hop index (or at ejection).
+type HopStats struct {
+	// Grants counts successful VC acquisitions; Blocked counts blocking
+	// episodes (a header that found no eligible free VC on its first
+	// attempt, however many cycles it then waited). WaitSum is the
+	// total cycles spent waiting across episodes, and Misroutes the
+	// grants taken on a non-minimal channel.
+	Grants    uint64
+	Blocked   uint64
+	WaitSum   uint64
+	Misroutes uint64
+}
+
+// BlockProb is the fraction of headers that had to wait at this hop —
+// the simulator's per-hop counterpart of the model's blocking
+// probability P_block (eq. 6).
+func (h HopStats) BlockProb() float64 {
+	if h.Grants == 0 {
+		return 0
+	}
+	return float64(h.Blocked) / float64(h.Grants)
+}
+
+// MeanWait is the mean waiting time of a blocked header — the
+// counterpart of the model's w̄ (eq. 15).
+func (h HopStats) MeanWait() float64 {
+	if h.Blocked == 0 {
+		return 0
+	}
+	return float64(h.WaitSum) / float64(h.Blocked)
+}
+
+// WaitPerGrant is the mean wait amortised over all headers,
+// BlockProb·MeanWait — the P_block·w̄ product eqs. 6 and 15 feed into
+// the per-hop service time.
+func (h HopStats) WaitPerGrant() float64 {
+	if h.Grants == 0 {
+		return 0
+	}
+	return float64(h.WaitSum) / float64(h.Grants)
+}
+
+// Counters is the event-derived tally of one run.
+type Counters struct {
+	// PerHop indexes network hops from the source (hop 0 is the first
+	// network channel); Ejection covers the final ejection-channel
+	// acquisition, which the model folds into the last service stage.
+	PerHop   []HopStats
+	Ejection HopStats
+	// ByReason splits blocking episodes by routing.BlockReason;
+	// FlapDenials is the link-down share — blocking the fault layer
+	// injected rather than eq. 6 contention.
+	ByReason    [routing.NumBlockReasons]uint64
+	FlapDenials uint64
+	// Generated/Injected/Delivered count lifecycle events seen, for
+	// cross-checking against desim.Result.
+	Generated uint64
+	Injected  uint64
+	Delivered uint64
+}
+
+// Counters returns the accumulated event tallies.
+func (c *Collector) Counters() Counters {
+	return Counters{
+		PerHop:      append([]HopStats(nil), c.perHop...),
+		Ejection:    c.ejection,
+		ByReason:    c.byReason,
+		FlapDenials: c.byReason[routing.BlockLinkDown],
+		Generated:   c.lifec[desim.EvGenerate],
+		Injected:    c.lifec[desim.EvInject],
+		Delivered:   c.lifec[desim.EvDeliver],
+	}
+}
+
+// Total sums the per-hop network stats (ejection excluded).
+func (ct Counters) Total() HopStats {
+	var t HopStats
+	for _, h := range ct.PerHop {
+		t.Grants += h.Grants
+		t.Blocked += h.Blocked
+		t.WaitSum += h.WaitSum
+		t.Misroutes += h.Misroutes
+	}
+	return t
+}
+
+// Summary condenses one run's observations to scalars, the shape the
+// experiments sweep exports per point.
+type Summary struct {
+	Samples         int     `json:"samples"`
+	MeanChanUtil    float64 `json:"mean_chan_util"`
+	PeakChanUtil    float64 `json:"peak_chan_util"`
+	MeanVCOccupancy float64 `json:"mean_vc_occupancy"`
+	MeanQueued      float64 `json:"mean_queued"`
+	PeakQueue       int     `json:"peak_queue"`
+	Grants          uint64  `json:"grants"`
+	BlockEpisodes   uint64  `json:"block_episodes"`
+	BlockProb       float64 `json:"block_prob"`
+	MeanWait        float64 `json:"mean_wait"`
+	WaitPerGrant    float64 `json:"wait_per_grant"`
+	Misroutes       uint64  `json:"misroutes"`
+	FlapDenials     uint64  `json:"flap_denials"`
+	TraceDropped    uint64  `json:"trace_dropped"`
+}
+
+// Summary condenses the collected metrics and counters.
+func (c *Collector) Summary() Summary {
+	s := Summary{
+		Samples:      len(c.samples),
+		FlapDenials:  c.byReason[routing.BlockLinkDown],
+		TraceDropped: c.dropped,
+	}
+	for _, sm := range c.samples {
+		s.MeanChanUtil += sm.ChanUtil
+		s.MeanVCOccupancy += sm.VCOccupancy
+		s.MeanQueued += float64(sm.Queued)
+		if sm.ChanUtil > s.PeakChanUtil {
+			s.PeakChanUtil = sm.ChanUtil
+		}
+		if sm.MaxQueue > s.PeakQueue {
+			s.PeakQueue = sm.MaxQueue
+		}
+	}
+	if n := len(c.samples); n > 0 {
+		s.MeanChanUtil /= float64(n)
+		s.MeanVCOccupancy /= float64(n)
+		s.MeanQueued /= float64(n)
+	}
+	t := c.Counters().Total()
+	s.Grants = t.Grants
+	s.BlockEpisodes = t.Blocked
+	s.BlockProb = t.BlockProb()
+	s.MeanWait = t.MeanWait()
+	s.WaitPerGrant = t.WaitPerGrant()
+	s.Misroutes = t.Misroutes
+	return s
+}

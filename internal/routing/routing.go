@@ -32,6 +32,7 @@ package routing
 import (
 	"fmt"
 
+	"starperf/internal/cfgerr"
 	"starperf/internal/topology"
 )
 
@@ -93,18 +94,18 @@ func New(kind Kind, top topology.Topology, v int) (Spec, error) {
 	switch kind {
 	case NHop, Nbc:
 		if v < v2min {
-			return Spec{}, fmt.Errorf("routing: %s on %s needs ≥%d VCs, got %d",
+			return Spec{}, cfgerr.Errorf("routing: %s on %s needs ≥%d VCs, got %d",
 				kind, top.Name(), v2min, v)
 		}
 		s.V1, s.V2 = 0, v
 	case EnhancedNbc:
 		if v < v2min+1 {
-			return Spec{}, fmt.Errorf("routing: %s on %s needs ≥%d VCs, got %d",
+			return Spec{}, cfgerr.Errorf("routing: %s on %s needs ≥%d VCs, got %d",
 				kind, top.Name(), v2min+1, v)
 		}
 		s.V1, s.V2 = v-v2min, v2min
 	default:
-		return Spec{}, fmt.Errorf("routing: unknown kind %d", int(kind))
+		return Spec{}, cfgerr.Errorf("routing: unknown kind %d", int(kind))
 	}
 	return s, nil
 }
@@ -261,6 +262,52 @@ func (s Spec) MisrouteVCs(st State, hopNeg bool, nextColor, dRemaining int, buf 
 	}
 	return s.EligibleVCs(st, hopNeg, nextColor, dRemaining, buf)
 }
+
+// BlockReason tags why a header's virtual-channel allocation attempt
+// failed, so blocking can be attributed to the right term of the
+// model: VC contention feeds the P_block·w̄ waiting term of eqs. 6 and
+// 15, while fault-induced denials are outside the model entirely and
+// must be separated before comparing model to simulation.
+type BlockReason uint8
+
+const (
+	// BlockNone marks events that are not blocks (grants, lifecycle).
+	BlockNone BlockReason = iota
+	// BlockVCsBusy: at least one profitable channel was up, but every
+	// eligible virtual channel on every candidate was occupied — the
+	// contention the model's P_block (eqs. 6, 9–11) describes.
+	BlockVCsBusy
+	// BlockEjectionBusy: the message is at its destination and all V
+	// ejection-channel VCs are occupied (the model treats ejection as
+	// contention-free; a high count localises that approximation).
+	BlockEjectionBusy
+	// BlockLinkDown is a flap denial: every profitable channel's
+	// physical link was transiently down and the misroute fallback had
+	// no class-b headroom, so the header must wait for a link to come
+	// back up. Only possible on fault-injected topologies.
+	BlockLinkDown
+)
+
+// String names the block reason (stable identifiers used by the JSONL
+// trace exporter).
+func (r BlockReason) String() string {
+	switch r {
+	case BlockNone:
+		return "none"
+	case BlockVCsBusy:
+		return "vcs-busy"
+	case BlockEjectionBusy:
+		return "ejection-busy"
+	case BlockLinkDown:
+		return "link-down"
+	default:
+		return fmt.Sprintf("BlockReason(%d)", uint8(r))
+	}
+}
+
+// NumBlockReasons bounds the BlockReason enum for array-indexed
+// per-reason counters.
+const NumBlockReasons = 4
 
 // Policy selects among free eligible virtual channels; it must match
 // between the simulator and the analytical model's class-occupancy

@@ -14,6 +14,8 @@ package torus
 
 import (
 	"fmt"
+
+	"starperf/internal/cfgerr"
 )
 
 // Graph is an in-memory k-ary n-cube. All methods are pure and safe
@@ -29,17 +31,17 @@ type Graph struct {
 // most 2^26 nodes.
 func New(k, n int) (*Graph, error) {
 	if k < 2 || k%2 != 0 {
-		return nil, fmt.Errorf("torus: radix k=%d must be even and ≥ 2 (bipartiteness)", k)
+		return nil, cfgerr.Errorf("torus: radix k=%d must be even and ≥ 2 (bipartiteness)", k)
 	}
 	if n < 1 {
-		return nil, fmt.Errorf("torus: dimension n=%d must be ≥ 1", n)
+		return nil, cfgerr.Errorf("torus: dimension n=%d must be ≥ 1", n)
 	}
 	nodes := 1
 	pow := make([]int, n+1)
 	pow[0] = 1
 	for i := 1; i <= n; i++ {
 		if nodes > (1<<26)/k {
-			return nil, fmt.Errorf("torus: %d-ary %d-cube too large", k, n)
+			return nil, cfgerr.Errorf("torus: %d-ary %d-cube too large", k, n)
 		}
 		nodes *= k
 		pow[i] = nodes
