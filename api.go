@@ -200,7 +200,9 @@ func Predict(cfg ModelConfig) (*ModelResult, error) { return model.Evaluate(cfg)
 
 // SaturationRate bisects for the largest per-node rate at which the
 // model still converges — the predicted capacity of a configuration.
-func SaturationRate(base ModelConfig, lo, hi float64) float64 {
+// An invalid base config is an error (matching ErrInvalidConfig)
+// rather than a silent "saturates at lo" answer.
+func SaturationRate(base ModelConfig, lo, hi float64) (float64, error) {
 	return model.SaturationRate(base, lo, hi)
 }
 

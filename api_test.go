@@ -114,9 +114,12 @@ func TestFacadeSaturationRate(t *testing.T) {
 		t.Fatal(err)
 	}
 	star, _ := NewStarGraph(5)
-	sat := SaturationRate(ModelConfig{
+	sat, err := SaturationRate(ModelConfig{
 		Paths: paths, Top: star, Kind: EnhancedNbc, V: 6, MsgLen: 32,
 	}, 1e-4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sat < 0.01 || sat > 0.02 {
 		t.Fatalf("S5 V=6 M=32 saturation %v outside the expected 0.015 neighbourhood", sat)
 	}

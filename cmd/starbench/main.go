@@ -7,6 +7,12 @@
 //
 //	go run ./cmd/starbench -out BENCH_sim.json
 //
+// -suite serve switches to the serving-layer microbenchmarks
+// (content hashing, the two-tier result cache, job-pool dispatch),
+// whose reference numbers live in BENCH_serve.json:
+//
+//	go run ./cmd/starbench -suite serve -out BENCH_serve.json
+//
 // The output is machine-shaped (ns/op varies across hosts) but
 // structurally stable: no timestamps or host details, so diffs show
 // only the measured numbers. The observer_overhead_pct field is the
@@ -83,8 +89,25 @@ func measure(cfg desim.Config) (row, error) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_sim.json", "output path (- for stdout)")
+	out := flag.String("out", "", "output path (- for stdout; default BENCH_<suite>.json)")
+	suite := flag.String("suite", "sim", "benchmark suite: sim or serve")
 	flag.Parse()
+
+	switch *suite {
+	case "serve":
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		runServeSuite(*out)
+		return
+	case "sim":
+		if *out == "" {
+			*out = "BENCH_sim.json"
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "starbench: unknown suite %q (want sim or serve)\n", *suite)
+		os.Exit(1)
+	}
 
 	variants := []variant{
 		{"off", benchConfig()},

@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	starfig -panel a [-points 15] [-seeds 3] [-measure 50000] [-csv] [-plot]
+//	starfig -panel a [-points 15] [-seeds 3] [-measure 50000] [-workers 8] [-csv] [-plot]
 //	        [-metrics sidecar.csv] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -metrics attaches a passive observer to the first replication of
@@ -47,6 +47,7 @@ func main() {
 	panel := flag.String("panel", "a", "a|b|c|grid|compare|a1|a2|a3|a4|tput|x7|star|tails|levels")
 	points := flag.Int("points", 15, "points per curve")
 	seeds := flag.Int("seeds", 3, "simulation replications")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (output is identical for any value)")
 	warmup := flag.Int64("warmup", 8000, "warm-up cycles")
 	measure := flag.Int64("measure", 30000, "measurement cycles")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
@@ -86,7 +87,7 @@ func main() {
 		}
 	}()
 
-	opts := experiments.SimOptions{Warmup: *warmup, Measure: *measure}
+	opts := experiments.SimOptions{Warmup: *warmup, Measure: *measure, Workers: *workers}
 	for s := 1; s <= *seeds; s++ {
 		opts.Seeds = append(opts.Seeds, uint64(s))
 	}

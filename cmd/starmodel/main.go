@@ -150,7 +150,10 @@ func main() {
 		}
 	}
 	if *sat {
-		s := model.SaturationRate(base, 1e-5, 0.2)
+		s, err := model.SaturationRate(base, 1e-5, 0.2)
+		if err != nil {
+			fail(err)
+		}
 		fmt.Printf("saturation rate ≈ %.5f messages/node/cycle\n", s)
 	}
 }

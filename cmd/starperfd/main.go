@@ -1,0 +1,98 @@
+// Command starperfd serves the starperf model, simulator and sweep
+// harness over HTTP (see internal/server for the API):
+//
+//	POST /v1/predict      analytical model, synchronous
+//	POST /v1/simulate     flit-level simulation, async job
+//	POST /v1/sweep        Figure 1 panel, async job
+//	GET  /v1/jobs/{id}    poll an async job
+//	GET  /healthz         liveness
+//	GET  /metricsz        pool, cache and per-route latency stats
+//
+// Results are content-addressed: the job id is a hash of the
+// canonicalised request, identical requests hit the cache with
+// byte-identical bodies, and concurrent duplicates share one
+// computation. -cachedir enables the on-disk tier so results survive
+// restarts.
+//
+// Usage:
+//
+//	starperfd [-addr :8080] [-workers N] [-queue 256] [-cachedir DIR]
+//	          [-cachebytes 67108864] [-jobtimeout 0] [-maxbody 1048576]
+//
+// The server drains in-flight jobs on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"starperf/internal/cache"
+	"starperf/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "job pool workers")
+	queue := flag.Int("queue", 256, "job queue depth (excess submissions get 429)")
+	cachedir := flag.String("cachedir", "", "on-disk result cache directory (empty: memory only)")
+	cachebytes := flag.Int64("cachebytes", 64<<20, "memory cache bound in bytes")
+	jobtimeout := flag.Duration("jobtimeout", 0, "per-job wall-clock budget (0: none)")
+	maxbody := flag.Int64("maxbody", 1<<20, "request body limit in bytes")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		JobTimeout:   *jobtimeout,
+		Cache:        cache.Config{MaxBytes: *cachebytes, Dir: *cachedir},
+		MaxBodyBytes: *maxbody,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "starperfd: %v\n", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("starperfd listening on %s (workers=%d queue=%d cachedir=%q)",
+		*addr, *workers, *queue, *cachedir)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure to serve.
+		fmt.Fprintf(os.Stderr, "starperfd: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		log.Printf("starperfd: %v, draining (budget %v)", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("starperfd: http shutdown: %v", err)
+	}
+	if err := srv.Close(ctx); err != nil {
+		log.Printf("starperfd: job drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("starperfd: drained, bye")
+}

@@ -53,6 +53,13 @@ func TestInvalidConfigSentinel(t *testing.T) {
 			return err
 		}},
 		{"figure1-panel", func() error { _, err := Figure1Panel(Figure1Config{Panel: 'z'}); return err }},
+		{"saturation-rate", func() error {
+			// MsgLen 0 is invalid at every probe: the old float-only
+			// signature reported "saturates at lo" for this.
+			_, err := SaturationRate(ModelConfig{Paths: paths, Top: s4, Kind: EnhancedNbc,
+				V: 6, MsgLen: 0}, 1e-4, 0.1)
+			return err
+		}},
 		{"throughput-top", func() error {
 			_, err := ThroughputSweep(ThroughputConfig{Kind: EnhancedNbc, V: 4, MsgLen: 8, MaxRate: 0.01})
 			return err

@@ -27,7 +27,10 @@ func main() {
 	}
 	base := model.Config{Paths: paths, Top: star, Kind: routing.EnhancedNbc, V: v, MsgLen: m}
 
-	sat := model.SaturationRate(base, 1e-5, 0.2)
+	sat, err := model.SaturationRate(base, 1e-5, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("S%d V=%d M=%d: model saturation rate ≈ %.5f msg/node/cycle\n\n", n, v, m, sat)
 	fmt.Printf("%-10s %-12s %-12s %s\n", "rate", "model", "sim", "notes")
 

@@ -32,9 +32,12 @@ func main() {
 	for _, v := range []int{5, 6, 9, 12, 16} {
 		fmt.Printf("%-6d", v)
 		for _, m := range msgs {
-			s := model.SaturationRate(model.Config{
+			s, err := model.SaturationRate(model.Config{
 				Paths: paths, Top: star, Kind: routing.EnhancedNbc, V: v, MsgLen: m,
 			}, 1e-5, 0.5)
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("%-10.5f", s)
 		}
 		fmt.Println()

@@ -1,0 +1,201 @@
+// Package cache is the two-tier content-addressed result store of the
+// serving layer: an in-memory LRU with byte-size accounting in front
+// of an optional on-disk JSON store, both keyed by the job content
+// hash (internal/jobs.Hash).
+//
+// Content addressing is what turns caching into a correctness-neutral
+// optimisation here: a key is a pure function of the canonicalised
+// request (plus schema version), and every value is the marshalled
+// result of the deterministic engine, so a hit can only ever return
+// the exact bytes a recompute would produce — a guarantee the tests
+// pin rather than assume. Hit/miss/evict counters are reported
+// through obs.CacheStats and surface on the server's /metricsz.
+//
+// The disk tier is best effort: read/write failures are counted
+// (DiskErrors) and degrade the cache to memory-only behaviour instead
+// of failing lookups.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"sync"
+
+	"starperf/internal/cfgerr"
+	"starperf/internal/obs"
+)
+
+// Config sizes a Cache. The zero value is a memory-only cache with
+// the default byte bound.
+type Config struct {
+	// MaxBytes bounds the memory tier's total value bytes
+	// (default 64 MiB). An entry larger than the bound is stored on
+	// disk (when configured) but not pinned in memory.
+	MaxBytes int64
+	// Dir, when non-empty, enables the disk tier: one
+	// <hash>.json file per entry under this directory, created if
+	// missing. Disk survives process restarts; memory does not.
+	Dir string
+}
+
+// entry is one memory-tier element.
+type entry struct {
+	key string
+	val []byte
+}
+
+// Cache is a two-tier content-addressed byte store, safe for
+// concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	max   int64
+	dir   string
+	ll    *list.List // front = most recently used
+	index map[string]*list.Element
+	bytes int64
+
+	memHits    uint64
+	diskHits   uint64
+	misses     uint64
+	puts       uint64
+	evictions  uint64
+	diskWrites uint64
+	diskErrors uint64
+}
+
+// New returns a cache for cfg, creating cfg.Dir when set.
+func New(cfg Config) (*Cache, error) {
+	if cfg.MaxBytes < 0 {
+		return nil, cfgerr.Errorf("cache: MaxBytes %d must be non-negative", cfg.MaxBytes)
+	}
+	if cfg.MaxBytes == 0 {
+		cfg.MaxBytes = 64 << 20
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: creating %s: %w", cfg.Dir, err)
+		}
+	}
+	return &Cache{
+		max:   cfg.MaxBytes,
+		dir:   cfg.Dir,
+		ll:    list.New(),
+		index: make(map[string]*list.Element),
+	}, nil
+}
+
+// Get returns a copy of the value stored under key. A memory miss
+// falls through to the disk tier; a disk hit is promoted into memory.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		c.ll.MoveToFront(el)
+		c.memHits++
+		out := append([]byte(nil), el.Value.(*entry).val...)
+		c.mu.Unlock()
+		return out, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		c.count(&c.misses)
+		return nil, false
+	}
+	val, err := os.ReadFile(c.fileFor(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.count(&c.diskErrors)
+		}
+		c.count(&c.misses)
+		return nil, false
+	}
+	c.mu.Lock()
+	c.diskHits++
+	c.insertLocked(key, val)
+	c.mu.Unlock()
+	return append([]byte(nil), val...), true
+}
+
+// Contains reports whether key is resident in either tier without
+// touching recency or the hit/miss counters.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	_, ok := c.index[key]
+	c.mu.Unlock()
+	if ok || c.dir == "" {
+		return ok
+	}
+	_, err := os.Stat(c.fileFor(key))
+	return err == nil
+}
+
+// Put stores a copy of val under key in both tiers. Storing is
+// idempotent — content addressing means a re-put of the same key
+// carries the same bytes.
+func (c *Cache) Put(key string, val []byte) {
+	cp := append([]byte(nil), val...)
+	c.mu.Lock()
+	c.puts++
+	c.insertLocked(key, cp)
+	c.mu.Unlock()
+	if c.dir == "" {
+		return
+	}
+	if err := c.writeFile(key, cp); err != nil {
+		c.count(&c.diskErrors)
+		return
+	}
+	c.count(&c.diskWrites)
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() obs.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return obs.CacheStats{
+		Entries:    c.ll.Len(),
+		Bytes:      c.bytes,
+		MaxBytes:   c.max,
+		MemHits:    c.memHits,
+		DiskHits:   c.diskHits,
+		Misses:     c.misses,
+		Puts:       c.puts,
+		Evictions:  c.evictions,
+		DiskWrites: c.diskWrites,
+		DiskErrors: c.diskErrors,
+	}
+}
+
+// insertLocked stores val under key in the memory tier and evicts
+// from the LRU tail until the byte bound holds. A value larger than
+// the whole bound evicts itself immediately: it is served from disk
+// (when configured) rather than monopolising memory.
+func (c *Cache) insertLocked(key string, val []byte) {
+	if el, ok := c.index[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.index[key] = c.ll.PushFront(&entry{key: key, val: val})
+		c.bytes += int64(len(val))
+	}
+	for c.bytes > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.index, e.key)
+		c.bytes -= int64(len(e.val))
+		c.evictions++
+	}
+}
+
+// count bumps one counter under the lock.
+func (c *Cache) count(field *uint64) {
+	c.mu.Lock()
+	*field++
+	c.mu.Unlock()
+}

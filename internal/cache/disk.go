@@ -1,0 +1,61 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// fileFor maps a cache key to its disk path. Well-formed content
+// hashes ("sha256:<hex>") use their hex digits directly as the file
+// name; anything else is itself hashed first, so no key — however
+// hostile — can escape the cache directory or collide with another
+// key's file.
+func (c *Cache) fileFor(key string) string {
+	name, ok := strings.CutPrefix(key, "sha256:")
+	if !ok || !isHex(name) || len(name) < 16 {
+		sum := sha256.Sum256([]byte(key))
+		name = hex.EncodeToString(sum[:])
+	}
+	return filepath.Join(c.dir, name+".json")
+}
+
+func isHex(s string) bool {
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9', r >= 'a' && r <= 'f':
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// writeFile persists one entry atomically: write to a unique temp
+// file in the same directory, then rename over the final path.
+// Concurrent writers of the same key race only on the rename, and
+// content addressing makes every contender's bytes identical, so the
+// winner is irrelevant.
+func (c *Cache) writeFile(key string, val []byte) error {
+	path := c.fileFor(key)
+	tmp, err := os.CreateTemp(c.dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -9,13 +9,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 	"time"
 
 	"starperf/internal/desim"
+	"starperf/internal/jobs"
 	"starperf/internal/model"
 	"starperf/internal/obs"
 	"starperf/internal/routing"
@@ -128,11 +129,14 @@ type simJob struct {
 }
 
 // runSweep fills the Sim fields of every point of every series by
-// running all (point × seed) simulations on a worker pool.
+// running all (point × seed) simulations on a bounded jobs.Pool —
+// the same engine the serving layer uses. Results are gathered into
+// an index-addressed slice and seeds are pure functions of position,
+// so the output is byte-identical for any worker count.
 func runSweep(top topology.Topology, panels []*Series, opts SimOptions, pattern traffic.Pattern) error {
 	opts = opts.withDefaults()
-	var jobs []simJob
-	var collectors []*obs.Collector // parallel to jobs; nil when unobserved
+	var units []simJob
+	var collectors []*obs.Collector // parallel to units; nil when unobserved
 	for si, s := range panels {
 		spec, err := routing.New(s.Kind, top, s.V)
 		if err != nil {
@@ -145,7 +149,7 @@ func runSweep(top topology.Topology, panels []*Series, opts SimOptions, pattern 
 					col = obs.New(*opts.Observe)
 				}
 				collectors = append(collectors, col)
-				jobs = append(jobs, simJob{
+				units = append(units, simJob{
 					series: si, point: pi, seed: ki,
 					cfg: desim.Config{
 						Top:           top,
@@ -165,7 +169,7 @@ func runSweep(top topology.Topology, panels []*Series, opts SimOptions, pattern 
 				if col != nil {
 					// assigned outside the literal: a nil *obs.Collector
 					// stored directly would make the interface non-nil
-					jobs[len(jobs)-1].cfg.Observer = col
+					units[len(units)-1].cfg.Observer = col
 				}
 			}
 		}
@@ -175,24 +179,28 @@ func runSweep(top topology.Topology, panels []*Series, opts SimOptions, pattern 
 		res *desim.Result
 		err error
 	}
-	results := make([]outcome, len(jobs))
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				res, err := runPoint(jobs[i].cfg, opts.PointTimeout)
-				results[i] = outcome{job: jobs[i], res: res, err: err}
-			}
-		}()
+	pool := jobs.NewPool(jobs.PoolConfig{Workers: opts.Workers, QueueDepth: len(units)})
+	defer pool.Shutdown(context.Background())
+	handles := make([]*jobs.Job, len(units))
+	for i := range units {
+		i := i
+		h, err := pool.Submit(fmt.Sprintf("point/%d", i), func(ctx context.Context) (any, error) {
+			return runPoint(units[i].cfg, opts.PointTimeout)
+		})
+		if err != nil {
+			return err
+		}
+		handles[i] = h
 	}
-	for i := range jobs {
-		ch <- i
+	results := make([]outcome, len(units))
+	for i, h := range handles {
+		v, jerr := h.Wait(context.Background())
+		oc := outcome{job: units[i], err: jerr}
+		if jerr == nil {
+			oc.res = v.(*desim.Result)
+		}
+		results[i] = oc
 	}
-	close(ch)
-	wg.Wait()
 
 	// aggregate per point over seeds; failed replications mark the
 	// point instead of failing the whole sweep
@@ -347,8 +355,13 @@ func ratesUpTo(max float64, count int) []float64 {
 // Figure1 reproduces one panel of the paper's Figure 1.
 //
 // Deprecated: use Figure1Panel with a Figure1Config; this positional
-// shim delegates unchanged.
+// shim delegates with the historical parallelism default (NumCPU
+// workers unless opts.Workers says otherwise — the config-struct
+// entry point defaults to serial instead).
 func Figure1(panel byte, points int, opts SimOptions) (*Panel, error) {
+	if opts.Workers == 0 {
+		opts.Workers = runtime.NumCPU()
+	}
 	return Figure1Panel(Figure1Config{Panel: panel, Points: points, Sim: opts})
 }
 

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"starperf/internal/cfgerr"
 	"starperf/internal/desim"
+	"starperf/internal/jobs"
 	"starperf/internal/routing"
 	"starperf/internal/topology"
 )
@@ -25,6 +26,13 @@ type Figure1Config struct {
 	Panel byte
 	// Points is the number of samples per curve (default 10).
 	Points int
+	// Workers bounds point-level parallelism (default 1 — serial).
+	// Any value produces a byte-identical panel: points are indexed,
+	// seeds are pure functions of position, and the sweep runs on the
+	// deterministic internal/jobs pool, so scheduling order cannot
+	// leak into the output. Setting Sim.Workers directly still works;
+	// Workers takes precedence when both are set.
+	Workers int
 	// Sim tunes the simulation side, including SimOptions.Observe for
 	// per-point metrics sidecars.
 	Sim SimOptions
@@ -49,12 +57,27 @@ func Figure1Panel(cfg Figure1Config) (*Panel, error) {
 	default:
 		return nil, cfgerr.Errorf("experiments: unknown Figure 1 panel %q", cfg.Panel)
 	}
-	p, err := StarPanel(5, v, []int{32, 64}, maxRate, cfg.Points, cfg.Sim)
+	sim := cfg.Sim
+	sim.Workers = resolveWorkers(cfg.Workers, sim.Workers)
+	p, err := StarPanel(5, v, []int{32, 64}, maxRate, cfg.Points, sim)
 	if err != nil {
 		return nil, err
 	}
 	p.Title = fmt.Sprintf("Figure 1(%c): 5-star, V=%d", cfg.Panel, v)
 	return p, nil
+}
+
+// resolveWorkers merges the config-struct Workers knob with the older
+// SimOptions.Workers one: the struct knob wins, then the options one,
+// then the serial default.
+func resolveWorkers(cfgWorkers, simWorkers int) int {
+	if cfgWorkers > 0 {
+		return cfgWorkers
+	}
+	if simWorkers > 0 {
+		return simWorkers
+	}
+	return 1
 }
 
 // ThroughputConfig parameterises ThroughputSweep.
@@ -70,6 +93,10 @@ type ThroughputConfig struct {
 	// evenly from MaxRate/Points up to MaxRate (required positive).
 	Points  int
 	MaxRate float64
+	// Workers bounds point-level parallelism (default 1 — serial;
+	// any value produces identical rows). Takes precedence over
+	// Sim.Workers.
+	Workers int
 	// Sim tunes the simulation side.
 	Sim SimOptions
 }
@@ -77,7 +104,8 @@ type ThroughputConfig struct {
 // ThroughputSweep sweeps offered load past saturation and records
 // accepted throughput — the standard companion plot to latency curves
 // (the plateau height is the network's saturation throughput). Points
-// run in parallel.
+// run on a bounded jobs.Pool sized by Workers; rows are indexed by
+// operating point, so the output is independent of scheduling order.
 func ThroughputSweep(cfg ThroughputConfig) ([]ThroughputRow, error) {
 	if cfg.Top == nil {
 		return nil, cfgerr.New("experiments: ThroughputConfig.Top is required")
@@ -88,46 +116,46 @@ func ThroughputSweep(cfg ThroughputConfig) ([]ThroughputRow, error) {
 	if cfg.Points <= 0 {
 		cfg.Points = 10
 	}
-	opts := cfg.Sim.withDefaults()
+	opts := cfg.Sim
+	opts.Workers = resolveWorkers(cfg.Workers, opts.Workers)
+	opts = opts.withDefaults()
 	spec, err := routing.New(cfg.Kind, cfg.Top, cfg.V)
 	if err != nil {
 		return nil, err
 	}
 	rates := ratesUpTo(cfg.MaxRate, cfg.Points)
-	rows := make([]ThroughputRow, len(rates))
-	errs := make([]error, len(rates))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
+	pool := jobs.NewPool(jobs.PoolConfig{Workers: opts.Workers, QueueDepth: len(rates)})
+	defer pool.Shutdown(context.Background())
+	handles := make([]*jobs.Job, len(rates))
 	for i, rate := range rates {
-		wg.Add(1)
-		go func(i int, rate float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := desim.Run(desim.Config{
+		i, rate := i, rate
+		h, err := pool.Submit(fmt.Sprintf("tput/%d", i), func(ctx context.Context) (any, error) {
+			return desim.Run(desim.Config{
 				Top: cfg.Top, Spec: spec, Policy: opts.Policy,
 				Rate: rate, MsgLen: cfg.MsgLen, BufCap: opts.BufCap,
 				Seed:         opts.Seeds[0]*7919 + uint64(i),
 				WarmupCycles: opts.Warmup, MeasureCycles: opts.Measure,
 				DrainCycles: opts.Drain,
 			})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			rows[i] = ThroughputRow{
-				Offered: rate,
-				Accepted: float64(res.DeliveredInWindow) /
-					float64(opts.Measure) / float64(cfg.Top.N()),
-				Latency:   res.Latency.Mean(),
-				Saturated: res.Saturated(),
-			}
-		}(i, rate)
-	}
-	wg.Wait()
-	for _, err := range errs {
+		})
 		if err != nil {
 			return nil, err
+		}
+		handles[i] = h
+	}
+	rows := make([]ThroughputRow, len(rates))
+	for i, h := range handles {
+		v, err := h.Wait(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		res := v.(*desim.Result)
+		rows[i] = ThroughputRow{
+			Offered: rates[i],
+			Accepted: float64(res.DeliveredInWindow) /
+				float64(opts.Measure) / float64(cfg.Top.N()),
+			Latency:   res.Latency.Mean(),
+			Saturated: res.Saturated(),
 		}
 	}
 	return rows, nil

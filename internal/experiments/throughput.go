@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"runtime"
+
 	"starperf/internal/routing"
 	"starperf/internal/topology"
 )
@@ -22,9 +24,14 @@ type ThroughputRow struct {
 // accepted throughput.
 //
 // Deprecated: use ThroughputSweep with a ThroughputConfig; this
-// positional shim delegates unchanged.
+// positional shim delegates with the historical parallelism default
+// (NumCPU workers unless opts.Workers says otherwise — the
+// config-struct entry point defaults to serial instead).
 func ThroughputCurve(top topology.Topology, kind routing.Kind, v, msgLen, points int,
 	maxRate float64, opts SimOptions) ([]ThroughputRow, error) {
+	if opts.Workers == 0 {
+		opts.Workers = runtime.NumCPU()
+	}
 	return ThroughputSweep(ThroughputConfig{
 		Top: top, Kind: kind, V: v, MsgLen: msgLen,
 		Points: points, MaxRate: maxRate, Sim: opts,

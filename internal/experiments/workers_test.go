@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+)
+
+// renderedPanel runs one small Figure 1(a) panel at the given worker
+// count and returns its CSV bytes.
+func renderedPanel(t *testing.T, workers int) []byte {
+	t.Helper()
+	p, err := Figure1Panel(Figure1Config{
+		Panel:   'a',
+		Points:  3,
+		Workers: workers,
+		Sim:     SimOptions{Warmup: 1000, Measure: 4000, Drain: 40000, Seeds: []uint64{7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderPanelCSV(&buf, p)
+	return buf.Bytes()
+}
+
+// TestFigure1PanelByteIdenticalAcrossWorkers is the determinism
+// contract of the jobs.Pool rewire: a parallel sweep must reproduce
+// the serial panel byte for byte — seeds are pure functions of
+// position and results are index-addressed, so scheduling order
+// cannot leak into the output.
+func TestFigure1PanelByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the panel twice")
+	}
+	serial := renderedPanel(t, 1)
+	parallel := renderedPanel(t, 4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("Workers:4 panel differs from serial:\n--- serial\n%s--- workers=4\n%s", serial, parallel)
+	}
+	if len(serial) < 50 {
+		t.Fatalf("implausibly small panel: %q", serial)
+	}
+}
+
+// TestThroughputSweepIdenticalAcrossWorkers pins the same property
+// for the throughput harness.
+func TestThroughputSweepIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sweep twice")
+	}
+	g := stargraph.MustNew(4)
+	run := func(workers int) []ThroughputRow {
+		rows, err := ThroughputSweep(ThroughputConfig{
+			Top: g, Kind: routing.EnhancedNbc, V: 4, MsgLen: 16,
+			Points: 4, MaxRate: 0.04, Workers: workers,
+			Sim: SimOptions{Warmup: 1000, Measure: 4000, Drain: 40000, Seeds: []uint64{5}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial, parallel := run(1), run(4)
+	if len(serial) != 4 {
+		t.Fatalf("%d rows, want 4", len(serial))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("row %d differs: serial %+v, workers=4 %+v", i, serial[i], parallel[i])
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"starperf/internal/cfgerr"
+	"starperf/internal/obs"
+)
+
+// ErrQueueFull is the sentinel matched (via errors.Is) by the typed
+// *QueueFullError a saturated intake queue returns: the pool is
+// applying backpressure and the caller should shed or retry later.
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrPoolClosed is returned by Submit after Shutdown began.
+var ErrPoolClosed = errors.New("jobs: pool closed")
+
+// QueueFullError reports a rejected submission with the queue bound
+// that rejected it. errors.Is(err, ErrQueueFull) matches it.
+type QueueFullError struct {
+	// Depth is the configured queue bound that was full.
+	Depth int
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("jobs: queue full (depth %d)", e.Depth)
+}
+
+// Is reports the ErrQueueFull identity for errors.Is.
+func (e *QueueFullError) Is(target error) bool { return target == ErrQueueFull }
+
+// PoolConfig sizes a Pool. The zero value is usable: one worker, the
+// default queue depth, no per-job timeout.
+type PoolConfig struct {
+	// Workers is the number of concurrent executors (default 1).
+	Workers int
+	// QueueDepth bounds the jobs accepted but not yet running; a
+	// submission past the bound fails with *QueueFullError
+	// (default 64).
+	QueueDepth int
+	// JobTimeout, when positive, bounds each job's wall-clock run: the
+	// per-job context expires and the job is marked failed with
+	// context.DeadlineExceeded. The computation goroutine is abandoned
+	// to finish in the background (every simulator run is
+	// cycle-bounded, so it terminates) and its result discarded —
+	// the same wall-budget policy the experiment harness applies to
+	// sweep points. Zero means no timeout and no extra goroutine.
+	JobTimeout time.Duration
+	// RetainDone bounds how many finished jobs stay pollable through
+	// Get before the oldest are forgotten (default 1024). Results
+	// meant to outlive the registry belong in the content-addressed
+	// cache, which is keyed by the same id.
+	RetainDone int
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RetainDone <= 0 {
+		c.RetainDone = 1024
+	}
+	return c
+}
+
+// Pool is a bounded worker pool with singleflight deduplication: jobs
+// are identified by content hash (see Hash) and concurrent
+// submissions of the same id share one computation. Pools are safe
+// for concurrent use.
+type Pool struct {
+	cfg PoolConfig
+
+	mu        sync.Mutex
+	queue     chan *Job
+	inflight  map[string]*Job // queued or running, by id
+	jobs      map[string]*Job // pollable registry, by id
+	doneOrder []*Job          // finished jobs, oldest first, for retention
+	queued    int
+	running   int
+	submitted uint64
+	deduped   uint64
+	rejected  uint64
+	completed uint64
+	failed    uint64
+	closed    bool
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// NewPool starts a pool with cfg's workers.
+func NewPool(cfg PoolConfig) *Pool {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		cfg:      cfg,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		inflight: make(map[string]*Job),
+		jobs:     make(map[string]*Job),
+		baseCtx:  ctx,
+		cancel:   cancel,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues fn under the given id and returns its Job. If a job
+// with the same id is already queued or running, that job is returned
+// instead of enqueuing a duplicate (singleflight); resubmitting a
+// finished id starts a fresh computation. A full queue returns
+// *QueueFullError; a shut-down pool returns ErrPoolClosed.
+func (p *Pool) Submit(id string, fn Func) (*Job, error) {
+	if id == "" {
+		return nil, cfgerr.New("jobs: empty job id")
+	}
+	if fn == nil {
+		return nil, cfgerr.New("jobs: nil job func")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	if j, ok := p.inflight[id]; ok {
+		p.deduped++
+		return j, nil
+	}
+	if p.queued >= p.cfg.QueueDepth {
+		p.rejected++
+		return nil, &QueueFullError{Depth: p.cfg.QueueDepth}
+	}
+	j := &Job{id: id, fn: fn, status: StatusQueued, done: make(chan struct{})}
+	p.inflight[id] = j
+	p.jobs[id] = j
+	p.queued++
+	p.submitted++
+	p.queue <- j // buffered to QueueDepth; the counter guard above keeps this non-blocking
+	return j, nil
+}
+
+// Do submits fn under id and waits for the outcome — the synchronous
+// entry point. The ctx bounds only this caller's wait; the job itself
+// runs to completion (or its own timeout) regardless.
+func (p *Pool) Do(ctx context.Context, id string, fn Func) (any, error) {
+	j, err := p.Submit(id, fn)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
+// Get returns the job with the given id: in flight, or finished and
+// still inside the retention window.
+func (p *Pool) Get(id string) (*Job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	return j, ok
+}
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() obs.PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return obs.PoolStats{
+		Workers:    p.cfg.Workers,
+		QueueDepth: p.cfg.QueueDepth,
+		Queued:     p.queued,
+		Running:    p.running,
+		Submitted:  p.submitted,
+		Deduped:    p.deduped,
+		Rejected:   p.rejected,
+		Completed:  p.completed,
+		Failed:     p.failed,
+	}
+}
+
+// Shutdown stops intake and drains: queued and running jobs finish,
+// then the workers exit. If ctx expires first, the per-job contexts
+// are cancelled — jobs not yet started fail fast with the context
+// error, and Shutdown returns without waiting for in-flight
+// computations to notice. Submit fails with ErrPoolClosed from the
+// moment Shutdown is called.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		p.cancel()
+		return nil
+	case <-ctx.Done():
+		p.cancel()
+		return ctx.Err()
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.mu.Lock()
+		p.queued--
+		p.running++
+		p.mu.Unlock()
+		j.setRunning()
+		result, err := p.runOne(j)
+		p.finish(j, result, err)
+	}
+}
+
+// runOne executes one job under the pool's per-job context policy,
+// converting panics into errors so one bad request cannot take the
+// worker down.
+func (p *Pool) runOne(j *Job) (any, error) {
+	ctx := p.baseCtx
+	if err := ctx.Err(); err != nil {
+		return nil, err // forced shutdown: fail queued jobs fast
+	}
+	if p.cfg.JobTimeout <= 0 {
+		return runRecovered(ctx, j.fn)
+	}
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.JobTimeout)
+	defer cancel()
+	type outcome struct {
+		result any
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		result, err := runRecovered(ctx, j.fn)
+		done <- outcome{result, err}
+	}()
+	select {
+	case oc := <-done:
+		return oc.result, oc.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// runRecovered invokes fn with panics converted to errors.
+func runRecovered(ctx context.Context, fn Func) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: job panicked: %v", r)
+		}
+	}()
+	return fn(ctx)
+}
+
+// finish records the outcome, retires the job from the singleflight
+// index and trims the retention window.
+func (p *Pool) finish(j *Job, result any, err error) {
+	p.mu.Lock()
+	p.running--
+	if p.inflight[j.id] == j {
+		delete(p.inflight, j.id)
+	}
+	if err != nil {
+		p.failed++
+	} else {
+		p.completed++
+	}
+	p.doneOrder = append(p.doneOrder, j)
+	for len(p.doneOrder) > p.cfg.RetainDone {
+		old := p.doneOrder[0]
+		p.doneOrder = p.doneOrder[1:]
+		if p.jobs[old.id] == old {
+			delete(p.jobs, old.id)
+		}
+	}
+	p.mu.Unlock()
+	j.complete(result, err)
+}

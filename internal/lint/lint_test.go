@@ -164,10 +164,16 @@ func TestDefaultRulesScopes(t *testing.T) {
 	}{
 		{"maporder", "starperf/internal/desim", true},
 		{"maporder", "starperf/internal/obs", true},
+		{"maporder", "starperf/internal/jobs", true},
+		{"maporder", "starperf/internal/cache", true},
+		{"maporder", "starperf/internal/server", true},
 		{"maporder", "starperf/internal/model", false},
 		{"floateq", "starperf/internal/model", true},
 		{"floateq", "starperf/internal/desim", false},
 		{"seedrand", "starperf/internal/traffic", true},
+		{"seedrand", "starperf/internal/jobs", true},
+		{"seedrand", "starperf/internal/cache", true},
+		{"seedrand", "starperf/internal/server", false},
 		{"seedrand", "starperf/internal/lint", false},
 		{"seedrand", "starperf/cmd/starsim", false},
 		{"apierr", "starperf/examples/quickstart", true},

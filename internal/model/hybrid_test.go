@@ -134,7 +134,7 @@ func TestCutThroughModel(t *testing.T) {
 	base := Config{Paths: sp, Top: g, Kind: routing.EnhancedNbc, V: 6, MsgLen: 32}
 	// at a rate where the wormhole model has saturated, the VCT model
 	// must still converge (channels are held for only M cycles)
-	whSat := SaturationRate(base, 1e-4, 0.1)
+	whSat := mustSat(t, base, 1e-4, 0.1)
 	vct := base
 	vct.Switching = CutThrough
 	vct.Rate = whSat * 1.3
@@ -145,7 +145,7 @@ func TestCutThroughModel(t *testing.T) {
 	if r.Latency <= 32+g.AvgDistance() {
 		t.Fatalf("VCT latency %v below zero load", r.Latency)
 	}
-	vctSat := SaturationRate(vct, 1e-4, 0.2)
+	vctSat := mustSat(t, vct, 1e-4, 0.2)
 	if vctSat <= whSat*1.2 {
 		t.Fatalf("VCT saturation %v not well above wormhole's %v", vctSat, whSat)
 	}

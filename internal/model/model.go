@@ -400,24 +400,43 @@ func EvaluateStar(n, v, msgLen int, rate float64, kind routing.Kind, blocking Bl
 
 // SaturationRate finds (by bisection) the largest per-node rate at
 // which the model still converges to a stable operating point, a
-// useful summary of each configuration's capacity.
-func SaturationRate(base Config, lo, hi float64) float64 {
-	stable := func(r float64) bool {
+// useful summary of each configuration's capacity. Saturation and
+// non-convergence are what the bisection probes for and mark a rate
+// unstable; an invalid base Config (matching cfgerr.ErrInvalid) is an
+// error — every probe would fail identically, so the bisection would
+// silently report lo as the capacity.
+func SaturationRate(base Config, lo, hi float64) (float64, error) {
+	stable := func(r float64) (bool, error) {
 		c := base
 		c.Rate = r
 		_, err := Evaluate(c)
-		return err == nil
+		switch {
+		case err == nil:
+			return true, nil
+		case errors.Is(err, cfgerr.ErrInvalid):
+			return false, err
+		default:
+			return false, nil // saturated or non-convergent
+		}
 	}
-	if !stable(lo) {
-		return lo
+	ok, err := stable(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return lo, nil
 	}
 	for hi-lo > 1e-6*hi {
 		mid := (lo + hi) / 2
-		if stable(mid) {
+		ok, err := stable(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
 			lo = mid
 		} else {
 			hi = mid
 		}
 	}
-	return lo
+	return lo, nil
 }

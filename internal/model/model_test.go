@@ -67,11 +67,11 @@ func TestSaturationError(t *testing.T) {
 }
 
 func TestLongerMessagesSaturateEarlier(t *testing.T) {
-	s32 := SaturationRate(Config{
+	s32 := mustSat(t, Config{
 		Paths: mustStarPaths(t, 5), Top: stargraph.MustNew(5),
 		Kind: routing.EnhancedNbc, V: 6, MsgLen: 32,
 	}, 0.0005, 0.05)
-	s64 := SaturationRate(Config{
+	s64 := mustSat(t, Config{
 		Paths: mustStarPaths(t, 5), Top: stargraph.MustNew(5),
 		Kind: routing.EnhancedNbc, V: 6, MsgLen: 64,
 	}, 0.0005, 0.05)
@@ -93,11 +93,20 @@ func TestMoreVCsRaiseSaturation(t *testing.T) {
 	}
 	b6, b12 := base, base
 	b6.V, b12.V = 6, 12
-	s6 := SaturationRate(b6, 0.0005, 0.05)
-	s12 := SaturationRate(b12, 0.0005, 0.05)
+	s6 := mustSat(t, b6, 0.0005, 0.05)
+	s12 := mustSat(t, b12, 0.0005, 0.05)
 	if s12 <= s6 {
 		t.Fatalf("V=12 saturation %v not above V=6's %v", s12, s6)
 	}
+}
+
+func mustSat(t *testing.T, cfg Config, lo, hi float64) float64 {
+	t.Helper()
+	s, err := SaturationRate(cfg, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func mustStarPaths(t *testing.T, n int) *StarPaths {

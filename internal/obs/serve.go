@@ -1,0 +1,79 @@
+package obs
+
+// Serving-layer reporting types. The simulator-side reporting above
+// (Metrics, Counters, Summary) describes one run; the types here
+// describe the long-lived serving processes built in PR 4 — the
+// job pool (internal/jobs), the result cache (internal/cache) and the
+// HTTP routes (internal/server) — and are what GET /metricsz returns.
+// They live in obs so every layer reports through one vocabulary.
+
+// PoolStats is a point-in-time snapshot of a jobs.Pool.
+type PoolStats struct {
+	// Workers is the pool size, QueueDepth the intake bound beyond
+	// which submissions are rejected with jobs.ErrQueueFull.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// Queued and Running are the current backlog and in-flight counts.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	// Submitted counts accepted jobs; Deduped submissions that
+	// attached to an in-flight job instead of enqueuing a duplicate
+	// (the singleflight counter); Rejected backpressure refusals.
+	Submitted uint64 `json:"submitted"`
+	Deduped   uint64 `json:"deduped"`
+	Rejected  uint64 `json:"rejected"`
+	// Completed and Failed count finished jobs by outcome.
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+}
+
+// CacheStats is a point-in-time snapshot of a cache.Cache.
+type CacheStats struct {
+	// Entries and Bytes describe the current memory tier; MaxBytes is
+	// its configured bound.
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+	// MemHits and DiskHits split hits by the tier that served them
+	// (a disk hit is promoted into memory); Misses count lookups
+	// neither tier could serve.
+	MemHits  uint64 `json:"mem_hits"`
+	DiskHits uint64 `json:"disk_hits"`
+	Misses   uint64 `json:"misses"`
+	// Puts counts stores, Evictions entries dropped by the byte bound.
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+	// DiskWrites counts persisted entries, DiskErrors best-effort disk
+	// operations that failed (the cache stays correct, only colder).
+	DiskWrites uint64 `json:"disk_writes"`
+	DiskErrors uint64 `json:"disk_errors"`
+}
+
+// Hits is the total over both tiers.
+func (s CacheStats) Hits() uint64 { return s.MemHits + s.DiskHits }
+
+// HitRate is Hits/(Hits+Misses), 0 when no lookups happened.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits() + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(total)
+}
+
+// RouteStats summarises one HTTP route's traffic: request count,
+// error responses (status ≥ 400) and a latency sketch read from the
+// per-route power-of-two histogram (internal/stats).
+type RouteStats struct {
+	Route  string `json:"route"`
+	Count  uint64 `json:"count"`
+	Errors uint64 `json:"errors"`
+	// MeanMicros is the exact running mean; the quantiles are upper
+	// bounds of the power-of-two microsecond bucket the quantile
+	// falls in, so they are conservative by at most 2×.
+	MeanMicros float64 `json:"mean_us"`
+	P50Micros  uint64  `json:"p50_us"`
+	P95Micros  uint64  `json:"p95_us"`
+	P99Micros  uint64  `json:"p99_us"`
+	MaxMicros  uint64  `json:"max_us"`
+}

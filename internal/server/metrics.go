@@ -1,0 +1,94 @@
+package server
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+
+	"starperf/internal/obs"
+	"starperf/internal/stats"
+)
+
+// latencyBins bounds the power-of-two microsecond histogram:
+// bin i covers [2^(i-1), 2^i) µs, so 40 bins reach ~6 days.
+const latencyBins = 40
+
+// routeAgg accumulates one route's request statistics.
+type routeAgg struct {
+	count  uint64
+	errors uint64
+	lat    stats.Stream     // exact running mean/max, in µs
+	hist   *stats.Histogram // power-of-two µs buckets, for quantiles
+}
+
+// metrics tracks per-route latency histograms and error counts for
+// GET /metricsz.
+type metrics struct {
+	mu     sync.Mutex
+	routes map[string]*routeAgg
+}
+
+func newMetrics() *metrics {
+	return &metrics{routes: make(map[string]*routeAgg)}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(route string, status int, d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	m.mu.Lock()
+	agg := m.routes[route]
+	if agg == nil {
+		agg = &routeAgg{hist: stats.NewHistogram(latencyBins)}
+		m.routes[route] = agg
+	}
+	agg.count++
+	if status >= 400 {
+		agg.errors++
+	}
+	agg.lat.Add(float64(us))
+	agg.hist.Add(bits.Len64(uint64(us)))
+	m.mu.Unlock()
+}
+
+// bucketBound converts a histogram bin index back to the upper bound
+// (in µs) of the latencies it counts.
+func bucketBound(bin int) uint64 {
+	if bin <= 0 {
+		return 0
+	}
+	return 1<<uint(bin) - 1
+}
+
+// report snapshots every route, sorted by route for deterministic
+// output.
+func (m *metrics) report() []obs.RouteStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.routes))
+	for name := range m.routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]obs.RouteStats, 0, len(names))
+	for _, name := range names {
+		agg := m.routes[name]
+		rs := obs.RouteStats{
+			Route:      name,
+			Count:      agg.count,
+			Errors:     agg.errors,
+			MeanMicros: agg.lat.Mean(),
+			MaxMicros:  uint64(agg.lat.Max()),
+		}
+		if agg.hist.Total() > 0 {
+			rs.P50Micros = bucketBound(agg.hist.Quantile(0.50))
+			rs.P95Micros = bucketBound(agg.hist.Quantile(0.95))
+			rs.P99Micros = bucketBound(agg.hist.Quantile(0.99))
+		}
+		out = append(out, rs)
+	}
+	return out
+}

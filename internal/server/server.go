@@ -1,0 +1,379 @@
+// Package server is the HTTP serving layer of the repository
+// (cmd/starperfd): a stdlib net/http JSON API over the analytical
+// model, the flit-level simulator and the Figure 1 sweep harness.
+//
+// Layering. Requests (request.go) normalise their defaults and hash
+// into a content id (internal/jobs.Hash). Synchronous evaluation
+// (POST /v1/predict) and asynchronous jobs (POST /v1/simulate,
+// POST /v1/sweep; GET /v1/jobs/{id}) both run on one bounded
+// jobs.Pool — singleflight on the content id, typed backpressure —
+// and store their marshalled results in the two-tier internal/cache
+// keyed by the same id, so an identical request is a cache hit with
+// a byte-identical body, an in-flight duplicate shares the
+// computation, and only genuinely new work costs anything.
+//
+// Operational surface: GET /healthz liveness, GET /metricsz (pool
+// depth, cache hit/miss/evict counters, per-route latency
+// histograms), request-body size limits, a server-wide concurrency
+// cap, and graceful shutdown that drains in-flight jobs
+// (cmd/starperfd wires SIGINT/SIGTERM to Close).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"starperf/internal/cache"
+	"starperf/internal/cfgerr"
+	"starperf/internal/jobs"
+	"starperf/internal/obs"
+)
+
+// Config sizes a Server. The zero value is usable.
+type Config struct {
+	// Workers and QueueDepth size the job pool (defaults NumCPU
+	// and 256).
+	Workers    int
+	QueueDepth int
+	// JobTimeout bounds one job's wall clock (default 0: jobs are
+	// cycle-bounded by their own configs).
+	JobTimeout time.Duration
+	// Cache configures the result store (see cache.Config).
+	Cache cache.Config
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxInFlight caps concurrently served requests; excess requests
+	// are refused with 503 (default 256).
+	MaxInFlight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	return c
+}
+
+// Server routes the starperfd API. Construct with New, mount
+// Handler, and Close on the way out.
+type Server struct {
+	pool    *jobs.Pool
+	cache   *cache.Cache
+	mux     *http.ServeMux
+	metrics *metrics
+	sem     chan struct{}
+	maxBody int64
+}
+
+// New builds a Server and starts its job pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	store, err := cache.New(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		pool: jobs.NewPool(jobs.PoolConfig{
+			Workers:    cfg.Workers,
+			QueueDepth: cfg.QueueDepth,
+			JobTimeout: cfg.JobTimeout,
+		}),
+		cache:   store,
+		mux:     http.NewServeMux(),
+		metrics: newMetrics(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		maxBody: cfg.MaxBodyBytes,
+	}
+	s.mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.handlePredict))
+	s.mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJob))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metricsz", s.instrument("/metricsz", s.handleMetricsz))
+	return s, nil
+}
+
+// Handler returns the routed API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool exposes the job pool (metrics, tests).
+func (s *Server) Pool() *jobs.Pool { return s.pool }
+
+// Cache exposes the result store (metrics, tests).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// Close drains the job pool within ctx's budget.
+func (s *Server) Close(ctx context.Context) error { return s.pool.Shutdown(ctx) }
+
+// statusWriter records the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the concurrency cap, the body
+// limit and per-route latency accounting.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			s.writeJSON(w, http.StatusServiceUnavailable,
+				errorBody{Error: "server at concurrency cap", Class: "overloaded"})
+			return
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.metrics.observe(route, sw.status, time.Since(start))
+	}
+}
+
+// errorBody is the JSON error envelope. Class mirrors the library's
+// error contract: invalid_config ↔ starperf.ErrInvalidConfig,
+// queue_full ↔ jobs.ErrQueueFull, and so on.
+type errorBody struct {
+	Error string `json:"error"`
+	Class string `json:"class"`
+}
+
+// jobBody is the async-endpoint envelope.
+type jobBody struct {
+	ID     string          `json:"id"`
+	Status jobs.Status     `json:"status"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// decode parses a JSON request body strictly — unknown fields are
+// errors, because a silently dropped typo would mint a fresh cache
+// key for a request the caller never meant to make.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), Class: "body_too_large"})
+			return false
+		}
+		s.writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: "malformed request: " + err.Error(), Class: "bad_request"})
+		return false
+	}
+	return true
+}
+
+// writeErr maps a computation or submission error onto the wire.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, cfgerr.ErrInvalid):
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Class: "invalid_config"})
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), Class: "queue_full"})
+	case errors.Is(err, jobs.ErrPoolClosed):
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Class: "shutting_down"})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error(), Class: "timeout"})
+	default:
+		s.writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error(), Class: "internal"})
+	}
+}
+
+// writeJSON emits v with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v) // the connection is the only failure mode left
+}
+
+// writeResult emits a finished computation's stored bytes verbatim —
+// the response body is exactly the cached (and therefore exactly the
+// recomputed) encoding; hit/miss state travels in headers so it can
+// never perturb the body.
+func (s *Server) writeResult(w http.ResponseWriter, id, cacheState string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Starperf-Job", id)
+	w.Header().Set("X-Starperf-Cache", cacheState)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// handlePredict serves POST /v1/predict synchronously: cache hit →
+// stored bytes; otherwise evaluate on the pool (deduplicated against
+// concurrent identical requests) and store.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	req = req.withDefaults()
+	if err := req.validate(); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	id, err := req.hash()
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if body, ok := s.cache.Get(id); ok {
+		s.writeResult(w, id, "hit", body)
+		return
+	}
+	v, err := s.pool.Do(r.Context(), id, s.runAndStore(id, func() (any, error) { return req.run() }))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeResult(w, id, "miss", v.([]byte))
+}
+
+// runAndStore adapts a request runner into a pool Func that caches
+// its marshalled result under id and returns the exact stored bytes.
+func (s *Server) runAndStore(id string, run func() (any, error)) jobs.Func {
+	return func(ctx context.Context) (any, error) {
+		res, err := run()
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(res)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(id, body)
+		return body, nil
+	}
+}
+
+// submitAsync is the shared shape of /v1/simulate and /v1/sweep: an
+// already-cached result answers done immediately; otherwise the job
+// is enqueued (or joined, if an identical one is in flight) and the
+// caller polls GET /v1/jobs/{id}.
+func (s *Server) submitAsync(w http.ResponseWriter, id string, fn jobs.Func) {
+	if s.cache.Contains(id) {
+		s.writeJSON(w, http.StatusOK, jobBody{ID: id, Status: jobs.StatusDone})
+		return
+	}
+	j, err := s.pool.Submit(id, fn)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, jobBody{ID: id, Status: j.Status()})
+}
+
+// handleSimulate serves POST /v1/simulate.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	req = req.withDefaults()
+	if err := req.validate(); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	id, err := req.hash()
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.submitAsync(w, id, s.runAndStore(id, func() (any, error) { return req.run() }))
+}
+
+// handleSweep serves POST /v1/sweep.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	req = req.withDefaults()
+	if err := req.validate(); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	id, err := req.hash()
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.submitAsync(w, id, s.runAndStore(id, func() (any, error) { return req.run() }))
+}
+
+// handleJob serves GET /v1/jobs/{id}: resolve from the cache first
+// (results outlive the pool's retention window there), then from the
+// pool registry.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if body, ok := s.cache.Get(id); ok {
+		s.writeJSON(w, http.StatusOK, jobBody{ID: id, Status: jobs.StatusDone, Result: body})
+		return
+	}
+	j, ok := s.pool.Get(id)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + id, Class: "not_found"})
+		return
+	}
+	switch j.Status() {
+	case jobs.StatusDone:
+		v, err := j.Result()
+		if err != nil {
+			s.writeErr(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, jobBody{ID: id, Status: jobs.StatusDone, Result: v.([]byte)})
+	case jobs.StatusFailed:
+		_, err := j.Result()
+		s.writeJSON(w, http.StatusOK, jobBody{ID: id, Status: jobs.StatusFailed, Error: err.Error()})
+	default:
+		s.writeJSON(w, http.StatusOK, jobBody{ID: id, Status: j.Status()})
+	}
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// Metricsz is the GET /metricsz response body.
+type Metricsz struct {
+	Pool   obs.PoolStats    `json:"pool"`
+	Cache  obs.CacheStats   `json:"cache"`
+	Routes []obs.RouteStats `json:"routes"`
+}
+
+// handleMetricsz serves GET /metricsz.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, Metricsz{
+		Pool:   s.pool.Stats(),
+		Cache:  s.cache.Stats(),
+		Routes: s.metrics.report(),
+	})
+}
