@@ -1,0 +1,377 @@
+// Package client is the public Go client for starperfd. It speaks the
+// server's JSON API with the retry discipline a well-behaved caller
+// owes an overloaded service: exponential backoff with full jitter,
+// Retry-After honoured verbatim, context deadlines respected, and
+// retries only where they are safe.
+//
+// Safety of retries comes from the server's content addressing: a
+// request's job id is a hash of its canonical body, so resubmitting
+// the same request can never duplicate work — the server dedupes
+// in-flight copies and serves finished ones from its cache,
+// byte-identically. That makes every request here idempotent and
+// every 429/503/504/network failure retryable.
+//
+// Only stdlib dependencies, deliberately: the package is importable
+// from anywhere without dragging the simulator along.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config describes a Client. BaseURL is required; everything else
+// has workable defaults.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient, when set, replaces http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per request, first attempt included
+	// (default 4).
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff bound the exponential backoff
+	// schedule (defaults 100ms and 5s). The actual sleep is drawn
+	// uniformly from [0, min(MaxBackoff, BaseBackoff·2^attempt)] —
+	// full jitter, so a thundering herd decorrelates.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// PollInterval paces job polling between backoff-worthy events
+	// (default 50ms).
+	PollInterval time.Duration
+	// Seed seeds the jitter source; 0 derives one from the clock.
+	// Fixing it makes backoff schedules reproducible in tests.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Client is a starperfd API client, safe for concurrent use.
+type Client struct {
+	base  string
+	http  *http.Client
+	cfg   Config
+	sleep func(ctx context.Context, d time.Duration) error
+	jit   func(max time.Duration) time.Duration
+}
+
+// New validates cfg and builds a Client.
+func New(cfg Config) (*Client, error) {
+	if strings.TrimSpace(cfg.BaseURL) == "" {
+		return nil, errors.New("client: BaseURL required")
+	}
+	cfg = cfg.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	return &Client{
+		base:  strings.TrimRight(cfg.BaseURL, "/"),
+		http:  cfg.HTTPClient,
+		cfg:   cfg,
+		sleep: sleepCtx,
+		jit: func(max time.Duration) time.Duration {
+			if max <= 0 {
+				return 0
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			return time.Duration(rng.Int63n(int64(max) + 1))
+		},
+	}, nil
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// APIError is a non-2xx response decoded from the server's error
+// envelope. Status is the HTTP code; Class the machine-readable
+// error class ("invalid_config", "overloaded", ...).
+type APIError struct {
+	Status  int
+	Class   string
+	Message string
+
+	retryAfter time.Duration // server-provided schedule, consumed by backoff
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("starperfd: %d %s: %s", e.Status, e.Class, e.Message)
+}
+
+// Temporary reports whether the failure is worth retrying: server
+// overload, shutdown, breaker, or a timed-out job.
+func (e *APIError) Temporary() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// errorEnvelope mirrors the server's error body.
+type errorEnvelope struct {
+	Error string `json:"error"`
+	Class string `json:"class"`
+}
+
+// jobEnvelope mirrors the server's async job body.
+type jobEnvelope struct {
+	ID     string          `json:"id"`
+	Status string          `json:"status"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// attemptResult carries one HTTP attempt's outcome to the retry loop.
+type attemptResult struct {
+	status int
+	body   []byte
+	header http.Header
+	netErr error // transport-level failure; always retryable
+}
+
+// do runs one request with the full retry discipline and returns the
+// final 2xx body. Non-retryable API errors return *APIError at once.
+func (c *Client) do(ctx context.Context, method, path string, reqBody []byte) ([]byte, http.Header, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt, lastErr); err != nil {
+				return nil, nil, err
+			}
+		}
+		res := c.attempt(ctx, method, path, reqBody)
+		if res.netErr != nil {
+			if ctx.Err() != nil {
+				return nil, nil, ctx.Err()
+			}
+			lastErr = fmt.Errorf("client: %s %s: %w", method, path, res.netErr)
+			continue
+		}
+		if res.status >= 200 && res.status < 300 {
+			return res.body, res.header, nil
+		}
+		apiErr := decodeAPIError(res.status, res.body)
+		if !apiErr.Temporary() {
+			return nil, nil, apiErr
+		}
+		apiErr.retryAfter = parseRetryAfter(res.header)
+		lastErr = apiErr
+	}
+	return nil, nil, fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// attempt performs exactly one HTTP round trip.
+func (c *Client) attempt(ctx context.Context, method, path string, reqBody []byte) attemptResult {
+	var rd io.Reader
+	if reqBody != nil {
+		rd = bytes.NewReader(reqBody)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return attemptResult{netErr: err}
+	}
+	if reqBody != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	// Tell the server how patient we are, so it can shed a doomed
+	// request immediately instead of queueing it past our deadline.
+	if t, ok := ctx.Deadline(); ok {
+		if left := time.Until(t); left > 0 {
+			req.Header.Set("X-Starperf-Deadline", left.Round(time.Millisecond).String())
+		}
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return attemptResult{netErr: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return attemptResult{netErr: err}
+	}
+	return attemptResult{status: resp.StatusCode, body: body, header: resp.Header}
+}
+
+// retryAfter rides along on temporary APIErrors so backoff can
+// honour the server's explicit schedule.
+type retryAfterCarrier interface{ RetryAfter() time.Duration }
+
+func (e *APIError) RetryAfter() time.Duration { return e.retryAfter }
+
+// backoff sleeps before retry n: the server's Retry-After when it
+// gave one, otherwise full-jitter exponential backoff.
+func (c *Client) backoff(ctx context.Context, attempt int, lastErr error) error {
+	var d time.Duration
+	var carrier retryAfterCarrier
+	if errors.As(lastErr, &carrier) && carrier.RetryAfter() > 0 {
+		d = carrier.RetryAfter()
+	} else {
+		max := c.cfg.BaseBackoff << uint(attempt-1)
+		if max > c.cfg.MaxBackoff || max <= 0 {
+			max = c.cfg.MaxBackoff
+		}
+		d = c.jit(max)
+	}
+	return c.sleep(ctx, d)
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (the
+// only form starperfd emits).
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// decodeAPIError maps a non-2xx body to an *APIError, tolerating
+// non-JSON bodies from intermediaries.
+func decodeAPIError(status int, body []byte) *APIError {
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error == "" {
+		return &APIError{Status: status, Class: "unknown", Message: strings.TrimSpace(string(body))}
+	}
+	return &APIError{Status: status, Class: env.Class, Message: env.Error}
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	_, _, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	return err
+}
+
+// Predict evaluates the analytical model synchronously.
+func (c *Client) Predict(ctx context.Context, req PredictRequest) (*PredictResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := c.do(ctx, http.MethodPost, "/v1/predict", body)
+	if err != nil {
+		return nil, err
+	}
+	var res PredictResult
+	if err := json.Unmarshal(out, &res); err != nil {
+		return nil, fmt.Errorf("client: predict response: %w", err)
+	}
+	return &res, nil
+}
+
+// Simulate submits a flit-level simulation and waits for its result,
+// polling the job endpoint until done or ctx expires.
+func (c *Client) Simulate(ctx context.Context, req SimulateRequest) (*SimulateResult, error) {
+	raw, err := c.runJob(ctx, "/v1/simulate", req)
+	if err != nil {
+		return nil, err
+	}
+	var res SimulateResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("client: simulate result: %w", err)
+	}
+	return &res, nil
+}
+
+// Sweep submits a Figure 1 panel sweep and waits for its result.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepResult, error) {
+	raw, err := c.runJob(ctx, "/v1/sweep", req)
+	if err != nil {
+		return nil, err
+	}
+	var res SweepResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("client: sweep result: %w", err)
+	}
+	return &res, nil
+}
+
+// runJob drives one async endpoint end to end: submit (with retries),
+// then poll GET /v1/jobs/{id} until the job is terminal. Submissions
+// are safe to retry blind — the id is a content hash, so the server
+// coalesces duplicates instead of re-running them.
+func (c *Client) runJob(ctx context.Context, path string, req any) (json.RawMessage, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := c.do(ctx, http.MethodPost, path, body)
+	if err != nil {
+		return nil, err
+	}
+	var job jobEnvelope
+	if err := json.Unmarshal(out, &job); err != nil {
+		return nil, fmt.Errorf("client: job envelope: %w", err)
+	}
+	if job.ID == "" {
+		return nil, fmt.Errorf("client: job submission returned no id")
+	}
+	for {
+		switch job.Status {
+		case "done":
+			if job.Result != nil {
+				return job.Result, nil
+			}
+			// Accepted-from-cache responses omit the body; one poll
+			// fetches it.
+		case "failed":
+			return nil, fmt.Errorf("client: job %s failed: %s", job.ID, job.Error)
+		}
+		if err := c.sleep(ctx, c.cfg.PollInterval); err != nil {
+			return nil, err
+		}
+		out, _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+job.ID, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(out, &job); err != nil {
+			return nil, fmt.Errorf("client: job poll: %w", err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package client
+
+// Typed mirrors of the starperfd wire schema. These are hand-copied
+// rather than imported so the package stays stdlib-only and free of
+// the simulator's internals; the server's compat test pins that the
+// two sets marshal identically (field for field, tag for tag), so a
+// drift between them is a test failure, not a runtime surprise.
+
+// TopoSpec names a topology on the wire.
+type TopoSpec struct {
+	// Kind is "star", "hypercube", "torus" or "mesh".
+	Kind string `json:"kind"`
+	// N is the star size n (S_n) or the hypercube dimension m.
+	N int `json:"n,omitempty"`
+	// K and Dim are the k-ary n-cube/mesh arity and dimension.
+	K   int `json:"k,omitempty"`
+	Dim int `json:"dim,omitempty"`
+}
+
+// PredictRequest is POST /v1/predict: one analytical-model
+// evaluation, answered synchronously.
+type PredictRequest struct {
+	Topo    TopoSpec `json:"topo"`
+	Routing string   `json:"routing,omitempty"`
+	V       int      `json:"v"`
+	MsgLen  int      `json:"msg_len"`
+	Rate    float64  `json:"rate"`
+}
+
+// PredictResult is the predict response body.
+type PredictResult struct {
+	Saturated     bool    `json:"saturated"`
+	LatencyCycles float64 `json:"latency_cycles"`
+	NetLatency    float64 `json:"net_latency"`
+	SourceWait    float64 `json:"source_wait"`
+	ChannelWait   float64 `json:"channel_wait"`
+	Multiplexing  float64 `json:"multiplexing"`
+	Utilization   float64 `json:"utilization"`
+	MeanBlocking  float64 `json:"mean_blocking"`
+	Converged     bool    `json:"converged"`
+}
+
+// SimulateRequest is POST /v1/simulate: one flit-level simulation,
+// answered through the job API.
+type SimulateRequest struct {
+	Topo      TopoSpec `json:"topo"`
+	Routing   string   `json:"routing,omitempty"`
+	V         int      `json:"v"`
+	MsgLen    int      `json:"msg_len"`
+	Rate      float64  `json:"rate"`
+	BufCap    int      `json:"buf_cap,omitempty"`
+	Seed      uint64   `json:"seed,omitempty"`
+	Warmup    int64    `json:"warmup,omitempty"`
+	Measure   int64    `json:"measure,omitempty"`
+	Drain     int64    `json:"drain,omitempty"`
+	MaxMsgAge int64    `json:"max_msg_age,omitempty"`
+}
+
+// SimulateResult is the simulate job's result body.
+type SimulateResult struct {
+	MeanLatency  float64 `json:"mean_latency"`
+	MinLatency   float64 `json:"min_latency"`
+	MaxLatency   float64 `json:"max_latency"`
+	P50Latency   int     `json:"p50_latency"`
+	P95Latency   int     `json:"p95_latency"`
+	P99Latency   int     `json:"p99_latency"`
+	Measured     uint64  `json:"measured"`
+	Delivered    uint64  `json:"delivered"`
+	AcceptedRate float64 `json:"accepted_rate"`
+	Cycles       int64   `json:"cycles"`
+	Saturated    bool    `json:"saturated"`
+	Aborted      bool    `json:"aborted"`
+	AbortReason  string  `json:"abort_reason,omitempty"`
+}
+
+// SweepRequest is POST /v1/sweep: one Figure 1 panel.
+type SweepRequest struct {
+	Panel   string   `json:"panel"`
+	Points  int      `json:"points,omitempty"`
+	Seeds   []uint64 `json:"seeds,omitempty"`
+	Warmup  int64    `json:"warmup,omitempty"`
+	Measure int64    `json:"measure,omitempty"`
+	Workers int      `json:"workers,omitempty"`
+}
+
+// SweepResult is the sweep job's result body.
+type SweepResult struct {
+	Title  string        `json:"title"`
+	XLabel string        `json:"x_label"`
+	Series []SweepSeries `json:"series"`
+}
+
+// SweepSeries is one curve (fixed V and message length) of a panel.
+type SweepSeries struct {
+	Name   string       `json:"name"`
+	V      int          `json:"v"`
+	MsgLen int          `json:"msg_len"`
+	Points []SweepPoint `json:"points"`
+}
+
+// SweepPoint is one operating point of a sweep series.
+type SweepPoint struct {
+	Rate           float64  `json:"rate"`
+	Model          *float64 `json:"model"`
+	ModelSaturated bool     `json:"model_saturated"`
+	Sim            *float64 `json:"sim"`
+	SimHW          float64  `json:"sim_hw"`
+	SimSaturated   bool     `json:"sim_saturated"`
+	Failed         bool     `json:"failed,omitempty"`
+	Err            string   `json:"error,omitempty"`
+}

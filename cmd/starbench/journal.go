@@ -1,0 +1,177 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"starperf/internal/journal"
+)
+
+// The journal suite: microbenchmarks of the durability layer —
+// fsynced appends (the price every accepted job pays), appends with
+// fsync off (isolating the encoding + write cost), and cold-start
+// replay of a populated log. Written to BENCH_journal.json in the
+// same machine-shaped, timestamp-free format as the other suites.
+
+// journalRecord is a representative accepted record: a content hash
+// id plus a small canonical request body.
+func journalRecord(i int) journal.Record {
+	return journal.Record{
+		Type: journal.TypeAccepted,
+		ID:   fmt.Sprintf("sha256:%064x", i),
+		Kind: "simulate",
+		Req:  []byte(fmt.Sprintf(`{"msg_len":8,"rate":0.002,"seed":%d,"topo":{"kind":"star","n":3},"v":4}`, i)),
+	}
+}
+
+// journalOp appends one lifecycle record: even iterations accept job
+// i/2, odd iterations complete it. Alternating keeps the pending set
+// bounded the way a live pool does — an append-only stream of unique
+// accepted records would make every post-rotation compaction rewrite
+// the whole history, measuring a pathology instead of the WAL.
+func journalOp(j *journal.Journal, i int) error {
+	if i%2 == 0 {
+		return j.Append(journalRecord(i / 2))
+	}
+	return j.Append(journal.Record{Type: journal.TypeDone, ID: fmt.Sprintf("sha256:%064x", i/2)})
+}
+
+type journalBench struct {
+	Name string
+	Run  func(b *testing.B)
+}
+
+func journalBenches() []journalBench {
+	return []journalBench{
+		{"append_fsync", func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "starbench-journal-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			j, _, err := journal.Open(journal.Options{Dir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := journalOp(j, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"append_nosync", func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "starbench-journal-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			j, _, err := journal.Open(journal.Options{Dir: dir, NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := journalOp(j, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"replay_1k_records", func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "starbench-journal-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			j, _, err := journal.Open(journal.Options{Dir: dir, NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 1000; i++ {
+				if err := j.Append(journalRecord(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			j.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jr, rec, err := journal.Open(journal.Options{Dir: dir, NoSync: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rec.Records < 1000 {
+					b.Fatalf("replayed %d records, want ≥1000", rec.Records)
+				}
+				jr.Close()
+				// Every Open leaves a fresh (empty) live segment; drop
+				// them so each iteration replays the same directory.
+				b.StopTimer()
+				ents, err := os.ReadDir(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, e := range ents {
+					if fi, err := e.Info(); err == nil && fi.Size() == 0 {
+						os.Remove(filepath.Join(dir, e.Name()))
+					}
+				}
+				b.StartTimer()
+			}
+		}},
+	}
+}
+
+// runJournalSuite measures the journal benchmarks and writes the JSON
+// report to out ("-" for stdout).
+func runJournalSuite(out string) {
+	type jRow struct {
+		name        string
+		nsPerOp     int64
+		allocsPerOp int64
+		bytesPerOp  int64
+	}
+	benches := journalBenches()
+	rows := make([]jRow, 0, len(benches))
+	for _, jb := range benches {
+		r := testing.Benchmark(jb.Run)
+		if r.N == 0 {
+			fmt.Fprintf(os.Stderr, "starbench: %s ran zero iterations\n", jb.Name)
+			os.Exit(1)
+		}
+		rows = append(rows, jRow{jb.Name, r.NsPerOp(), r.AllocsPerOp(), r.AllocedBytesPerOp()})
+		fmt.Fprintf(os.Stderr, "starbench: %-18s %12d ns/op %8d allocs/op\n",
+			jb.Name, r.NsPerOp(), r.AllocsPerOp())
+	}
+
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "starbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintln(w, "{")
+	fmt.Fprintln(w, `  "workload": "durable job journal: fsynced append, unsynced append, cold replay of 1k records",`)
+	fmt.Fprintln(w, `  "command": "go run ./cmd/starbench -suite journal -out BENCH_journal.json",`)
+	fmt.Fprintln(w, `  "variants": [`)
+	for i, r := range rows {
+		comma := ","
+		if i == len(rows)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(w, "    {\"name\": %q, \"ns_per_op\": %d, \"allocs_per_op\": %d, \"bytes_per_op\": %d}%s\n",
+			r.name, r.nsPerOp, r.allocsPerOp, r.bytesPerOp, comma)
+	}
+	fmt.Fprintln(w, "  ]")
+	fmt.Fprintln(w, "}")
+}

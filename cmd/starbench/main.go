@@ -13,6 +13,11 @@
 //
 //	go run ./cmd/starbench -suite serve -out BENCH_serve.json
 //
+// -suite journal measures the durability layer (fsynced vs unsynced
+// append, cold replay), written to BENCH_journal.json:
+//
+//	go run ./cmd/starbench -suite journal -out BENCH_journal.json
+//
 // The output is machine-shaped (ns/op varies across hosts) but
 // structurally stable: no timestamps or host details, so diffs show
 // only the measured numbers. The observer_overhead_pct field is the
@@ -90,7 +95,7 @@ func measure(cfg desim.Config) (row, error) {
 
 func main() {
 	out := flag.String("out", "", "output path (- for stdout; default BENCH_<suite>.json)")
-	suite := flag.String("suite", "sim", "benchmark suite: sim or serve")
+	suite := flag.String("suite", "sim", "benchmark suite: sim, serve or journal")
 	flag.Parse()
 
 	switch *suite {
@@ -100,12 +105,18 @@ func main() {
 		}
 		runServeSuite(*out)
 		return
+	case "journal":
+		if *out == "" {
+			*out = "BENCH_journal.json"
+		}
+		runJournalSuite(*out)
+		return
 	case "sim":
 		if *out == "" {
 			*out = "BENCH_sim.json"
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "starbench: unknown suite %q (want sim or serve)\n", *suite)
+		fmt.Fprintf(os.Stderr, "starbench: unknown suite %q (want sim, serve or journal)\n", *suite)
 		os.Exit(1)
 	}
 

@@ -14,10 +14,17 @@
 // computation. -cachedir enables the on-disk tier so results survive
 // restarts.
 //
+// -journal makes the daemon crash-safe: every job lifecycle
+// transition is fsynced into an append-only journal under the given
+// directory, and on boot the daemon replays whatever a crash
+// interrupted — every accepted job still reaches done/failed exactly
+// once, with the same content-addressed result bytes.
+//
 // Usage:
 //
 //	starperfd [-addr :8080] [-workers N] [-queue 256] [-cachedir DIR]
 //	          [-cachebytes 67108864] [-jobtimeout 0] [-maxbody 1048576]
+//	          [-journal DIR]
 //
 // The server drains in-flight jobs on SIGINT/SIGTERM before exiting.
 package main
@@ -36,6 +43,7 @@ import (
 	"time"
 
 	"starperf/internal/cache"
+	"starperf/internal/journal"
 	"starperf/internal/server"
 )
 
@@ -48,7 +56,20 @@ func main() {
 	jobtimeout := flag.Duration("jobtimeout", 0, "per-job wall-clock budget (0: none)")
 	maxbody := flag.Int64("maxbody", 1<<20, "request body limit in bytes")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	journaldir := flag.String("journal", "", "durable job journal directory (empty: no crash recovery)")
 	flag.Parse()
+
+	var jnl *journal.Journal
+	var jrec *journal.Recovery
+	if *journaldir != "" {
+		var err error
+		jnl, jrec, err = journal.Open(journal.Options{Dir: *journaldir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "starperfd: opening journal: %v\n", err)
+			os.Exit(1)
+		}
+		defer jnl.Close()
+	}
 
 	srv, err := server.New(server.Config{
 		Workers:      *workers,
@@ -56,10 +77,17 @@ func main() {
 		JobTimeout:   *jobtimeout,
 		Cache:        cache.Config{MaxBytes: *cachebytes, Dir: *cachedir},
 		MaxBodyBytes: *maxbody,
+		Journal:      jnl,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "starperfd: %v\n", err)
 		os.Exit(1)
+	}
+	if jnl != nil {
+		rec := srv.Recover(jrec)
+		log.Printf("starperfd: journal %s replayed: %d records in %d segments, %d corrupt lines skipped; recovery: %d requeued, %d already satisfied, %d unrecoverable",
+			*journaldir, jrec.Records, jrec.Segments, jrec.CorruptSkipped,
+			rec.Requeued, rec.Skipped, rec.Failed)
 	}
 
 	httpSrv := &http.Server{

@@ -13,16 +13,22 @@
 //
 // The disk tier is best effort: read/write failures are counted
 // (DiskErrors) and degrade the cache to memory-only behaviour instead
-// of failing lookups.
+// of failing lookups. It is also verified and durable: every entry is
+// framed with the sha256 of its payload and checked on read — a
+// corrupt file (flipped bit, truncation, pre-v2 format) is quarantined
+// into corrupt/ and recomputed, never served — and writes fsync both
+// the file and its parent directory around the atomic rename, so a
+// persisted entry survives power loss. All disk I/O flows through the
+// internal/fsx seam, which is how the chaos suite injects faults.
 package cache
 
 import (
 	"container/list"
 	"fmt"
-	"os"
 	"sync"
 
 	"starperf/internal/cfgerr"
+	"starperf/internal/fsx"
 	"starperf/internal/obs"
 )
 
@@ -37,6 +43,9 @@ type Config struct {
 	// <hash>.json file per entry under this directory, created if
 	// missing. Disk survives process restarts; memory does not.
 	Dir string
+	// FS is the filesystem seam under the disk tier (default
+	// fsx.OS{}; chaos tests inject fsx.Faulty).
+	FS fsx.FS
 }
 
 // entry is one memory-tier element.
@@ -51,17 +60,19 @@ type Cache struct {
 	mu    sync.Mutex
 	max   int64
 	dir   string
+	fs    fsx.FS
 	ll    *list.List // front = most recently used
 	index map[string]*list.Element
 	bytes int64
 
-	memHits    uint64
-	diskHits   uint64
-	misses     uint64
-	puts       uint64
-	evictions  uint64
-	diskWrites uint64
-	diskErrors uint64
+	memHits     uint64
+	diskHits    uint64
+	misses      uint64
+	puts        uint64
+	evictions   uint64
+	diskWrites  uint64
+	diskErrors  uint64
+	quarantined uint64
 }
 
 // New returns a cache for cfg, creating cfg.Dir when set.
@@ -72,14 +83,18 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.MaxBytes == 0 {
 		cfg.MaxBytes = 64 << 20
 	}
+	if cfg.FS == nil {
+		cfg.FS = fsx.OS{}
+	}
 	if cfg.Dir != "" {
-		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		if err := cfg.FS.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("cache: creating %s: %w", cfg.Dir, err)
 		}
 	}
 	return &Cache{
 		max:   cfg.MaxBytes,
 		dir:   cfg.Dir,
+		fs:    cfg.FS,
 		ll:    list.New(),
 		index: make(map[string]*list.Element),
 	}, nil
@@ -101,11 +116,8 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		c.count(&c.misses)
 		return nil, false
 	}
-	val, err := os.ReadFile(c.fileFor(key))
-	if err != nil {
-		if !os.IsNotExist(err) {
-			c.count(&c.diskErrors)
-		}
+	val, ok := c.readFile(key)
+	if !ok {
 		c.count(&c.misses)
 		return nil, false
 	}
@@ -125,8 +137,7 @@ func (c *Cache) Contains(key string) bool {
 	if ok || c.dir == "" {
 		return ok
 	}
-	_, err := os.Stat(c.fileFor(key))
-	return err == nil
+	return c.statFile(key)
 }
 
 // Put stores a copy of val under key in both tiers. Storing is
@@ -153,16 +164,17 @@ func (c *Cache) Stats() obs.CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return obs.CacheStats{
-		Entries:    c.ll.Len(),
-		Bytes:      c.bytes,
-		MaxBytes:   c.max,
-		MemHits:    c.memHits,
-		DiskHits:   c.diskHits,
-		Misses:     c.misses,
-		Puts:       c.puts,
-		Evictions:  c.evictions,
-		DiskWrites: c.diskWrites,
-		DiskErrors: c.diskErrors,
+		Entries:     c.ll.Len(),
+		Bytes:       c.bytes,
+		MaxBytes:    c.max,
+		MemHits:     c.memHits,
+		DiskHits:    c.diskHits,
+		Misses:      c.misses,
+		Puts:        c.puts,
+		Evictions:   c.evictions,
+		DiskWrites:  c.diskWrites,
+		DiskErrors:  c.diskErrors,
+		Quarantined: c.quarantined,
 	}
 }
 

@@ -1,0 +1,217 @@
+package cache
+
+// Chaos tests for the verified disk tier. The invariant under every
+// fault is the same one the serving layer depends on: a Get either
+// misses (and the caller recomputes) or returns bytes identical to
+// what was Put — a corrupt or torn file is never served as a hit.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"starperf/internal/fsx"
+)
+
+// corruptKey/corruptVal give each test case distinct, well-formed
+// content-addressed entries.
+func chaosKey(i int) string { return fmt.Sprintf("sha256:%064x", i) }
+
+func chaosVal(i int) []byte {
+	return []byte(fmt.Sprintf(`{"entry":%d,"payload":"%048x"}`, i, i*i+3))
+}
+
+// diskPath is the on-disk file the cache uses for chaosKey(i).
+func diskPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("%064x.json", i))
+}
+
+// corruptOnDisk applies mutate to the stored file for chaosKey(i).
+func corruptOnDisk(t *testing.T, dir string, i int, mutate func([]byte) []byte) {
+	t.Helper()
+	path := diskPath(dir, i)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptEntryQuarantinedAndRecomputed is the acceptance
+// criterion: a flipped bit in a disk entry turns the read into a miss,
+// moves the file into corrupt/ (preserved, not deleted), and the next
+// Put+Get serves fresh, correct bytes.
+func TestCorruptEntryQuarantinedAndRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	c1 := mustNew(t, Config{Dir: dir})
+	c1.Put(chaosKey(1), chaosVal(1))
+
+	// Flip one payload bit behind the cache's back.
+	var wrecked []byte
+	corruptOnDisk(t, dir, 1, func(b []byte) []byte {
+		b[len(b)-3] ^= 0x20
+		wrecked = append([]byte(nil), b...)
+		return b
+	})
+
+	// A fresh instance (cold memory tier) must detect, not serve.
+	c2 := mustNew(t, Config{Dir: dir})
+	if v, ok := c2.Get(chaosKey(1)); ok {
+		t.Fatalf("corrupt entry served as a hit: %q", v)
+	}
+	if st := c2.Stats(); st.Quarantined != 1 || st.Misses != 1 {
+		t.Fatalf("stats after corrupt read = %+v", st)
+	}
+	if _, err := os.Stat(diskPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still at its cache path: %v", err)
+	}
+	qpath := filepath.Join(dir, corruptDirName, filepath.Base(diskPath(dir, 1)))
+	got, err := os.ReadFile(qpath)
+	if err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if !bytes.Equal(got, wrecked) {
+		t.Fatal("quarantine altered the evidence")
+	}
+
+	// Recompute path: a re-put overwrites cleanly and serves again.
+	c2.Put(chaosKey(1), chaosVal(1))
+	c3 := mustNew(t, Config{Dir: dir})
+	v, ok := c3.Get(chaosKey(1))
+	if !ok || !bytes.Equal(v, chaosVal(1)) {
+		t.Fatalf("recomputed entry not served: %q, %v", v, ok)
+	}
+}
+
+// TestTruncatedEntryQuarantined: a torn write (partial payload) fails
+// verification the same way a flipped bit does.
+func TestTruncatedEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c1 := mustNew(t, Config{Dir: dir})
+	c1.Put(chaosKey(2), chaosVal(2))
+	corruptOnDisk(t, dir, 2, func(b []byte) []byte { return b[:len(b)-5] })
+
+	c2 := mustNew(t, Config{Dir: dir})
+	if _, ok := c2.Get(chaosKey(2)); ok {
+		t.Fatal("truncated entry served as a hit")
+	}
+	if st := c2.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantined", st)
+	}
+}
+
+// TestPreV2FileQuarantined: a bare-payload file from the headerless v1
+// format fails the frame check and is quarantined — the migration
+// cost is one recompute per stale entry, never a wrong answer.
+func TestPreV2FileQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(diskPath(dir, 3), chaosVal(3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, Config{Dir: dir})
+	if _, ok := c.Get(chaosKey(3)); ok {
+		t.Fatal("headerless v1 file served as a hit")
+	}
+	if st := c.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantined", st)
+	}
+}
+
+// TestQuarantineIsNotReread: once quarantined, the key keeps missing
+// (no resurrection from corrupt/) until a fresh Put.
+func TestQuarantineIsNotReread(t *testing.T) {
+	dir := t.TempDir()
+	c1 := mustNew(t, Config{Dir: dir})
+	c1.Put(chaosKey(4), chaosVal(4))
+	corruptOnDisk(t, dir, 4, func(b []byte) []byte { b[0] ^= 0xff; return b })
+
+	c2 := mustNew(t, Config{Dir: dir})
+	for i := 0; i < 3; i++ {
+		if _, ok := c2.Get(chaosKey(4)); ok {
+			t.Fatalf("get %d hit after quarantine", i)
+		}
+	}
+	if st := c2.Stats(); st.Quarantined != 1 || st.Misses != 3 {
+		t.Fatalf("stats = %+v, want 1 quarantined / 3 misses", st)
+	}
+}
+
+// TestFaultyFSNeverServesWrongBytes: a seeded fault storm over the
+// fsx seam — failing writes, fsyncs, renames, creates, and short
+// writes — may cost hits (the tier degrades to memory-only) but every
+// hit that does land must be byte-identical to the Put. Two cold
+// restarts per seed check the on-disk survivors too.
+func TestFaultyFSNeverServesWrongBytes(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			plan := fsx.FaultPlan{
+				Seed: seed, PWrite: 0.2, PSync: 0.15,
+				PRename: 0.2, PCreate: 0.1, ShortWrites: true,
+			}
+			fs := fsx.NewFaulty(fsx.OS{}, plan)
+			c1, err := New(Config{Dir: dir, FS: fs})
+			if err != nil {
+				t.Skipf("MkdirAll faulted at boot: %v", err)
+			}
+			const n = 30
+			for i := 0; i < n; i++ {
+				c1.Put(chaosKey(i), chaosVal(i))
+			}
+			for i := 0; i < n; i++ {
+				if v, ok := c1.Get(chaosKey(i)); ok && !bytes.Equal(v, chaosVal(i)) {
+					t.Fatalf("warm get %d returned wrong bytes: %q", i, v)
+				}
+			}
+
+			// Restart 1: still faulty reads over whatever landed on disk.
+			c2, err := New(Config{Dir: dir, FS: fsx.NewFaulty(fsx.OS{}, plan)})
+			if err == nil {
+				for i := 0; i < n; i++ {
+					if v, ok := c2.Get(chaosKey(i)); ok && !bytes.Equal(v, chaosVal(i)) {
+						t.Fatalf("faulty-restart get %d returned wrong bytes: %q", i, v)
+					}
+				}
+			}
+
+			// Restart 2: clean FS. Anything readable must verify; any
+			// torn temp or corrupt file must miss, not lie.
+			c3 := mustNew(t, Config{Dir: dir})
+			for i := 0; i < n; i++ {
+				if v, ok := c3.Get(chaosKey(i)); ok && !bytes.Equal(v, chaosVal(i)) {
+					t.Fatalf("clean-restart get %d returned wrong bytes: %q", i, v)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultyFSDeterministic: the same seed produces the same disk-tier
+// outcome — the property that makes chaos failures replayable.
+func TestFaultyFSDeterministic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		dir := t.TempDir()
+		fs := fsx.NewFaulty(fsx.OS{}, fsx.FaultPlan{
+			Seed: 7, PWrite: 0.25, PSync: 0.2, PRename: 0.15, ShortWrites: true,
+		})
+		c, err := New(Config{Dir: dir, FS: fs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			c.Put(chaosKey(i), chaosVal(i))
+		}
+		st := c.Stats()
+		return st.DiskWrites, st.DiskErrors
+	}
+	w1, e1 := run()
+	w2, e2 := run()
+	if w1 != w2 || e1 != e2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", w1, e1, w2, e2)
+	}
+}

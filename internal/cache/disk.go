@@ -1,12 +1,31 @@
 package cache
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"os"
 	"path/filepath"
 	"strings"
 )
+
+// The disk-tier entry format. A cache key is the hash of the
+// *request*, so the stored *value* carries its own sha256 in a header
+// line, verified on every read:
+//
+//	starperf-cache v2 <sha256-hex-of-payload>\n<payload>
+//
+// A file that fails the check — flipped bit, truncated payload,
+// pre-v2 format — is quarantined into corrupt/ beside the cache (for
+// forensics; deleting it would destroy the evidence) and reported as
+// a miss, so the serving layer recomputes instead of replaying
+// garbage as a "cached" result.
+
+// diskHeaderPrefix starts every valid v2 entry.
+const diskHeaderPrefix = "starperf-cache v2 "
+
+// corruptDirName is the quarantine subdirectory.
+const corruptDirName = "corrupt"
 
 // fileFor maps a cache key to its disk path. Well-formed content
 // hashes ("sha256:<hex>") use their hex digits directly as the file
@@ -33,29 +52,116 @@ func isHex(s string) bool {
 	return len(s) > 0
 }
 
-// writeFile persists one entry atomically: write to a unique temp
-// file in the same directory, then rename over the final path.
-// Concurrent writers of the same key race only on the rename, and
-// content addressing makes every contender's bytes identical, so the
-// winner is irrelevant.
+// encodeEntry frames val with its verification header.
+func encodeEntry(val []byte) []byte {
+	sum := sha256.Sum256(val)
+	out := make([]byte, 0, len(diskHeaderPrefix)+sha256.Size*2+1+len(val))
+	out = append(out, diskHeaderPrefix...)
+	out = append(out, hex.EncodeToString(sum[:])...)
+	out = append(out, '\n')
+	out = append(out, val...)
+	return out
+}
+
+// decodeEntry parses and verifies one framed entry, returning the
+// payload or ok=false when the frame or checksum is wrong.
+func decodeEntry(data []byte) ([]byte, bool) {
+	rest, found := bytes.CutPrefix(data, []byte(diskHeaderPrefix))
+	if !found {
+		return nil, false
+	}
+	nl := bytes.IndexByte(rest, '\n')
+	if nl != sha256.Size*2 {
+		return nil, false
+	}
+	want, payload := rest[:nl], rest[nl+1:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(want, []byte(hex.EncodeToString(sum[:]))) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// readFile loads and verifies one entry from disk. A missing file is
+// a plain miss; a verification failure quarantines the file; a read
+// error counts against the disk tier. In every non-ok case the
+// caller recomputes.
+func (c *Cache) readFile(key string) ([]byte, bool) {
+	path := c.fileFor(key)
+	data, err := c.fs.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.count(&c.diskErrors)
+		}
+		return nil, false
+	}
+	payload, ok := decodeEntry(data)
+	if !ok {
+		c.quarantine(path)
+		return nil, false
+	}
+	return payload, true
+}
+
+// quarantine moves a corrupt entry into corrupt/ so it is never
+// served again but stays available for inspection; the next Put of
+// the key simply writes a fresh file.
+func (c *Cache) quarantine(path string) {
+	qdir := filepath.Join(c.dir, corruptDirName)
+	if err := c.fs.MkdirAll(qdir, 0o755); err != nil {
+		c.count(&c.diskErrors)
+		return
+	}
+	if err := c.fs.Rename(path, filepath.Join(qdir, filepath.Base(path))); err != nil {
+		c.count(&c.diskErrors)
+		return
+	}
+	// Best-effort directory sync: the quarantine itself matters more
+	// than its durability.
+	_ = c.fs.SyncDir(c.dir)
+	c.count(&c.quarantined)
+}
+
+// writeFile persists one entry atomically AND durably: write the
+// framed value to a unique temp file, fsync it, rename over the final
+// path, then fsync the parent directory — without those two fsyncs a
+// "persisted" entry can vanish on power loss. Concurrent writers of
+// the same key race only on the rename, and content addressing makes
+// every contender's bytes identical, so the winner is irrelevant.
 func (c *Cache) writeFile(key string, val []byte) error {
 	path := c.fileFor(key)
-	tmp, err := os.CreateTemp(c.dir, filepath.Base(path)+".tmp-*")
+	tmp, err := c.fs.CreateTemp(c.dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(val); err != nil {
+	cleanup := func(err error) error {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = c.fs.Remove(tmp.Name())
 		return err
+	}
+	if _, err := tmp.Write(encodeEntry(val)); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = c.fs.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := c.fs.Rename(tmp.Name(), path); err != nil {
+		_ = c.fs.Remove(tmp.Name())
+		return err
+	}
+	if err := c.fs.SyncDir(c.dir); err != nil {
 		return err
 	}
 	return nil
+}
+
+// statFile reports whether a (well-formed, unverified) entry exists
+// on disk; Contains uses it to stay cheap.
+func (c *Cache) statFile(key string) bool {
+	_, err := c.fs.Stat(c.fileFor(key))
+	return err == nil
 }

@@ -1,0 +1,251 @@
+package fsx
+
+import (
+	"errors"
+	"io/fs"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error returned by operations the fault plan
+// chose to fail. Callers must treat it exactly like a real EIO.
+var ErrInjected = errors.New("fsx: injected fault")
+
+// ErrCrashed is returned by every operation after the plan's crash
+// point: the simulated process is dead, and nothing it does from then
+// on reaches the disk.
+var ErrCrashed = errors.New("fsx: crashed")
+
+// FaultPlan configures a Faulty filesystem. All decisions are drawn
+// from a PRNG seeded with Seed, so the same plan over the same
+// operation sequence injects the same faults — chaos runs are
+// replayable.
+type FaultPlan struct {
+	// Seed fully determines which operations fail.
+	Seed uint64
+	// PWrite, PSync, PRename and PCreate are per-operation failure
+	// probabilities in [0, 1] for writes, fsyncs (file and directory),
+	// renames, and file creation/open respectively.
+	PWrite, PSync, PRename, PCreate float64
+	// ShortWrites makes a failed Write deliver a strict prefix of its
+	// buffer before erroring, the torn-write shape a real crash
+	// produces.
+	ShortWrites bool
+	// CrashAt, when positive, kills the filesystem at the CrashAt-th
+	// mutating operation: that operation and every later one (reads
+	// included) fail with ErrCrashed. Combined with a loop over
+	// CrashAt values, a test can probe every failure point of a
+	// protocol.
+	CrashAt int
+}
+
+// Faulty wraps an FS with deterministic fault injection. It is safe
+// for concurrent use.
+type Faulty struct {
+	inner FS
+	plan  FaultPlan
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	ops      int
+	injected int
+	crashed  bool
+}
+
+// NewFaulty wraps inner with the given plan.
+func NewFaulty(inner FS, plan FaultPlan) *Faulty {
+	return &Faulty{
+		inner: inner,
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(int64(plan.Seed))),
+	}
+}
+
+// Ops returns how many mutating operations the filesystem has seen —
+// the range a crash-at-every-op loop iterates over.
+func (f *Faulty) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Injected returns how many operations failed with ErrInjected.
+func (f *Faulty) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *Faulty) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step records one mutating operation and decides its fate: nil,
+// ErrInjected (with probability p), or ErrCrashed once the crash
+// point is passed.
+func (f *Faulty) step(p float64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.ops++
+	if f.plan.CrashAt > 0 && f.ops >= f.plan.CrashAt {
+		f.crashed = true
+		return ErrCrashed
+	}
+	if p > 0 && f.rng.Float64() < p {
+		f.injected++
+		return ErrInjected
+	}
+	return nil
+}
+
+// dead reports the post-crash state for read operations, which do not
+// advance the op counter.
+func (f *Faulty) dead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// MkdirAll implements FS.
+func (f *Faulty) MkdirAll(dir string, perm os.FileMode) error {
+	if err := f.step(f.plan.PCreate); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir, perm)
+}
+
+// Create implements FS.
+func (f *Faulty) Create(name string) (File, error) {
+	if err := f.step(f.plan.PCreate); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: file}, nil
+}
+
+// CreateTemp implements FS.
+func (f *Faulty) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.step(f.plan.PCreate); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: file}, nil
+}
+
+// OpenAppend implements FS.
+func (f *Faulty) OpenAppend(name string) (File, error) {
+	if err := f.step(f.plan.PCreate); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: file}, nil
+}
+
+// ReadFile implements FS.
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	if f.dead() {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadFile(name)
+}
+
+// ReadDir implements FS.
+func (f *Faulty) ReadDir(dir string) ([]fs.DirEntry, error) {
+	if f.dead() {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// Rename implements FS.
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if err := f.step(f.plan.PRename); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *Faulty) Remove(name string) error {
+	if err := f.step(f.plan.PRename); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// Stat implements FS.
+func (f *Faulty) Stat(name string) (fs.FileInfo, error) {
+	if f.dead() {
+		return nil, ErrCrashed
+	}
+	return f.inner.Stat(name)
+}
+
+// SyncDir implements FS.
+func (f *Faulty) SyncDir(dir string) error {
+	if err := f.step(f.plan.PSync); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultyFile applies the plan to per-handle operations.
+type faultyFile struct {
+	f     *Faulty
+	inner File
+}
+
+// Write implements File. An injected failure with ShortWrites set
+// first delivers a prefix of p — the buffer is torn, not absent.
+func (w *faultyFile) Write(p []byte) (int, error) {
+	if err := w.f.step(w.f.plan.PWrite); err != nil {
+		if errors.Is(err, ErrInjected) && w.f.plan.ShortWrites && len(p) > 1 {
+			n, werr := w.inner.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return w.inner.Write(p)
+}
+
+// Sync implements File.
+func (w *faultyFile) Sync() error {
+	if err := w.f.step(w.f.plan.PSync); err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+// Close implements File. Close itself never fails by injection —
+// protocols must not rely on Close for durability, and a failing
+// Close would only mask the Sync result tests care about — but after
+// a crash it fails like everything else.
+func (w *faultyFile) Close() error {
+	if w.f.dead() {
+		w.inner.Close() // release the real handle regardless
+		return ErrCrashed
+	}
+	return w.inner.Close()
+}
+
+// Name implements File.
+func (w *faultyFile) Name() string { return w.inner.Name() }

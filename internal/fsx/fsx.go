@@ -1,0 +1,107 @@
+// Package fsx is the filesystem seam under the durable pieces of the
+// serving layer (internal/journal, internal/cache's disk tier). The
+// production implementation (OS) delegates to package os; the Faulty
+// wrapper injects deterministic, seed-drawn failures — short writes,
+// EIO, fsync errors, failed renames, and a hard "crash" after a
+// chosen operation — so the chaos suite can prove that durability
+// claims hold at every possible failure point instead of the ones a
+// flaky test happens to hit.
+//
+// The interface is deliberately narrow: exactly the operations the
+// journal and cache perform, including the two that casual code
+// forgets — File.Sync and SyncDir — because an atomic rename without
+// an fsync of the file and its parent directory is only atomic until
+// the power goes out.
+package fsx
+
+import (
+	"io/fs"
+	"os"
+)
+
+// File is one writable file handle.
+type File interface {
+	// Write appends len(p) bytes, returning how many were durably
+	// handed to the kernel before any error.
+	Write(p []byte) (int, error)
+	// Sync flushes the file's data and metadata to stable storage.
+	Sync() error
+	// Close releases the handle. Close does not imply Sync.
+	Close() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the set of filesystem operations the durable layers use.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string, perm os.FileMode) error
+	// Create truncates or creates name for writing.
+	Create(name string) (File, error)
+	// CreateTemp creates a new unique file in dir (pattern as in
+	// os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// OpenAppend opens name for appending, creating it if missing.
+	OpenAppend(name string) (File, error)
+	// ReadFile returns the contents of name.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists dir, sorted by name.
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Stat describes name.
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs the directory itself, making previously renamed
+	// or created entries durable.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: plain calls into package os.
+type OS struct{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+// CreateTemp implements FS.
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+// OpenAppend implements FS.
+func (OS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Stat implements FS.
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// SyncDir implements FS by opening the directory and fsyncing the
+// handle, the POSIX idiom that makes a completed rename survive power
+// loss.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

@@ -1,0 +1,165 @@
+package fsx
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSRoundTrip: the production FS writes, syncs, renames and reads
+// back like plain os.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fsys FS = OS{}
+	if err := fsys.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.CreateTemp(dir, "x-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final := filepath.Join(dir, "sub", "final")
+	if err := fsys.Rename(f.Name(), final); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(filepath.Join(dir, "sub")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsys.ReadFile(final)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	ents, err := fsys.ReadDir(filepath.Join(dir, "sub"))
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir: %v, %v", ents, err)
+	}
+	ap, err := fsys.OpenAppend(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap.Write([]byte("+more")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fsys.ReadFile(final)
+	if string(got) != "payload+more" {
+		t.Fatalf("append result %q", got)
+	}
+}
+
+// TestFaultyDeterministic: the same seed over the same operation
+// sequence injects faults at the same points.
+func TestFaultyDeterministic(t *testing.T) {
+	run := func() []bool {
+		fa := NewFaulty(OS{}, FaultPlan{Seed: 42, PWrite: 0.3})
+		f, err := fa.Create(filepath.Join(t.TempDir(), "f"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var outcomes []bool
+		for i := 0; i < 64; i++ {
+			_, err := f.Write([]byte("x"))
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequences diverge at op %d", i)
+		}
+	}
+	var failed int
+	for _, ok := range a {
+		if !ok {
+			failed++
+		}
+	}
+	if failed == 0 || failed == len(a) {
+		t.Fatalf("p=0.3 plan failed %d/%d writes — injection not exercising both paths", failed, len(a))
+	}
+}
+
+// TestFaultyShortWrite: an injected write failure with ShortWrites
+// leaves a strict prefix on disk.
+func TestFaultyShortWrite(t *testing.T) {
+	fa := NewFaulty(OS{}, FaultPlan{Seed: 1, PWrite: 1, ShortWrites: true})
+	path := filepath.Join(t.TempDir(), "torn")
+	f, err := fa.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write delivered %d bytes, want 5", n)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "01234" {
+		t.Fatalf("on-disk prefix %q, %v", got, err)
+	}
+}
+
+// TestFaultyCrashAt: from the crash point on, every operation —
+// including reads — fails with ErrCrashed, and the flag is sticky.
+func TestFaultyCrashAt(t *testing.T) {
+	dir := t.TempDir()
+	fa := NewFaulty(OS{}, FaultPlan{Seed: 7, CrashAt: 3})
+	f, err := fa.Create(filepath.Join(dir, "f")) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("a")); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("b")); !errors.Is(err, ErrCrashed) { // op 3: crash
+		t.Fatalf("want ErrCrashed at op 3, got %v", err)
+	}
+	if !fa.Crashed() {
+		t.Fatal("Crashed() false after crash point")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Sync: %v", err)
+	}
+	if _, err := fa.ReadFile(filepath.Join(dir, "f")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash ReadFile: %v", err)
+	}
+	if err := fa.Rename("a", "b"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Rename: %v", err)
+	}
+	// The bytes written before the crash survived.
+	got, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil || string(got) != "a" {
+		t.Fatalf("pre-crash bytes %q, %v", got, err)
+	}
+}
+
+// TestFaultyOpsCounter: Ops counts mutating operations only, the
+// domain a crash-at-every-op sweep iterates over.
+func TestFaultyOpsCounter(t *testing.T) {
+	dir := t.TempDir()
+	fa := NewFaulty(OS{}, FaultPlan{Seed: 1})
+	f, _ := fa.Create(filepath.Join(dir, "f")) // 1
+	f.Write([]byte("x"))                       // 2
+	f.Sync()                                   // 3
+	f.Close()                                  // Close is not counted
+	fa.ReadFile(filepath.Join(dir, "f"))       // reads are not counted
+	fa.SyncDir(dir)                            // 4
+	if got := fa.Ops(); got != 4 {
+		t.Fatalf("Ops() = %d, want 4", got)
+	}
+}

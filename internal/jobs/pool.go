@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"starperf/internal/cfgerr"
+	"starperf/internal/journal"
 	"starperf/internal/obs"
 )
 
@@ -55,6 +56,13 @@ type PoolConfig struct {
 	// meant to outlive the registry belong in the content-addressed
 	// cache, which is keyed by the same id.
 	RetainDone int
+	// Journal, when set, makes the pool crash-safe: every lifecycle
+	// transition (accepted, started, done, failed) is appended to the
+	// durable WAL before or as it happens, and Recover re-enqueues
+	// what a crash interrupted. Append failures degrade durability,
+	// not service — the journal counts them (AppendErrors) and the
+	// pool keeps running.
+	Journal *journal.Journal
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -115,12 +123,29 @@ func NewPool(cfg PoolConfig) *Pool {
 	return p
 }
 
+// Meta is the journalable identity of a submission: the operation
+// name and the canonical request body, enough for a restart to
+// rebuild the job from its accepted record. A zero Meta journals a
+// bare accepted record that Recover will skip.
+type Meta struct {
+	Kind string
+	Req  []byte
+}
+
 // Submit enqueues fn under the given id and returns its Job. If a job
 // with the same id is already queued or running, that job is returned
 // instead of enqueuing a duplicate (singleflight); resubmitting a
 // finished id starts a fresh computation. A full queue returns
 // *QueueFullError; a shut-down pool returns ErrPoolClosed.
 func (p *Pool) Submit(id string, fn Func) (*Job, error) {
+	return p.SubmitMeta(id, Meta{}, fn)
+}
+
+// SubmitMeta is Submit carrying the journalable request identity.
+// When the pool has a journal, the accepted record — kind and request
+// body included — is fsynced before the job is enqueued, so a crash
+// at any later point can replay it.
+func (p *Pool) SubmitMeta(id string, meta Meta, fn Func) (*Job, error) {
 	if id == "" {
 		return nil, cfgerr.New("jobs: empty job id")
 	}
@@ -140,6 +165,14 @@ func (p *Pool) Submit(id string, fn Func) (*Job, error) {
 		p.rejected++
 		return nil, &QueueFullError{Depth: p.cfg.QueueDepth}
 	}
+	if p.cfg.Journal != nil {
+		// Write-ahead: accepted must be durable before the job can
+		// start (the worker can only receive it after the channel send
+		// below). Append failures are counted by the journal itself.
+		_ = p.cfg.Journal.Append(journal.Record{
+			Type: journal.TypeAccepted, ID: id, Kind: meta.Kind, Req: meta.Req,
+		})
+	}
 	j := &Job{id: id, fn: fn, status: StatusQueued, done: make(chan struct{})}
 	p.inflight[id] = j
 	p.jobs[id] = j
@@ -153,7 +186,13 @@ func (p *Pool) Submit(id string, fn Func) (*Job, error) {
 // entry point. The ctx bounds only this caller's wait; the job itself
 // runs to completion (or its own timeout) regardless.
 func (p *Pool) Do(ctx context.Context, id string, fn Func) (any, error) {
-	j, err := p.Submit(id, fn)
+	return p.DoMeta(ctx, id, Meta{}, fn)
+}
+
+// DoMeta is Do carrying the journalable request identity, so even
+// synchronous work replays after a crash.
+func (p *Pool) DoMeta(ctx context.Context, id string, meta Meta, fn Func) (any, error) {
+	j, err := p.SubmitMeta(id, meta, fn)
 	if err != nil {
 		return nil, err
 	}
@@ -222,6 +261,9 @@ func (p *Pool) worker() {
 		p.running++
 		p.mu.Unlock()
 		j.setRunning()
+		if p.cfg.Journal != nil {
+			_ = p.cfg.Journal.Append(journal.Record{Type: journal.TypeStarted, ID: j.id})
+		}
 		result, err := p.runOne(j)
 		p.finish(j, result, err)
 	}
@@ -288,6 +330,72 @@ func (p *Pool) finish(j *Job, result any, err error) {
 			delete(p.jobs, old.id)
 		}
 	}
+	if p.cfg.Journal != nil {
+		rec := journal.Record{Type: journal.TypeDone, ID: j.id}
+		if err != nil {
+			rec.Type, rec.Err = journal.TypeFailed, err.Error()
+		}
+		// Journaled under p.mu, like every lifecycle append: the
+		// journal's record order then matches the pool's transition
+		// order exactly, so a resubmission of this id (possible the
+		// moment the inflight entry above is gone) cannot journal its
+		// fresh accepted record before this terminal one — and it is
+		// journaled before waiters wake, so once a caller has seen the
+		// outcome no restart will re-run the job.
+		_ = p.cfg.Journal.Append(rec)
+	}
 	p.mu.Unlock()
 	j.complete(result, err)
+}
+
+// RecoverFunc rebuilds one journaled job for Recover. It returns the
+// function to run, ok=false when the job no longer needs running
+// (e.g. its result is already in the content-addressed cache), or an
+// error when the record cannot be resurrected (unknown kind, payload
+// that no longer parses).
+type RecoverFunc func(id, kind string, req []byte) (fn Func, ok bool, err error)
+
+// Recovery summarises one Recover pass.
+type Recovery struct {
+	// Requeued jobs were re-enqueued and will run again; Skipped ones
+	// were already satisfied (journaled done); Failed ones could not
+	// be rebuilt (journaled failed, so they stop replaying).
+	Requeued, Skipped, Failed int
+}
+
+// Recover replays the journal's incomplete records through resolve,
+// re-enqueueing every job a crash interrupted. Job ids are content
+// hashes, so a replayed job recomputes into the same cache entry a
+// finished first run would have produced — replay is idempotent.
+// Call it once, after NewPool and before serving traffic.
+func (p *Pool) Recover(entries []journal.Record, resolve RecoverFunc) Recovery {
+	var rec Recovery
+	for _, e := range entries {
+		fn, ok, err := resolve(e.ID, e.Kind, e.Req)
+		switch {
+		case err != nil:
+			// Journal the failure so the record stops replaying on
+			// every future boot.
+			if p.cfg.Journal != nil {
+				_ = p.cfg.Journal.Append(journal.Record{
+					Type: journal.TypeFailed, ID: e.ID,
+					Err: "recovery: " + err.Error(),
+				})
+			}
+			rec.Failed++
+		case !ok:
+			// Already satisfied; close the journal's books on it.
+			if p.cfg.Journal != nil {
+				_ = p.cfg.Journal.Append(journal.Record{Type: journal.TypeDone, ID: e.ID})
+			}
+			rec.Skipped++
+		default:
+			if _, err := p.SubmitMeta(e.ID, Meta{Kind: e.Kind, Req: e.Req}, fn); err != nil {
+				rec.Failed++
+				continue
+			}
+			rec.Requeued++
+		}
+	}
+	return rec
 }

@@ -1,0 +1,514 @@
+// Package journal is the durable write-ahead log of job lifecycle
+// records behind the serving layer: every job a jobs.Pool accepts is
+// journaled (accepted → started → done | failed), each record is
+// checksummed and fsynced before the append returns, and on startup
+// the log is replayed so that jobs a crash interrupted can be
+// re-enqueued instead of silently lost. Job ids are content hashes
+// (internal/jobs.Hash), so replaying an already-completed job is
+// idempotent by construction: it recomputes into the same cache entry.
+//
+// Format. A journal is a directory of segment files
+// ("wal-<seq>.log"), each a sequence of newline-delimited records:
+// an 8-hex-digit CRC-32C of the JSON payload, a space, and the
+// payload. A record that fails its checksum — a torn tail from a
+// mid-append crash, or a flipped bit — is counted and skipped, never
+// replayed; everything before and after it still recovers. Open
+// always starts a fresh segment, so a torn tail is never appended to.
+//
+// Rotation and compaction. When the live segment exceeds
+// SegmentBytes the journal rotates to a new one and compacts: records
+// of jobs that already reached done/failed are dropped, the still
+// incomplete ones are rewritten into the fresh segment, and the old
+// segments are removed. The journal's steady-state size is therefore
+// proportional to the in-flight job count, not the job history.
+//
+// Durability is exactly as strong as the filesystem honours fsync —
+// the chaos suite drives the package over internal/fsx fault plans
+// (short writes, EIO, sync failures, crash-at-every-op) to pin what
+// survives. An append whose write or fsync fails is counted
+// (AppendErrors) and reported to the caller; the serving layer treats
+// that as degraded durability, not a reason to stop serving.
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"starperf/internal/cfgerr"
+	"starperf/internal/fsx"
+	"starperf/internal/obs"
+)
+
+// crcTable is the CRC-32C (Castagnoli) table every record checksum
+// uses.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Type is the lifecycle stage a Record marks.
+type Type string
+
+// The journaled lifecycle. Accepted carries the request payload so a
+// replay can rebuild the job; the others only reference its id.
+const (
+	TypeAccepted Type = "accepted"
+	TypeStarted  Type = "started"
+	TypeDone     Type = "done"
+	TypeFailed   Type = "failed"
+)
+
+// Record is one journal entry.
+type Record struct {
+	// Seq is the journal-assigned sequence number (Append overwrites
+	// whatever the caller set).
+	Seq uint64 `json:"seq"`
+	// Type is the lifecycle stage.
+	Type Type `json:"type"`
+	// ID is the job's content-hash id.
+	ID string `json:"id"`
+	// Kind and Req are the operation name and canonical request body
+	// an accepted record carries so replay can reconstruct the job.
+	Kind string          `json:"kind,omitempty"`
+	Req  json.RawMessage `json:"req,omitempty"`
+	// Err is the failure message of a failed record.
+	Err string `json:"err,omitempty"`
+}
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("journal: closed")
+
+// Options configures a Journal. Dir is required.
+type Options struct {
+	// Dir is the journal directory, created if missing.
+	Dir string
+	// FS is the filesystem seam (default fsx.OS{}; chaos tests inject
+	// fsx.Faulty).
+	FS fsx.FS
+	// SegmentBytes is the rotation threshold (default 1 MiB).
+	SegmentBytes int64
+	// NoSync skips the per-append fsync. Only benchmarks and tests
+	// that measure the sync cost itself should set it: an unsynced
+	// journal is a journal only until the power goes out.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = fsx.OS{}
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	return o
+}
+
+// Recovery summarises what Open replayed.
+type Recovery struct {
+	// Records is how many valid records were read back, Segments how
+	// many segment files held them, CorruptSkipped how many lines
+	// failed their checksum and were dropped.
+	Records        int
+	Segments       int
+	CorruptSkipped int
+	// Incomplete holds the latest accepted record of every job that
+	// never reached done/failed, in sequence order — the jobs a
+	// restart must re-enqueue.
+	Incomplete []Record
+}
+
+// Journal is an append-only, checksummed, rotating WAL. Safe for
+// concurrent use.
+type Journal struct {
+	opts Options
+
+	mu       sync.Mutex
+	file     fsx.File
+	fileName string
+	size     int64
+	segments []string // on-disk segment paths, oldest first (includes current)
+	segIndex uint64   // index of the newest segment
+	seq      uint64
+	pending  map[string]Record // accepted-but-not-terminal, by id
+	torn     bool              // last write may have left a partial line
+	closed   bool
+
+	appends      uint64
+	appendErrors uint64
+	syncs        uint64
+	rotations    uint64
+	compactions  uint64
+	replayed     int
+	corrupt      int
+}
+
+// Open replays the journal in opts.Dir (creating it if missing),
+// reports what it found, and readies a fresh segment for appends.
+func Open(opts Options) (*Journal, *Recovery, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, nil, cfgerr.New("journal: Dir is required")
+	}
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: creating %s: %w", opts.Dir, err)
+	}
+	j := &Journal{opts: opts, pending: make(map[string]Record)}
+	rec, err := j.replay()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := j.openSegment(); err != nil {
+		return nil, nil, fmt.Errorf("journal: opening segment: %w", err)
+	}
+	return j, rec, nil
+}
+
+// segmentName renders the path of segment i.
+func (j *Journal) segmentName(i uint64) string {
+	return filepath.Join(j.opts.Dir, fmt.Sprintf("wal-%016x.log", i))
+}
+
+// parseSegment extracts the index from a segment file name.
+func parseSegment(name string) (uint64, bool) {
+	if !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	base, ok := strings.CutPrefix(strings.TrimSuffix(name, ".log"), "wal-")
+	if !ok || len(base) != 16 {
+		return 0, false
+	}
+	i, err := strconv.ParseUint(base, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return i, true
+}
+
+// replay reads every existing segment in order, rebuilding the
+// pending map and the sequence counter.
+func (j *Journal) replay() (*Recovery, error) {
+	entries, err := j.opts.FS.ReadDir(j.opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: reading %s: %w", j.opts.Dir, err)
+	}
+	var indices []uint64
+	for _, e := range entries {
+		if i, ok := parseSegment(e.Name()); ok {
+			indices = append(indices, i)
+		}
+	}
+	sort.Slice(indices, func(a, b int) bool { return indices[a] < indices[b] })
+	rec := &Recovery{}
+	for _, i := range indices {
+		path := j.segmentName(i)
+		j.segments = append(j.segments, path)
+		if i > j.segIndex {
+			j.segIndex = i
+		}
+		data, err := j.opts.FS.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("journal: reading %s: %w", path, err)
+		}
+		rec.Segments++
+		j.replaySegment(data, rec)
+	}
+	j.replayed = rec.Records
+	j.corrupt = rec.CorruptSkipped
+	rec.Incomplete = j.pendingLocked()
+	return rec, nil
+}
+
+// replaySegment applies one segment's records to the pending state.
+func (j *Journal) replaySegment(data []byte, rec *Recovery) {
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		r, ok := decodeRecord(line)
+		if !ok {
+			rec.CorruptSkipped++
+			continue
+		}
+		rec.Records++
+		if r.Seq > j.seq {
+			j.seq = r.Seq
+		}
+		j.applyLocked(r)
+	}
+}
+
+// applyLocked folds one record into the pending map.
+func (j *Journal) applyLocked(r Record) {
+	switch r.Type {
+	case TypeAccepted:
+		j.pending[r.ID] = r
+	case TypeStarted:
+		// started refines accepted; the accepted record (with its
+		// request payload) stays the replayable one.
+	case TypeDone, TypeFailed:
+		delete(j.pending, r.ID)
+	}
+}
+
+// pendingLocked snapshots the incomplete records in sequence order.
+func (j *Journal) pendingLocked() []Record {
+	out := make([]Record, 0, len(j.pending))
+	for _, r := range j.pending {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// encodeRecord renders one record line: CRC-32C of the JSON payload,
+// a space, the payload, a newline.
+func encodeRecord(r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encoding record: %w", err)
+	}
+	sum := crc32.Checksum(payload, crcTable)
+	line := make([]byte, 0, len(payload)+10)
+	line = append(line, fmt.Sprintf("%08x ", sum)...)
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decodeRecord parses and verifies one line.
+func decodeRecord(line string) (Record, bool) {
+	var r Record
+	if len(line) < 10 || line[8] != ' ' {
+		return r, false
+	}
+	sum, err := strconv.ParseUint(line[:8], 16, 32)
+	if err != nil {
+		return r, false
+	}
+	payload := []byte(line[9:])
+	if crc32.Checksum(payload, crcTable) != uint32(sum) {
+		return r, false
+	}
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return r, false
+	}
+	return r, true
+}
+
+// openSegment starts the next segment and makes its directory entry
+// durable.
+func (j *Journal) openSegment() error {
+	j.segIndex++
+	name := j.segmentName(j.segIndex)
+	f, err := j.opts.FS.OpenAppend(name)
+	if err != nil {
+		return err
+	}
+	j.file = f
+	j.fileName = name
+	j.size = 0
+	j.torn = false
+	j.segments = append(j.segments, name)
+	if !j.opts.NoSync {
+		if err := j.opts.FS.SyncDir(j.opts.Dir); err != nil {
+			return err
+		}
+		j.syncs++
+	}
+	return nil
+}
+
+// Append journals one record, assigning its sequence number and —
+// unless NoSync — fsyncing before returning. The in-memory lifecycle
+// state advances even when the disk write fails, so compaction and
+// Stats stay truthful about the pool; the error (and the AppendErrors
+// counter) tells the caller durability is degraded.
+func (j *Journal) Append(r Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	j.seq++
+	r.Seq = j.seq
+	j.applyLocked(r)
+	line, err := encodeRecord(r)
+	if err != nil {
+		j.appendErrors++
+		return err
+	}
+	if err := j.writeLocked(line); err != nil {
+		j.appendErrors++
+		return err
+	}
+	j.appends++
+	if j.size >= j.opts.SegmentBytes {
+		// Rotation and compaction are best-effort: a failure leaves
+		// the current segment growing, not the journal broken.
+		_ = j.rotateLocked()
+	}
+	return nil
+}
+
+// writeLocked appends one encoded line to the live segment and syncs.
+// A failed write may have torn a partial line into the segment; the
+// next write starts with a newline guard so the torn bytes stay an
+// isolated (checksum-rejected) line instead of merging with — and
+// destroying — the next acknowledged record.
+func (j *Journal) writeLocked(line []byte) error {
+	if j.torn {
+		n, err := j.file.Write([]byte("\n"))
+		j.size += int64(n)
+		if err != nil {
+			return err
+		}
+		j.torn = false
+	}
+	n, err := j.file.Write(line)
+	j.size += int64(n)
+	if err != nil {
+		j.torn = true
+		return err
+	}
+	if !j.opts.NoSync {
+		if err := j.file.Sync(); err != nil {
+			return err
+		}
+		j.syncs++
+	}
+	return nil
+}
+
+// rotateLocked closes the live segment, opens the next one and
+// compacts the history into it.
+func (j *Journal) rotateLocked() error {
+	if err := j.file.Close(); err != nil {
+		return err
+	}
+	if err := j.openSegment(); err != nil {
+		return err
+	}
+	j.rotations++
+	return j.compactLocked()
+}
+
+// Compact rewrites the journal down to its incomplete jobs: their
+// accepted records are re-appended to the live segment and every
+// older segment is removed. Completed history is dropped — the cache
+// holds those results; the journal only owes the jobs a crash would
+// lose.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if err := j.file.Close(); err != nil {
+		return err
+	}
+	if err := j.openSegment(); err != nil {
+		return err
+	}
+	return j.compactLocked()
+}
+
+// compactLocked rewrites pending records into the (fresh) live
+// segment and removes all older segments.
+func (j *Journal) compactLocked() error {
+	for _, r := range j.pendingLocked() {
+		j.seq++
+		r.Seq = j.seq
+		r.Type = TypeAccepted
+		line, err := encodeRecord(r)
+		if err != nil {
+			return err
+		}
+		if err := j.writeLocked(line); err != nil {
+			return err
+		}
+		j.appends++
+	}
+	// Remove old segments strictly oldest-first and STOP at the first
+	// failure, so the surviving set is always a suffix of the log. A
+	// suffix can never resurrect a completed job: a job's terminal
+	// record has a higher sequence number than its accepted record,
+	// so it lives in the same or a later segment — if the accepted
+	// record survives, so does the terminal one. (Arbitrary-subset
+	// removal broke exactly that; the chaos storm caught it.)
+	var failed error
+	keep := j.segments[:0]
+	for _, path := range j.segments {
+		if path == j.fileName || failed != nil {
+			keep = append(keep, path)
+			continue
+		}
+		if err := j.opts.FS.Remove(path); err != nil {
+			// Keep it and retry at the next compaction; replay
+			// tolerates stale segments.
+			keep = append(keep, path)
+			failed = err
+		}
+	}
+	j.segments = keep
+	if !j.opts.NoSync {
+		if err := j.opts.FS.SyncDir(j.opts.Dir); err != nil && failed == nil {
+			failed = err
+		} else if err == nil {
+			j.syncs++
+		}
+	}
+	j.compactions++
+	return failed
+}
+
+// Pending returns how many jobs are accepted or started but not yet
+// terminal.
+func (j *Journal) Pending() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.pending)
+}
+
+// Stats snapshots the journal counters.
+func (j *Journal) Stats() obs.JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return obs.JournalStats{
+		Appends:        j.appends,
+		AppendErrors:   j.appendErrors,
+		Syncs:          j.syncs,
+		Rotations:      j.rotations,
+		Compactions:    j.compactions,
+		Segments:       len(j.segments),
+		Pending:        len(j.pending),
+		Replayed:       j.replayed,
+		CorruptSkipped: j.corrupt,
+	}
+}
+
+// Close syncs and closes the live segment. Appends after Close fail
+// with ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var syncErr error
+	if !j.opts.NoSync {
+		syncErr = j.file.Sync()
+		if syncErr == nil {
+			j.syncs++
+		}
+	}
+	closeErr := j.file.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

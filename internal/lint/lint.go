@@ -190,19 +190,26 @@ func DefaultRules() []Rule {
 		"starperf/internal/jobs",
 		"starperf/internal/cache",
 		"starperf/internal/server",
+		"starperf/internal/journal",
+		"starperf/internal/fsx",
+		"starperf/client",
 	)
 	numerical := inPackages(
 		"starperf/internal/model",
 		"starperf/internal/queueing",
 	)
 	deterministic := func(p string) bool {
-		// The serving layer is the one internal package allowed the
-		// wall clock: request latency histograms measure real time by
-		// definition. The engine it schedules (jobs, cache,
-		// experiments, desim) stays clock-free.
+		// The serving layer, the journal and the public client are the
+		// internal-facing packages allowed the wall clock: request
+		// latency histograms measure real time by definition, the
+		// journal stamps fsync timing, and the client seeds retry
+		// jitter. The engine they schedule (jobs, cache, experiments,
+		// desim) stays clock-free; the chaos seam (fsx) draws only
+		// from explicitly seeded fault plans.
 		return strings.HasPrefix(p, "starperf/internal/") &&
 			p != "starperf/internal/lint" &&
-			p != "starperf/internal/server"
+			p != "starperf/internal/server" &&
+			p != "starperf/internal/journal"
 	}
 	documented := inPackages(
 		"starperf/internal/model",

@@ -167,13 +167,19 @@ func TestDefaultRulesScopes(t *testing.T) {
 		{"maporder", "starperf/internal/jobs", true},
 		{"maporder", "starperf/internal/cache", true},
 		{"maporder", "starperf/internal/server", true},
+		{"maporder", "starperf/internal/journal", true},
+		{"maporder", "starperf/internal/fsx", true},
+		{"maporder", "starperf/client", true},
 		{"maporder", "starperf/internal/model", false},
 		{"floateq", "starperf/internal/model", true},
 		{"floateq", "starperf/internal/desim", false},
 		{"seedrand", "starperf/internal/traffic", true},
 		{"seedrand", "starperf/internal/jobs", true},
 		{"seedrand", "starperf/internal/cache", true},
+		{"seedrand", "starperf/internal/fsx", true},
 		{"seedrand", "starperf/internal/server", false},
+		{"seedrand", "starperf/internal/journal", false},
+		{"seedrand", "starperf/client", false},
 		{"seedrand", "starperf/internal/lint", false},
 		{"seedrand", "starperf/cmd/starsim", false},
 		{"apierr", "starperf/examples/quickstart", true},

@@ -47,6 +47,9 @@ type CacheStats struct {
 	// operations that failed (the cache stays correct, only colder).
 	DiskWrites uint64 `json:"disk_writes"`
 	DiskErrors uint64 `json:"disk_errors"`
+	// Quarantined counts disk entries that failed verification on
+	// read and were moved into corrupt/ instead of being served.
+	Quarantined uint64 `json:"quarantined"`
 }
 
 // Hits is the total over both tiers.
@@ -59,6 +62,58 @@ func (s CacheStats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits()) / float64(total)
+}
+
+// JournalStats is a point-in-time snapshot of a journal.Journal, the
+// durable job WAL added in PR 5.
+type JournalStats struct {
+	// Appends counts records written; AppendErrors appends the
+	// journal could not make durable (the write or its fsync failed —
+	// the serving layer keeps running, but the record may not survive
+	// a crash).
+	Appends      uint64 `json:"appends"`
+	AppendErrors uint64 `json:"append_errors"`
+	// Syncs counts fsyncs issued (file and directory).
+	Syncs uint64 `json:"syncs"`
+	// Rotations and Compactions count segment rollovers and rewrites.
+	Rotations   uint64 `json:"rotations"`
+	Compactions uint64 `json:"compactions"`
+	// Segments is the current on-disk segment count; Pending the jobs
+	// accepted or started but not yet done/failed (what a crash right
+	// now would replay).
+	Segments int `json:"segments"`
+	Pending  int `json:"pending"`
+	// Replayed and CorruptSkipped describe the last recovery: records
+	// read back at Open, and records dropped for failing their
+	// checksum (a torn tail or a flipped bit).
+	Replayed       int `json:"replayed"`
+	CorruptSkipped int `json:"corrupt_skipped"`
+}
+
+// AdmissionStats counts the server's overload refusals.
+type AdmissionStats struct {
+	// Shed counts requests rejected by deadline-aware load shedding
+	// (estimated queue wait exceeded the request's deadline).
+	Shed uint64 `json:"shed"`
+	// BreakerRejected counts requests refused because the route's
+	// circuit breaker was open.
+	BreakerRejected uint64 `json:"breaker_rejected"`
+}
+
+// BreakerStats is a point-in-time snapshot of one route's circuit
+// breaker.
+type BreakerStats struct {
+	Route string `json:"route"`
+	// State is "closed", "open" or "half-open".
+	State string `json:"state"`
+	// Samples and Failures describe the sliding outcome window the
+	// trip decision reads.
+	Samples  int `json:"samples"`
+	Failures int `json:"failures"`
+	// Trips counts closed→open transitions; Rejected requests refused
+	// while open.
+	Trips    uint64 `json:"trips"`
+	Rejected uint64 `json:"rejected"`
 }
 
 // RouteStats summarises one HTTP route's traffic: request count,

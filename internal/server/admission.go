@@ -1,0 +1,81 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Deadline-aware admission control. Accepting a request the server
+// cannot possibly answer in time wastes a worker on a response nobody
+// is still waiting for; shedding it immediately with 429 +
+// Retry-After lets a well-behaved client (the public client package)
+// back off and try when the queue has drained. The estimate is the
+// classic M/M/c-flavoured backlog bound: (queued + running) jobs,
+// each costing the route's observed mean service time, spread over
+// the pool's workers.
+
+// deadlineHeader lets a client state its patience explicitly; a
+// context/transport deadline on the request, when present, wins.
+const deadlineHeader = "X-Starperf-Deadline"
+
+// estWait estimates how long a request admitted now would wait before
+// its job completes. Zero when the route is unobserved (first
+// requests must be admitted — there is nothing to estimate from) or
+// the pool is idle.
+func (s *Server) estWait(route string) time.Duration {
+	mean := s.metrics.meanMicros(route)
+	if mean <= 0 {
+		return 0
+	}
+	st := s.pool.Stats()
+	backlog := st.Queued + st.Running
+	if backlog <= 0 {
+		return 0
+	}
+	us := float64(backlog) * mean / float64(st.Workers)
+	return time.Duration(us * float64(time.Microsecond))
+}
+
+// requestDeadline resolves how long the caller is willing to wait:
+// the request context's deadline, else the X-Starperf-Deadline
+// header, else the configured default.
+func (s *Server) requestDeadline(r *http.Request) time.Duration {
+	if t, ok := r.Context().Deadline(); ok {
+		return time.Until(t)
+	}
+	if h := r.Header.Get(deadlineHeader); h != "" {
+		if d, err := time.ParseDuration(h); err == nil && d > 0 {
+			return d
+		}
+	}
+	return s.defaultDeadline
+}
+
+// setRetryAfter stamps the header every 429/503 carries: the
+// estimated wait rounded up to whole seconds, at least 1.
+func setRetryAfter(w http.ResponseWriter, wait time.Duration) {
+	secs := int64(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// queueWait is the route-agnostic backlog estimate used where no
+// single route applies (queue-full rejections, the concurrency cap):
+// backlog × the mean service time over all routes ÷ workers.
+func (s *Server) queueWait() time.Duration {
+	mean := s.metrics.meanMicrosAll()
+	if mean <= 0 {
+		return 0
+	}
+	st := s.pool.Stats()
+	backlog := st.Queued + st.Running
+	if backlog <= 0 {
+		return 0
+	}
+	us := float64(backlog) * mean / float64(st.Workers)
+	return time.Duration(us * float64(time.Microsecond))
+}

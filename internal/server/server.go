@@ -26,11 +26,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"starperf/internal/cache"
 	"starperf/internal/cfgerr"
 	"starperf/internal/jobs"
+	"starperf/internal/journal"
 	"starperf/internal/obs"
 )
 
@@ -50,6 +52,19 @@ type Config struct {
 	// MaxInFlight caps concurrently served requests; excess requests
 	// are refused with 503 (default 256).
 	MaxInFlight int
+	// Journal, when set, makes the job pool crash-safe: lifecycle
+	// records are fsynced to this WAL and Recover replays what a
+	// crash interrupted. The Server does not own the journal — the
+	// caller opens it (journal.Open) and closes it after Close.
+	Journal *journal.Journal
+	// DefaultDeadline is the patience assumed for requests that carry
+	// neither a context deadline nor an X-Starperf-Deadline header
+	// (default 30s); admission control sheds a request whose
+	// estimated queue wait exceeds its deadline.
+	DefaultDeadline time.Duration
+	// Breaker tunes the per-route circuit breaker guarding the
+	// compute routes.
+	Breaker BreakerConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -65,18 +80,26 @@ func (c Config) withDefaults() Config {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 256
 	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
 	return c
 }
 
 // Server routes the starperfd API. Construct with New, mount
 // Handler, and Close on the way out.
 type Server struct {
-	pool    *jobs.Pool
-	cache   *cache.Cache
-	mux     *http.ServeMux
-	metrics *metrics
-	sem     chan struct{}
-	maxBody int64
+	pool     *jobs.Pool
+	cache    *cache.Cache
+	journal  *journal.Journal
+	mux      *http.ServeMux
+	metrics  *metrics
+	breakers *breakerSet
+	sem      chan struct{}
+	maxBody  int64
+
+	defaultDeadline time.Duration
+	shed            atomic.Uint64
 }
 
 // New builds a Server and starts its job pool.
@@ -91,20 +114,74 @@ func New(cfg Config) (*Server, error) {
 			Workers:    cfg.Workers,
 			QueueDepth: cfg.QueueDepth,
 			JobTimeout: cfg.JobTimeout,
+			Journal:    cfg.Journal,
 		}),
-		cache:   store,
-		mux:     http.NewServeMux(),
-		metrics: newMetrics(),
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		maxBody: cfg.MaxBodyBytes,
+		cache:           store,
+		journal:         cfg.Journal,
+		mux:             http.NewServeMux(),
+		metrics:         newMetrics(),
+		breakers:        newBreakerSet(cfg.Breaker),
+		sem:             make(chan struct{}, cfg.MaxInFlight),
+		maxBody:         cfg.MaxBodyBytes,
+		defaultDeadline: cfg.DefaultDeadline,
 	}
-	s.mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.handlePredict))
-	s.mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
-	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	// The three compute routes run behind the breaker and admission
+	// control; the read-only operational routes never shed — you must
+	// be able to poll a job or read /metricsz on an overloaded server.
+	s.mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.guard("/v1/predict", s.handlePredict)))
+	s.mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.guard("/v1/simulate", s.handleSimulate)))
+	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.guard("/v1/sweep", s.handleSweep)))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJob))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metricsz", s.instrument("/metricsz", s.handleMetricsz))
 	return s, nil
+}
+
+// Recover replays a journal's incomplete records into the pool: each
+// is rebuilt from its journaled kind and canonical request body, or
+// skipped when the cache already holds its result. Call once after
+// New, before serving traffic.
+func (s *Server) Recover(rec *journal.Recovery) jobs.Recovery {
+	if rec == nil {
+		return jobs.Recovery{}
+	}
+	return s.pool.Recover(rec.Incomplete, func(id, kind string, req []byte) (jobs.Func, bool, error) {
+		if s.cache.Contains(id) {
+			return nil, false, nil
+		}
+		run, err := rebuildRun(kind, req)
+		if err != nil {
+			return nil, false, err
+		}
+		return s.runAndStore(id, run), true, nil
+	})
+}
+
+// rebuildRun reconstitutes a journaled request body into its typed
+// runner — the inverse of the meta each handler journals on submit.
+func rebuildRun(kind string, req []byte) (func() (any, error), error) {
+	switch kind {
+	case "predict":
+		var r PredictRequest
+		if err := json.Unmarshal(req, &r); err != nil {
+			return nil, fmt.Errorf("server: journaled predict body: %w", err)
+		}
+		return func() (any, error) { return r.run() }, nil
+	case "simulate":
+		var r SimulateRequest
+		if err := json.Unmarshal(req, &r); err != nil {
+			return nil, fmt.Errorf("server: journaled simulate body: %w", err)
+		}
+		return func() (any, error) { return r.run() }, nil
+	case "sweep":
+		var r SweepRequest
+		if err := json.Unmarshal(req, &r); err != nil {
+			return nil, fmt.Errorf("server: journaled sweep body: %w", err)
+		}
+		return func() (any, error) { return r.run() }, nil
+	default:
+		return nil, fmt.Errorf("server: journaled job of unknown kind %q", kind)
+	}
 }
 
 // Handler returns the routed API.
@@ -138,7 +215,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
-			w.Header().Set("Retry-After", "1")
+			setRetryAfter(w, s.queueWait())
 			s.writeJSON(w, http.StatusServiceUnavailable,
 				errorBody{Error: "server at concurrency cap", Class: "overloaded"})
 			return
@@ -150,6 +227,37 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		start := time.Now()
 		h(sw, r)
 		s.metrics.observe(route, sw.status, time.Since(start))
+	}
+}
+
+// guard stacks the failure-protection layers in front of a compute
+// handler: the circuit breaker first (a tripped route costs nothing
+// to reject), then deadline-aware admission control. Only requests
+// the breaker admitted feed its outcome window — its own rejections
+// and admission sheds would otherwise poison the sample.
+func (s *Server) guard(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ok, wait := s.breakers.allow(route)
+		if !ok {
+			setRetryAfter(w, wait)
+			s.writeJSON(w, http.StatusServiceUnavailable,
+				errorBody{Error: "circuit breaker open for " + route, Class: "breaker_open"})
+			return
+		}
+		if est, deadline := s.estWait(route), s.requestDeadline(r); est > deadline {
+			s.shed.Add(1)
+			setRetryAfter(w, est)
+			s.writeJSON(w, http.StatusTooManyRequests,
+				errorBody{
+					Error: fmt.Sprintf("estimated queue wait %s exceeds request deadline %s",
+						est.Round(time.Millisecond), deadline.Round(time.Millisecond)),
+					Class: "overloaded",
+				})
+			return
+		}
+		gw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(gw, r)
+		s.breakers.observe(route, gw.status >= 500)
 	}
 }
 
@@ -195,9 +303,10 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, cfgerr.ErrInvalid):
 		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Class: "invalid_config"})
 	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w, s.queueWait())
 		s.writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), Class: "queue_full"})
 	case errors.Is(err, jobs.ErrPoolClosed):
+		setRetryAfter(w, 0)
 		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Class: "shutting_down"})
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error(), Class: "timeout"})
@@ -247,12 +356,29 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeResult(w, id, "hit", body)
 		return
 	}
-	v, err := s.pool.Do(r.Context(), id, s.runAndStore(id, func() (any, error) { return req.run() }))
+	meta, err := submitMeta("predict", req)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	v, err := s.pool.DoMeta(r.Context(), id, meta, s.runAndStore(id, func() (any, error) { return req.run() }))
 	if err != nil {
 		s.writeErr(w, err)
 		return
 	}
 	s.writeResult(w, id, "miss", v.([]byte))
+}
+
+// submitMeta packs a request's journalable identity: the kind plus
+// the canonical body a restart will rebuild the job from (the same
+// canonicalisation the content hash uses, so the journal and the
+// cache agree on what the job is).
+func submitMeta(kind string, req any) (jobs.Meta, error) {
+	body, err := jobs.CanonicalJSON(req)
+	if err != nil {
+		return jobs.Meta{}, err
+	}
+	return jobs.Meta{Kind: kind, Req: body}, nil
 }
 
 // runAndStore adapts a request runner into a pool Func that caches
@@ -276,12 +402,12 @@ func (s *Server) runAndStore(id string, run func() (any, error)) jobs.Func {
 // already-cached result answers done immediately; otherwise the job
 // is enqueued (or joined, if an identical one is in flight) and the
 // caller polls GET /v1/jobs/{id}.
-func (s *Server) submitAsync(w http.ResponseWriter, id string, fn jobs.Func) {
+func (s *Server) submitAsync(w http.ResponseWriter, id string, meta jobs.Meta, fn jobs.Func) {
 	if s.cache.Contains(id) {
 		s.writeJSON(w, http.StatusOK, jobBody{ID: id, Status: jobs.StatusDone})
 		return
 	}
-	j, err := s.pool.Submit(id, fn)
+	j, err := s.pool.SubmitMeta(id, meta, fn)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -305,7 +431,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	s.submitAsync(w, id, s.runAndStore(id, func() (any, error) { return req.run() }))
+	meta, err := submitMeta("simulate", req)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.submitAsync(w, id, meta, s.runAndStore(id, func() (any, error) { return req.run() }))
 }
 
 // handleSweep serves POST /v1/sweep.
@@ -324,7 +455,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	s.submitAsync(w, id, s.runAndStore(id, func() (any, error) { return req.run() }))
+	meta, err := submitMeta("sweep", req)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.submitAsync(w, id, meta, s.runAndStore(id, func() (any, error) { return req.run() }))
 }
 
 // handleJob serves GET /v1/jobs/{id}: resolve from the cache first
@@ -362,18 +498,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-// Metricsz is the GET /metricsz response body.
+// Metricsz is the GET /metricsz response body. Journal is null when
+// the server runs without one.
 type Metricsz struct {
-	Pool   obs.PoolStats    `json:"pool"`
-	Cache  obs.CacheStats   `json:"cache"`
-	Routes []obs.RouteStats `json:"routes"`
+	Pool      obs.PoolStats      `json:"pool"`
+	Cache     obs.CacheStats     `json:"cache"`
+	Routes    []obs.RouteStats   `json:"routes"`
+	Journal   *obs.JournalStats  `json:"journal,omitempty"`
+	Admission obs.AdmissionStats `json:"admission"`
+	Breakers  []obs.BreakerStats `json:"breakers"`
 }
 
 // handleMetricsz serves GET /metricsz.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, Metricsz{
-		Pool:   s.pool.Stats(),
-		Cache:  s.cache.Stats(),
-		Routes: s.metrics.report(),
-	})
+	body := Metricsz{
+		Pool:     s.pool.Stats(),
+		Cache:    s.cache.Stats(),
+		Routes:   s.metrics.report(),
+		Breakers: s.breakers.report(),
+	}
+	if s.journal != nil {
+		st := s.journal.Stats()
+		body.Journal = &st
+	}
+	body.Admission.Shed = s.shed.Load()
+	for _, b := range body.Breakers {
+		body.Admission.BreakerRejected += b.Rejected
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }

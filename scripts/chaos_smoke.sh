@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Process-level crash-recovery smoke for starperfd -journal.
+#
+# An uninterrupted control server computes a simulate job to
+# completion. A second server with its own journal and cache accepts
+# the same job and is killed with SIGKILL mid-computation — no drain,
+# no deferred cleanup, exactly the crash the journal exists for. On
+# restart over the same directories the daemon must replay the
+# journal, re-enqueue the interrupted job, and finish it with a poll
+# body byte-identical to the control run's (job ids are content
+# hashes, so both runs name the same job).
+#
+# CI runs this from the chaos-smoke job; locally:
+#
+#   go build -o /tmp/starperfd ./cmd/starperfd && scripts/chaos_smoke.sh
+set -euo pipefail
+
+BIN=${BIN:-/tmp/starperfd}
+CONTROL_PORT=${CONTROL_PORT:-18091}
+CRASH_PORT=${CRASH_PORT:-18092}
+
+WORK=$(mktemp -d)
+SRV=""
+cleanup() {
+  [ -n "$SRV" ] && kill "$SRV" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# A simulate workload heavy enough (~seconds) that SIGKILL lands while
+# the job is still running, so the restart genuinely has to requeue it.
+REQ='{"topo":{"kind":"star","n":4},"v":4,"msg_len":16,"rate":0.004,"seed":11,"warmup":5000,"measure":2000000}'
+
+wait_healthy() {
+  local port=$1
+  for _ in $(seq 1 100); do
+    curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "chaos_smoke: server on :$port never became healthy" >&2
+  return 1
+}
+
+poll_done() { # poll_done PORT ID OUTFILE
+  local port=$1 id=$2 out=$3
+  for _ in $(seq 1 600); do
+    if curl -fsS "http://127.0.0.1:$port/v1/jobs/$id" -o "$out" 2>/dev/null; then
+      if grep -q '"status":"done"' "$out"; then return 0; fi
+      if grep -q '"status":"failed"' "$out"; then
+        echo "chaos_smoke: job failed: $(cat "$out")" >&2
+        return 1
+      fi
+    fi
+    sleep 0.2
+  done
+  echo "chaos_smoke: job $id never completed on :$port" >&2
+  return 1
+}
+
+echo "chaos_smoke: control run (uninterrupted)"
+"$BIN" -addr "127.0.0.1:$CONTROL_PORT" -workers 1 \
+  -journal "$WORK/control-journal" -cachedir "$WORK/control-cache" &
+SRV=$!
+wait_healthy "$CONTROL_PORT"
+ACCEPT=$(curl -fsS -X POST "http://127.0.0.1:$CONTROL_PORT/v1/simulate" -d "$REQ")
+ID=$(echo "$ACCEPT" | grep -o 'sha256:[0-9a-f]*')
+[ -n "$ID" ] || { echo "chaos_smoke: no job id in $ACCEPT" >&2; exit 1; }
+poll_done "$CONTROL_PORT" "$ID" "$WORK/control.json"
+kill -TERM $SRV && wait $SRV
+SRV=""
+
+echo "chaos_smoke: crash run (SIGKILL mid-job)"
+"$BIN" -addr "127.0.0.1:$CRASH_PORT" -workers 1 \
+  -journal "$WORK/crash-journal" -cachedir "$WORK/crash-cache" &
+SRV=$!
+wait_healthy "$CRASH_PORT"
+ACCEPT=$(curl -fsS -X POST "http://127.0.0.1:$CRASH_PORT/v1/simulate" -d "$REQ")
+CRASH_ID=$(echo "$ACCEPT" | grep -o 'sha256:[0-9a-f]*')
+[ "$CRASH_ID" = "$ID" ] || {
+  echo "chaos_smoke: content-hash ids diverged: $CRASH_ID vs $ID" >&2
+  exit 1
+}
+kill -9 $SRV
+wait $SRV 2>/dev/null || true
+SRV=""
+
+echo "chaos_smoke: restart over the crashed journal"
+"$BIN" -addr "127.0.0.1:$CRASH_PORT" -workers 1 \
+  -journal "$WORK/crash-journal" -cachedir "$WORK/crash-cache" \
+  >"$WORK/restart.log" 2>&1 &
+SRV=$!
+wait_healthy "$CRASH_PORT"
+grep -q 'recovery: 1 requeued' "$WORK/restart.log" || {
+  echo "chaos_smoke: restart did not requeue the interrupted job:" >&2
+  cat "$WORK/restart.log" >&2
+  exit 1
+}
+poll_done "$CRASH_PORT" "$ID" "$WORK/recovered.json"
+cmp "$WORK/control.json" "$WORK/recovered.json" || {
+  echo "chaos_smoke: recovered result differs from uninterrupted run" >&2
+  echo "control:   $(cat "$WORK/control.json")" >&2
+  echo "recovered: $(cat "$WORK/recovered.json")" >&2
+  exit 1
+}
+curl -fsS "http://127.0.0.1:$CRASH_PORT/metricsz" | grep -q '"journal"' || {
+  echo "chaos_smoke: /metricsz lost its journal section" >&2
+  exit 1
+}
+kill -TERM $SRV && wait $SRV
+SRV=""
+
+echo "chaos_smoke: OK — crash-interrupted job recovered byte-identically"
