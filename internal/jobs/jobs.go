@@ -52,8 +52,9 @@ type Func func(ctx context.Context) (any, error)
 // Job is one submitted computation, shared by every caller that
 // submitted the same id while it was in flight.
 type Job struct {
-	id string
-	fn Func
+	id   string
+	kind string // Meta.Kind, for per-kind execution accounting
+	fn   Func
 
 	mu     sync.Mutex
 	status Status

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -63,6 +64,12 @@ type PoolConfig struct {
 	// not service — the journal counts them (AppendErrors) and the
 	// pool keeps running.
 	Journal *journal.Journal
+	// Now is the clock behind per-kind execution-time accounting
+	// (default time.Now). It exists as a seam: the job engine itself
+	// never branches on it — results stay pure functions of their
+	// requests — and tests inject a fake clock so timing assertions
+	// are deterministic.
+	Now func() time.Time
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -75,7 +82,22 @@ func (c PoolConfig) withDefaults() PoolConfig {
 	if c.RetainDone <= 0 {
 		c.RetainDone = 1024
 	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	return c
+}
+
+// kindAgg accumulates one job kind's execution statistics: how many
+// of its jobs are in the pool right now and how long finished ones
+// actually took to run. Admission control prices the backlog from
+// these — the HTTP handler latency of an async submit (microseconds
+// to return 202) says nothing about how long the job it enqueued
+// will occupy a worker.
+type kindAgg struct {
+	inflight  int     // queued or running jobs of this kind
+	finished  uint64  // jobs of this kind that have completed (either outcome)
+	sumMicros float64 // total execution time of those finished jobs
 }
 
 // Pool is a bounded worker pool with singleflight deduplication: jobs
@@ -90,6 +112,7 @@ type Pool struct {
 	inflight  map[string]*Job // queued or running, by id
 	jobs      map[string]*Job // pollable registry, by id
 	doneOrder []*Job          // finished jobs, oldest first, for retention
+	kinds     map[string]*kindAgg
 	queued    int
 	running   int
 	submitted uint64
@@ -113,6 +136,7 @@ func NewPool(cfg PoolConfig) *Pool {
 		queue:    make(chan *Job, cfg.QueueDepth),
 		inflight: make(map[string]*Job),
 		jobs:     make(map[string]*Job),
+		kinds:    make(map[string]*kindAgg),
 		baseCtx:  ctx,
 		cancel:   cancel,
 	}
@@ -145,6 +169,14 @@ func (p *Pool) Submit(id string, fn Func) (*Job, error) {
 // When the pool has a journal, the accepted record — kind and request
 // body included — is fsynced before the job is enqueued, so a crash
 // at any later point can replay it.
+//
+// The append itself happens outside p.mu: an fsync is milliseconds,
+// and holding the pool lock across it would serialise every
+// submission, completion, Get and Stats behind disk-sync latency.
+// Write-ahead ordering survives the split because the slot is
+// reserved (singleflight entry, queue count) before the append and
+// the channel send happens after it — the worker cannot see the job
+// until its accepted record is durable.
 func (p *Pool) SubmitMeta(id string, meta Meta, fn Func) (*Job, error) {
 	if id == "" {
 		return nil, cfgerr.New("jobs: empty job id")
@@ -153,18 +185,28 @@ func (p *Pool) SubmitMeta(id string, meta Meta, fn Func) (*Job, error) {
 		return nil, cfgerr.New("jobs: nil job func")
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return nil, ErrPoolClosed
 	}
 	if j, ok := p.inflight[id]; ok {
 		p.deduped++
+		p.mu.Unlock()
 		return j, nil
 	}
 	if p.queued >= p.cfg.QueueDepth {
 		p.rejected++
+		p.mu.Unlock()
 		return nil, &QueueFullError{Depth: p.cfg.QueueDepth}
 	}
+	j := &Job{id: id, kind: meta.Kind, fn: fn, status: StatusQueued, done: make(chan struct{})}
+	p.inflight[id] = j
+	p.jobs[id] = j
+	p.kind(meta.Kind).inflight++
+	p.queued++
+	p.submitted++
+	p.mu.Unlock()
+
 	if p.cfg.Journal != nil {
 		// Write-ahead: accepted must be durable before the job can
 		// start (the worker can only receive it after the channel send
@@ -173,13 +215,44 @@ func (p *Pool) SubmitMeta(id string, meta Meta, fn Func) (*Job, error) {
 			Type: journal.TypeAccepted, ID: id, Kind: meta.Kind, Req: meta.Req,
 		})
 	}
-	j := &Job{id: id, fn: fn, status: StatusQueued, done: make(chan struct{})}
-	p.inflight[id] = j
-	p.jobs[id] = j
-	p.queued++
-	p.submitted++
-	p.queue <- j // buffered to QueueDepth; the counter guard above keeps this non-blocking
+
+	p.mu.Lock()
+	if p.closed {
+		// Shutdown began while the accepted record was being synced:
+		// the queue channel is closed, so the job can never run. Undo
+		// the reservation and close the journal's books on the id —
+		// the caller is told ErrPoolClosed, so a later boot must not
+		// resurrect work nobody was promised.
+		delete(p.inflight, id)
+		delete(p.jobs, id)
+		p.kind(meta.Kind).inflight--
+		p.queued--
+		p.submitted--
+		p.mu.Unlock()
+		if p.cfg.Journal != nil {
+			_ = p.cfg.Journal.Append(journal.Record{
+				Type: journal.TypeFailed, ID: id, Err: ErrPoolClosed.Error(),
+			})
+		}
+		// A duplicate submit may have deduped onto j during the append
+		// window; fail the job so those callers' Waits return too.
+		j.complete(nil, ErrPoolClosed)
+		return nil, ErrPoolClosed
+	}
+	p.queue <- j // buffered to QueueDepth; the reservation above keeps this non-blocking
+	p.mu.Unlock()
 	return j, nil
+}
+
+// kind returns (creating if needed) the aggregate for one job kind.
+// Callers hold p.mu.
+func (p *Pool) kind(name string) *kindAgg {
+	agg := p.kinds[name]
+	if agg == nil {
+		agg = &kindAgg{}
+		p.kinds[name] = agg
+	}
+	return agg
 }
 
 // Do submits fn under id and waits for the outcome — the synchronous
@@ -213,15 +286,16 @@ func (p *Pool) Stats() obs.PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return obs.PoolStats{
-		Workers:    p.cfg.Workers,
-		QueueDepth: p.cfg.QueueDepth,
-		Queued:     p.queued,
-		Running:    p.running,
-		Submitted:  p.submitted,
-		Deduped:    p.deduped,
-		Rejected:   p.rejected,
-		Completed:  p.completed,
-		Failed:     p.failed,
+		Workers:        p.cfg.Workers,
+		QueueDepth:     p.cfg.QueueDepth,
+		Queued:         p.queued,
+		Running:        p.running,
+		Submitted:      p.submitted,
+		Deduped:        p.deduped,
+		Rejected:       p.rejected,
+		Completed:      p.completed,
+		Failed:         p.failed,
+		ExecMeanMicros: p.execMeanAllLocked(),
 	}
 }
 
@@ -264,8 +338,9 @@ func (p *Pool) worker() {
 		if p.cfg.Journal != nil {
 			_ = p.cfg.Journal.Append(journal.Record{Type: journal.TypeStarted, ID: j.id})
 		}
+		start := p.cfg.Now()
 		result, err := p.runOne(j)
-		p.finish(j, result, err)
+		p.finish(j, result, err, p.cfg.Now().Sub(start))
 	}
 }
 
@@ -311,7 +386,25 @@ func runRecovered(ctx context.Context, fn Func) (result any, err error) {
 
 // finish records the outcome, retires the job from the singleflight
 // index and trims the retention window.
-func (p *Pool) finish(j *Job, result any, err error) {
+//
+// The terminal record is appended before the job leaves the
+// singleflight index, but NOT under p.mu — holding the pool lock
+// across an fsync would stall every submission, poll and Stats call
+// for milliseconds per completion. Per-id ordering still holds: a
+// duplicate submit arriving during the append joins this finishing
+// job (it is still in p.inflight) instead of minting a fresh
+// accepted record, so no accepted(id) can be journaled ahead of this
+// terminal one. And the append happens before j.complete wakes the
+// waiters, so once a caller has seen the outcome no restart will
+// re-run the job.
+func (p *Pool) finish(j *Job, result any, err error, took time.Duration) {
+	if p.cfg.Journal != nil {
+		rec := journal.Record{Type: journal.TypeDone, ID: j.id}
+		if err != nil {
+			rec.Type, rec.Err = journal.TypeFailed, err.Error()
+		}
+		_ = p.cfg.Journal.Append(rec)
+	}
 	p.mu.Lock()
 	p.running--
 	if p.inflight[j.id] == j {
@@ -322,6 +415,7 @@ func (p *Pool) finish(j *Job, result any, err error) {
 	} else {
 		p.completed++
 	}
+	p.observeExecLocked(j.kind, took)
 	p.doneOrder = append(p.doneOrder, j)
 	for len(p.doneOrder) > p.cfg.RetainDone {
 		old := p.doneOrder[0]
@@ -330,22 +424,102 @@ func (p *Pool) finish(j *Job, result any, err error) {
 			delete(p.jobs, old.id)
 		}
 	}
-	if p.cfg.Journal != nil {
-		rec := journal.Record{Type: journal.TypeDone, ID: j.id}
-		if err != nil {
-			rec.Type, rec.Err = journal.TypeFailed, err.Error()
-		}
-		// Journaled under p.mu, like every lifecycle append: the
-		// journal's record order then matches the pool's transition
-		// order exactly, so a resubmission of this id (possible the
-		// moment the inflight entry above is gone) cannot journal its
-		// fresh accepted record before this terminal one — and it is
-		// journaled before waiters wake, so once a caller has seen the
-		// outcome no restart will re-run the job.
-		_ = p.cfg.Journal.Append(rec)
-	}
 	p.mu.Unlock()
 	j.complete(result, err)
+}
+
+// observeExecLocked folds one finished job's execution time into its
+// kind's aggregate. Callers hold p.mu.
+func (p *Pool) observeExecLocked(kind string, took time.Duration) {
+	agg := p.kind(kind)
+	if agg.inflight > 0 {
+		agg.inflight--
+	}
+	agg.finished++
+	if us := took.Microseconds(); us > 0 {
+		agg.sumMicros += float64(us)
+	}
+}
+
+// ObserveExec records one job execution time for kind without running
+// a job — a seed for the admission estimate, letting a deployment (or
+// a test) warm the per-kind means before the first real completion.
+// The pool feeds the same aggregates itself on every finish.
+func (p *Pool) ObserveExec(kind string, took time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	agg := p.kind(kind)
+	agg.finished++
+	if us := took.Microseconds(); us > 0 {
+		agg.sumMicros += float64(us)
+	}
+}
+
+// ExecMeanMicros returns the observed mean execution time of kind's
+// jobs in microseconds, falling back to the mean over all kinds when
+// kind has no finished samples yet, and 0 when nothing has finished
+// at all.
+func (p *Pool) ExecMeanMicros(kind string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if agg, ok := p.kinds[kind]; ok && agg.finished > 0 {
+		return agg.sumMicros / float64(agg.finished)
+	}
+	return p.execMeanAllLocked()
+}
+
+// kindNamesLocked returns the kind keys sorted, so the float sums
+// below fold in a fixed order (range-over-map order is randomised,
+// and float addition is not associative). Callers hold p.mu.
+func (p *Pool) kindNamesLocked() []string {
+	names := make([]string, 0, len(p.kinds))
+	for name := range p.kinds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// execMeanAllLocked is the mean execution time over every finished
+// job, in microseconds. Callers hold p.mu.
+func (p *Pool) execMeanAllLocked() float64 {
+	var sum float64
+	var n uint64
+	for _, name := range p.kindNamesLocked() {
+		agg := p.kinds[name]
+		sum += agg.sumMicros
+		n += agg.finished
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// EstWaitMicros estimates how long the current backlog takes to
+// drain: every queued or running job priced at its kind's observed
+// mean execution time (the all-kinds mean when its own kind is still
+// unobserved), spread over the workers. This is what admission
+// control should shed on — job service time, not HTTP handler
+// latency, which for an async submit measures only the microseconds
+// it takes to return 202.
+func (p *Pool) EstWaitMicros() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fallback := p.execMeanAllLocked()
+	var total float64
+	for _, name := range p.kindNamesLocked() {
+		agg := p.kinds[name]
+		if agg.inflight == 0 {
+			continue
+		}
+		mean := fallback
+		if agg.finished > 0 {
+			mean = agg.sumMicros / float64(agg.finished)
+		}
+		total += float64(agg.inflight) * mean
+	}
+	return total / float64(p.cfg.Workers)
 }
 
 // RecoverFunc rebuilds one journaled job for Recover. It returns the

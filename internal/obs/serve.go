@@ -25,6 +25,11 @@ type PoolStats struct {
 	// Completed and Failed count finished jobs by outcome.
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
+	// ExecMeanMicros is the mean job execution time over every
+	// finished job, in microseconds — what admission control prices
+	// the backlog with (HTTP handler latency would be wrong: an async
+	// submit returns 202 in microseconds however long its job runs).
+	ExecMeanMicros float64 `json:"exec_mean_us"`
 }
 
 // CacheStats is a point-in-time snapshot of a cache.Cache.

@@ -12,29 +12,34 @@ import (
 // is still waiting for; shedding it immediately with 429 +
 // Retry-After lets a well-behaved client (the public client package)
 // back off and try when the queue has drained. The estimate is the
-// classic M/M/c-flavoured backlog bound: (queued + running) jobs,
-// each costing the route's observed mean service time, spread over
-// the pool's workers.
+// classic M/M/c-flavoured backlog bound: each queued or running job
+// priced at its kind's observed mean *execution* time, spread over
+// the pool's workers. Job execution time — recorded by the pool when
+// jobs finish — is the right price, not the per-route HTTP latency:
+// an async submit returns 202 in microseconds no matter how long its
+// job occupies a worker, and a synchronous route's HTTP latency
+// already contains queue wait, which would double-count the backlog.
 
 // deadlineHeader lets a client state its patience explicitly; a
 // context/transport deadline on the request, when present, wins.
 const deadlineHeader = "X-Starperf-Deadline"
 
-// estWait estimates how long a request admitted now would wait before
-// its job completes. Zero when the route is unobserved (first
-// requests must be admitted — there is nothing to estimate from) or
-// the pool is idle.
+// routeKind maps a compute route to the job kind its handler
+// submits, so the route's own expected service time can be read from
+// the pool's per-kind execution means.
+var routeKind = map[string]string{
+	"/v1/predict":  "predict",
+	"/v1/simulate": "simulate",
+	"/v1/sweep":    "sweep",
+}
+
+// estWait estimates how long a request admitted on route now would
+// wait before its job completes: the backlog's drain time plus the
+// route's own expected execution time. Zero when nothing has finished
+// yet (first requests must be admitted — there is nothing to estimate
+// from) and the pool is idle.
 func (s *Server) estWait(route string) time.Duration {
-	mean := s.metrics.meanMicros(route)
-	if mean <= 0 {
-		return 0
-	}
-	st := s.pool.Stats()
-	backlog := st.Queued + st.Running
-	if backlog <= 0 {
-		return 0
-	}
-	us := float64(backlog) * mean / float64(st.Workers)
+	us := s.pool.EstWaitMicros() + s.pool.ExecMeanMicros(routeKind[route])
 	return time.Duration(us * float64(time.Microsecond))
 }
 
@@ -65,17 +70,8 @@ func setRetryAfter(w http.ResponseWriter, wait time.Duration) {
 
 // queueWait is the route-agnostic backlog estimate used where no
 // single route applies (queue-full rejections, the concurrency cap):
-// backlog × the mean service time over all routes ÷ workers.
+// the pool backlog's drain time at the observed per-kind execution
+// means.
 func (s *Server) queueWait() time.Duration {
-	mean := s.metrics.meanMicrosAll()
-	if mean <= 0 {
-		return 0
-	}
-	st := s.pool.Stats()
-	backlog := st.Queued + st.Running
-	if backlog <= 0 {
-		return 0
-	}
-	us := float64(backlog) * mean / float64(st.Workers)
-	return time.Duration(us * float64(time.Microsecond))
+	return time.Duration(s.pool.EstWaitMicros() * float64(time.Microsecond))
 }

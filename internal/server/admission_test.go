@@ -11,11 +11,14 @@ import (
 )
 
 // primeBacklog makes the admission estimate large and certain: the
-// route's mean service time is observed at `mean` and `jobs` blocked
-// jobs occupy the pool. Returns the gate releasing them.
-func primeBacklog(t *testing.T, s *Server, route string, mean time.Duration, njobs int) chan struct{} {
+// pool's observed mean job execution time for kind is seeded at
+// `mean` (what admission prices the backlog with — NOT the HTTP
+// handler latency, which for async submits is microseconds) and
+// `njobs` blocked jobs occupy the pool. Returns the gate releasing
+// them.
+func primeBacklog(t *testing.T, s *Server, kind string, mean time.Duration, njobs int) chan struct{} {
 	t.Helper()
-	s.metrics.observe(route, 200, mean)
+	s.pool.ObserveExec(kind, mean)
 	gate := make(chan struct{})
 	for i := 0; i < njobs; i++ {
 		id := "sha256:block" + strconv.Itoa(i)
@@ -50,7 +53,7 @@ func primeBacklog(t *testing.T, s *Server, route string, mean time.Duration, njo
 // is still admitted.
 func TestAdmissionShedsDoomedRequests(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 64})
-	gate := primeBacklog(t, s, "/v1/predict", 2*time.Second, 4)
+	gate := primeBacklog(t, s, "predict", 2*time.Second, 4)
 	released := false
 	defer func() {
 		if !released {
@@ -63,7 +66,7 @@ func TestAdmissionShedsDoomedRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set(deadlineHeader, "100ms") // est wait ≈ 8s ≫ 100ms
+	req.Header.Set(deadlineHeader, "100ms") // est wait ≈ 10s (4×2s backlog + 2s own) ≫ 100ms
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -124,7 +127,7 @@ func TestAdmissionShedsDoomedRequests(t *testing.T) {
 // derives its Retry-After from the backlog.
 func TestQueueFullCarriesRetryAfter(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
-	gate := primeBacklog(t, s, "/v1/simulate", time.Second, 3) // 1 running + 2 queued = full
+	gate := primeBacklog(t, s, "simulate", time.Second, 3) // 1 running + 2 queued = full
 	defer close(gate)
 
 	body := `{"topo":{"kind":"star","n":3},"v":4,"msg_len":8,"rate":0.001}`
@@ -148,7 +151,7 @@ func TestQueueFullCarriesRetryAfter(t *testing.T) {
 func TestConcurrencyCapCarriesRetryAfter(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, MaxInFlight: 1})
 	// Occupy the single slot with a request that blocks in the pool.
-	gate := primeBacklog(t, s, "/healthz", time.Second, 1)
+	gate := primeBacklog(t, s, "block", time.Second, 1)
 	released := false
 	defer func() {
 		if !released {

@@ -54,42 +54,6 @@ func (m *metrics) observe(route string, status int, d time.Duration) {
 	m.mu.Unlock()
 }
 
-// meanMicros returns route's observed mean service time in µs, 0 when
-// the route has no samples yet. Admission control reads it to price
-// the queue backlog.
-func (m *metrics) meanMicros(route string) float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	agg := m.routes[route]
-	if agg == nil || agg.count == 0 {
-		return 0
-	}
-	return agg.lat.Mean()
-}
-
-// meanMicrosAll is the mean service time over every observed request,
-// for estimates with no single route to blame.
-func (m *metrics) meanMicrosAll() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	names := make([]string, 0, len(m.routes))
-	for name := range m.routes {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	var sum float64
-	var n uint64
-	for _, name := range names {
-		agg := m.routes[name]
-		sum += agg.lat.Mean() * float64(agg.count)
-		n += agg.count
-	}
-	if n == 0 {
-		return 0
-	}
-	return sum / float64(n)
-}
-
 // bucketBound converts a histogram bin index back to the upper bound
 // (in µs) of the latencies it counts.
 func bucketBound(bin int) uint64 {

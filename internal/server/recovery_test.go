@@ -11,6 +11,9 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -203,6 +206,93 @@ func TestRecoverSkipsCachedResults(t *testing.T) {
 	defer cancel()
 	if err := s2.Close(ctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRecoverRequeuesCorruptCachedResult: recovery must take a
+// verifying read of the cache, not a bare existence check — a corrupt
+// disk entry journaled as "done" would 404 the job forever. The
+// corrupt entry is quarantined, the job re-enqueued, and the
+// recomputed result is byte-identical to the pre-crash one.
+func TestRecoverRequeuesCorruptCachedResult(t *testing.T) {
+	jdir := t.TempDir()
+	cdir := t.TempDir()
+
+	j1, _, err := journal.Open(journal.Options{Dir: jdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := New(Config{Workers: 1, Cache: cacheCfgDir(cdir), Journal: j1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	resp := postJSON(t, ts1.URL+"/v1/simulate", recoverySim)
+	var jb jobBody
+	if err := json.Unmarshal(readBody(t, resp), &jb); err != nil {
+		t.Fatal(err)
+	}
+	want := jobResultBody(t, ts1.URL, jb.ID)
+	// An accepted record with no terminal, as if a crash caught a
+	// duplicate submission right after the first run completed.
+	meta, err := submitMeta("simulate", mustSimReq(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Append(journal.Record{Type: journal.TypeAccepted, ID: jb.ID, Kind: meta.Kind, Req: meta.Req}); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// Corrupt the persisted entry: the file still exists (Contains
+	// would be fooled) but fails verification.
+	entry := filepath.Join(cdir, strings.TrimPrefix(jb.ID, "sha256:")+".json")
+	if _, err := os.Stat(entry); err != nil {
+		t.Fatalf("cache entry not on disk before corruption: %v", err)
+	}
+	if err := os.WriteFile(entry, []byte("starperf-cache v2 garbage\nnot the payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec, err := journal.Open(journal.Options{Dir: jdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(rec.Incomplete) != 1 {
+		t.Fatalf("recovery = %+v, want 1 incomplete", rec.Incomplete)
+	}
+	s2, err := New(Config{Workers: 1, Cache: cacheCfgDir(cdir), Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	recov := s2.Recover(rec)
+	if recov.Requeued != 1 || recov.Skipped != 0 {
+		t.Fatalf("recovery with corrupt cache = %+v, want 1 requeued (a stat-only check would skip it)", recov)
+	}
+	if q := s2.Cache().Stats().Quarantined; q < 1 {
+		t.Fatalf("corrupt entry not quarantined (quarantined = %d)", q)
+	}
+	got := jobResultBody(t, ts2.URL, jb.ID)
+	if string(got) != string(want) {
+		t.Fatalf("recomputed result differs:\n %s\n %s", got, want)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s2.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Books closed: the requeued job reached done, nothing replays.
+	j3, rec3, err := journal.Open(journal.Options{Dir: jdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if len(rec3.Incomplete) != 0 {
+		t.Fatalf("after corrupt-entry recovery, still incomplete: %+v", rec3.Incomplete)
 	}
 }
 

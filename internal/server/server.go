@@ -146,7 +146,12 @@ func (s *Server) Recover(rec *journal.Recovery) jobs.Recovery {
 		return jobs.Recovery{}
 	}
 	return s.pool.Recover(rec.Incomplete, func(id, kind string, req []byte) (jobs.Func, bool, error) {
-		if s.cache.Contains(id) {
+		// A verifying read, not Contains: Contains only stats the disk
+		// file, and journaling a job done on the strength of a corrupt
+		// entry would 404 it forever — Get checksums the entry,
+		// quarantining a corrupt one so the job is re-enqueued and
+		// recomputed instead.
+		if _, ok := s.cache.Get(id); ok {
 			return nil, false, nil
 		}
 		run, err := rebuildRun(kind, req)
@@ -231,19 +236,17 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // guard stacks the failure-protection layers in front of a compute
-// handler: the circuit breaker first (a tripped route costs nothing
-// to reject), then deadline-aware admission control. Only requests
-// the breaker admitted feed its outcome window — its own rejections
-// and admission sheds would otherwise poison the sample.
+// handler: deadline-aware admission control first, the circuit
+// breaker second. The order matters — breakers.allow consumes the
+// single half-open probe slot, and only observe releases it, so
+// every path between the two must reach the handler. Shedding after
+// allow would leak the probe and pin the route open forever (likely,
+// too: at half-open time the backlog that tripped the breaker is
+// often still there). Admission sheds and breaker rejections return
+// before allow, so neither feeds the breaker's outcome window — its
+// own refusals would otherwise poison the sample.
 func (s *Server) guard(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		ok, wait := s.breakers.allow(route)
-		if !ok {
-			setRetryAfter(w, wait)
-			s.writeJSON(w, http.StatusServiceUnavailable,
-				errorBody{Error: "circuit breaker open for " + route, Class: "breaker_open"})
-			return
-		}
 		if est, deadline := s.estWait(route), s.requestDeadline(r); est > deadline {
 			s.shed.Add(1)
 			setRetryAfter(w, est)
@@ -255,9 +258,24 @@ func (s *Server) guard(route string, h http.HandlerFunc) http.HandlerFunc {
 				})
 			return
 		}
+		ok, wait := s.breakers.allow(route)
+		if !ok {
+			setRetryAfter(w, wait)
+			s.writeJSON(w, http.StatusServiceUnavailable,
+				errorBody{Error: "circuit breaker open for " + route, Class: "breaker_open"})
+			return
+		}
 		gw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		// Observe via defer so a panicking handler still reports (as a
+		// failure — net/http turns the panic into a dead connection);
+		// otherwise a half-open probe that panicked would leak the
+		// probe slot exactly like a shed one.
+		panicked := true
+		defer func() {
+			s.breakers.observe(route, panicked || gw.status >= 500)
+		}()
 		h(gw, r)
-		s.breakers.observe(route, gw.status >= 500)
+		panicked = false
 	}
 }
 
