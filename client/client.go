@@ -85,7 +85,7 @@ type Client struct {
 // New validates cfg and builds a Client.
 func New(cfg Config) (*Client, error) {
 	if strings.TrimSpace(cfg.BaseURL) == "" {
-		return nil, errors.New("client: BaseURL required")
+		return nil, fmt.Errorf("%w: BaseURL required", ErrConfig)
 	}
 	cfg = cfg.withDefaults()
 	seed := cfg.Seed
@@ -124,6 +124,22 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 		return ctx.Err()
 	}
 }
+
+// The client's error surface is classified so callers match classes,
+// never strings: configuration mistakes wrap ErrConfig, replies that
+// break the API contract wrap ErrProtocol, jobs the server reports as
+// failed wrap ErrJobFailed, and non-2xx responses are *APIError.
+var (
+	// ErrConfig classifies client-side configuration mistakes caught
+	// before any request is made.
+	ErrConfig = errors.New("client: invalid configuration")
+	// ErrProtocol classifies well-formed HTTP exchanges whose payload
+	// violates the server's API contract (e.g. a job with no id).
+	ErrProtocol = errors.New("client: protocol error")
+	// ErrJobFailed classifies jobs the server accepted but reports as
+	// failed; the server's message is appended.
+	ErrJobFailed = errors.New("client: job failed")
+)
 
 // APIError is a non-2xx response decoded from the server's error
 // envelope. Status is the HTTP code; Class the machine-readable
@@ -350,7 +366,7 @@ func (c *Client) runJob(ctx context.Context, path string, req any) (json.RawMess
 		return nil, fmt.Errorf("client: job envelope: %w", err)
 	}
 	if job.ID == "" {
-		return nil, fmt.Errorf("client: job submission returned no id")
+		return nil, fmt.Errorf("%w: job submission returned no id", ErrProtocol)
 	}
 	for {
 		switch job.Status {
@@ -361,7 +377,7 @@ func (c *Client) runJob(ctx context.Context, path string, req any) (json.RawMess
 			// Accepted-from-cache responses omit the body; one poll
 			// fetches it.
 		case "failed":
-			return nil, fmt.Errorf("client: job %s failed: %s", job.ID, job.Error)
+			return nil, fmt.Errorf("%w: job %s: %s", ErrJobFailed, job.ID, job.Error)
 		}
 		if err := c.sleep(ctx, c.cfg.PollInterval); err != nil {
 			return nil, err

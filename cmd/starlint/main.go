@@ -6,12 +6,21 @@
 //
 // Usage:
 //
-//	starlint [-json] [-rules r1,r2] [-list] [packages]
+//	starlint [-json] [-rules r1,r2 | -rules -r1,-r2] [-unused-ignores] [-list] [packages]
 //
 // The package arguments accept ./... (the whole module, the default)
-// or directory paths, optionally with a /... suffix. Exit status is 0
-// when the tree is clean, 1 when findings were reported, and 2 when
-// loading or type-checking failed.
+// or directory paths, optionally with a /... suffix. -rules selects
+// rules by name; prefixing every name with "-" inverts the set and
+// excludes them instead (the two styles cannot be mixed).
+// -unused-ignores additionally reports //lint:ignore directives that
+// suppressed nothing (stale suppressions outliving the code they
+// excused). Every run ends with a summary line on stderr,
+//
+//	starlint: N findings, M suppressed
+//
+// so CI logs stay greppable. Exit status is 0 when the tree is clean,
+// 1 when findings were reported, and 2 when loading or type-checking
+// failed.
 //
 // Findings are suppressed in place with
 //
@@ -37,34 +46,27 @@ func main() {
 
 func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
-	ruleList := flag.String("rules", "", "comma-separated rule names to run (default: all)")
+	ruleList := flag.String("rules", "",
+		"comma-separated rule names to run, or -name,-name to exclude (default: all)")
+	unusedIgnores := flag.Bool("unused-ignores", false,
+		"also report //lint:ignore directives that suppress nothing")
 	list := flag.Bool("list", false, "list the available rules and exit")
 	flag.Parse()
 
 	rules := lint.DefaultRules()
 	if *list {
 		for _, r := range rules {
-			fmt.Printf("%-10s %s\n", r.Name(), r.Doc())
+			fmt.Printf("%-12s %s\n", r.Name(), r.Doc())
 		}
 		return 0
 	}
 	if *ruleList != "" {
-		want := make(map[string]bool)
-		for _, name := range strings.Split(*ruleList, ",") {
-			want[strings.TrimSpace(name)] = true
-		}
-		var kept []lint.Rule
-		for _, r := range rules {
-			if want[r.Name()] {
-				kept = append(kept, r)
-				delete(want, r.Name())
-			}
-		}
-		for name := range want {
-			fmt.Fprintf(os.Stderr, "starlint: unknown rule %q\n", name)
+		var err error
+		rules, err = selectRules(rules, *ruleList)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "starlint:", err)
 			return 2
 		}
-		rules = kept
 	}
 
 	cwd, err := os.Getwd()
@@ -89,7 +91,11 @@ func run() int {
 		return 2
 	}
 
-	findings := lint.Run(pkgs, rules)
+	res := lint.RunDetail(pkgs, rules)
+	findings := res.Findings
+	if *unusedIgnores {
+		findings = append(findings, res.UnusedIgnores...)
+	}
 	for i := range findings {
 		if rel, err := filepath.Rel(cwd, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
 			findings[i].File = rel
@@ -110,13 +116,63 @@ func run() int {
 			fmt.Println(f)
 		}
 	}
+	// The summary line is printed on every run — clean or not — so CI
+	// logs can be grepped for "starlint:" and always hit exactly one
+	// accounting line.
+	fmt.Fprintf(os.Stderr, "starlint: %d findings, %d suppressed\n",
+		len(findings), res.Suppressed)
 	if len(findings) > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "starlint: %d finding(s)\n", len(findings))
-		}
 		return 1
 	}
 	return 0
+}
+
+// selectRules narrows rules per the -rules spec: either a keep-list
+// of names, or (when every name carries a "-" prefix) an exclude
+// list. Mixing the two styles is an error, as is an unknown name in
+// either.
+func selectRules(rules []lint.Rule, spec string) ([]lint.Rule, error) {
+	names := strings.Split(spec, ",")
+	include, exclude := make(map[string]bool), make(map[string]bool)
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(name, "-"); ok {
+			exclude[rest] = true
+		} else {
+			include[name] = true
+		}
+	}
+	if len(include) > 0 && len(exclude) > 0 {
+		return nil, fmt.Errorf("-rules cannot mix selections and -exclusions (%q)", spec)
+	}
+	known := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		known[r.Name()] = true
+	}
+	for name := range include {
+		if !known[name] {
+			return nil, fmt.Errorf("unknown rule %q", name)
+		}
+	}
+	for name := range exclude {
+		if !known[name] {
+			return nil, fmt.Errorf("unknown rule %q", name)
+		}
+	}
+	var kept []lint.Rule
+	for _, r := range rules {
+		if len(exclude) > 0 {
+			if !exclude[r.Name()] {
+				kept = append(kept, r)
+			}
+		} else if include[r.Name()] {
+			kept = append(kept, r)
+		}
+	}
+	return kept, nil
 }
 
 // filterPackages narrows pkgs to the requested patterns: "./..." (or

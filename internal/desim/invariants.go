@@ -1,6 +1,19 @@
 package desim
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvariant classifies simulator self-check failures: a wrapped
+// ErrInvariant means the wormhole bookkeeping itself is broken (a
+// simulator bug), never that the caller's Config was wrong.
+var ErrInvariant = errors.New("desim: invariant violated")
+
+// invariantErrf builds one classified invariant-violation error.
+func invariantErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvariant, fmt.Sprintf(format, args...))
+}
 
 // checkInvariants validates the structural invariants of the
 // simulation state; it is run every Config.ParanoidEvery cycles when
@@ -28,32 +41,32 @@ func (nw *network) checkInvariants() error {
 			sent, drained, buf := nw.sent[gvc], nw.drained[gvc], nw.buf[gvc]
 			if m == nil {
 				if sent != 0 || drained != 0 || buf != 0 || nw.prev[gvc] != -1 {
-					return fmt.Errorf("desim: free VC %d not reset (sent=%d drained=%d buf=%d prev=%d)",
+					return invariantErrf("free VC %d not reset (sent=%d drained=%d buf=%d prev=%d)",
 						gvc, sent, drained, buf, nw.prev[gvc])
 				}
 				continue
 			}
 			if drained > sent || sent > m.length {
-				return fmt.Errorf("desim: VC %d counters out of order (sent=%d drained=%d M=%d)",
+				return invariantErrf("VC %d counters out of order (sent=%d drained=%d M=%d)",
 					gvc, sent, drained, m.length)
 			}
 			if eject {
 				if buf != 0 || drained != 0 {
-					return fmt.Errorf("desim: ejection VC %d holds flits (buf=%d drained=%d)",
+					return invariantErrf("ejection VC %d holds flits (buf=%d drained=%d)",
 						gvc, buf, drained)
 				}
 			} else {
 				if buf != sent-drained {
-					return fmt.Errorf("desim: VC %d flit leak (buf=%d sent=%d drained=%d)",
+					return invariantErrf("VC %d flit leak (buf=%d sent=%d drained=%d)",
 						gvc, buf, sent, drained)
 				}
 				if buf < 0 || buf > nw.bufCap {
-					return fmt.Errorf("desim: VC %d buffer out of range (%d)", gvc, buf)
+					return invariantErrf("VC %d buffer out of range (%d)", gvc, buf)
 				}
 			}
 			if p := nw.prev[gvc]; p >= 0 && sent < m.length {
 				if nw.owner[p] != m {
-					return fmt.Errorf("desim: VC %d upstream %d owned by a different message", gvc, p)
+					return invariantErrf("VC %d upstream %d owned by a different message", gvc, p)
 				}
 			}
 		}
@@ -67,21 +80,21 @@ func (nw *network) checkInvariants() error {
 			}
 		}
 		if busy != nw.busyVCs[ch] {
-			return fmt.Errorf("desim: channel %d busy count %d, owners say %d",
+			return invariantErrf("channel %d busy count %d, owners say %d",
 				ch, nw.busyVCs[ch], busy)
 		}
 		pos := nw.activePos[ch]
 		switch {
 		case busy == 0 && pos != -1:
-			return fmt.Errorf("desim: idle channel %d in active set", ch)
+			return invariantErrf("idle channel %d in active set", ch)
 		case busy > 0 && (pos < 0 || int(pos) >= len(nw.active) || nw.active[pos] != int32(ch)):
-			return fmt.Errorf("desim: busy channel %d missing from active set", ch)
+			return invariantErrf("busy channel %d missing from active set", ch)
 		}
 	}
 	total := 0
 	for node, l := range nw.queueLen {
 		if l < 0 {
-			return fmt.Errorf("desim: negative queue length at node %d", node)
+			return invariantErrf("negative queue length at node %d", node)
 		}
 		cnt := 0
 		for m := nw.queueHead[node]; m != nil; m = m.nextQueue {
@@ -91,15 +104,15 @@ func (nw *network) checkInvariants() error {
 			}
 		}
 		if cnt != l {
-			return fmt.Errorf("desim: node %d queue list length %d, counter %d", node, cnt, l)
+			return invariantErrf("node %d queue list length %d, counter %d", node, cnt, l)
 		}
 		total += l
 	}
 	if total != nw.totalQueued {
-		return fmt.Errorf("desim: queue total %d, counter %d", total, nw.totalQueued)
+		return invariantErrf("queue total %d, counter %d", total, nw.totalQueued)
 	}
 	if nw.res.Delivered > nw.res.Generated {
-		return fmt.Errorf("desim: delivered %d > generated %d", nw.res.Delivered, nw.res.Generated)
+		return invariantErrf("delivered %d > generated %d", nw.res.Delivered, nw.res.Generated)
 	}
 	return nil
 }

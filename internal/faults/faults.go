@@ -194,13 +194,13 @@ func NewPlan(top topology.Topology, seed uint64, opts Options) (*Plan, error) {
 			})
 		}
 		if !ok {
-			lastErr = fmt.Errorf("faults: %s cannot host %d failed + %d flapping links",
+			lastErr = cfgerr.Errorf("faults: %s cannot host %d failed + %d flapping links",
 				top.Name(), opts.FailLinks, opts.Flaps)
 			continue
 		}
 		if !opts.AllowDisconnected {
 			if r := CheckReachability(top, plan); !r.Connected {
-				lastErr = fmt.Errorf("faults: plan strands %d of %d live nodes", len(r.Stranded), r.Live)
+				lastErr = cfgerr.Errorf("faults: plan strands %d of %d live nodes", len(r.Stranded), r.Live)
 				continue
 			}
 		}
@@ -246,7 +246,7 @@ func buildMasks(top topology.Topology, plan *Plan) (down, nodeDown []bool, err e
 	nodeDown = make([]bool, n)
 	for _, node := range plan.Nodes {
 		if node < 0 || node >= n {
-			return nil, nil, fmt.Errorf("faults: failed node %d outside [0,%d)", node, n)
+			return nil, nil, cfgerr.Errorf("faults: failed node %d outside [0,%d)", node, n)
 		}
 		nodeDown[node] = true
 	}
@@ -257,15 +257,15 @@ func buildMasks(top topology.Topology, plan *Plan) (down, nodeDown []bool, err e
 		}
 	}
 	if live < 2 {
-		return nil, nil, fmt.Errorf("faults: only %d live node(s) remain", live)
+		return nil, nil, cfgerr.Errorf("faults: only %d live node(s) remain", live)
 	}
 	failBoth := func(node, dim int) error {
 		if node < 0 || node >= n || dim < 0 || dim >= deg {
-			return fmt.Errorf("faults: link (%d,%d) outside %s", node, dim, top.Name())
+			return cfgerr.Errorf("faults: link (%d,%d) outside %s", node, dim, top.Name())
 		}
 		nbr := top.Neighbor(node, dim)
 		if nbr < 0 || !topology.HasChannel(top, node, dim) {
-			return fmt.Errorf("faults: link (%d,%d) does not exist in %s", node, dim, top.Name())
+			return cfgerr.Errorf("faults: link (%d,%d) does not exist in %s", node, dim, top.Name())
 		}
 		down[node*deg+dim] = true
 		for d := 0; d < deg; d++ {
@@ -393,13 +393,13 @@ func Apply(top topology.Topology, plan *Plan) (*Faulted, error) {
 	for _, fl := range plan.Flaps {
 		if fl.Node < 0 || fl.Node >= n || fl.Dim < 0 || fl.Dim >= deg ||
 			top.Neighbor(fl.Node, fl.Dim) < 0 || !topology.HasChannel(top, fl.Node, fl.Dim) {
-			return nil, fmt.Errorf("faults: flap on missing link (%d,%d)", fl.Node, fl.Dim)
+			return nil, cfgerr.Errorf("faults: flap on missing link (%d,%d)", fl.Node, fl.Dim)
 		}
 		if down[fl.Node*deg+fl.Dim] {
-			return nil, fmt.Errorf("faults: flap on permanently failed link (%d,%d)", fl.Node, fl.Dim)
+			return nil, cfgerr.Errorf("faults: flap on permanently failed link (%d,%d)", fl.Node, fl.Dim)
 		}
 		if fl.Period <= 0 || fl.Down < 0 || fl.Down >= fl.Period || fl.Phase < 0 {
-			return nil, fmt.Errorf("faults: flap window %+v invalid (need period > down ≥ 0, phase ≥ 0)", fl)
+			return nil, cfgerr.Errorf("faults: flap window %+v invalid (need period > down ≥ 0, phase ≥ 0)", fl)
 		}
 	}
 	reach := reachabilityOf(top, down, nodeDown)
@@ -408,7 +408,7 @@ func Apply(top topology.Topology, plan *Plan) (*Faulted, error) {
 		if len(sample) > 8 {
 			sample = sample[:8]
 		}
-		return nil, fmt.Errorf("faults: plan disconnects %s: %d of %d live nodes stranded (e.g. %v)",
+		return nil, cfgerr.Errorf("faults: plan disconnects %s: %d of %d live nodes stranded (e.g. %v)",
 			top.Name(), len(reach.Stranded), reach.Live, sample)
 	}
 	f := &Faulted{

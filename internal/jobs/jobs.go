@@ -28,9 +28,14 @@ package jobs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrNotFinished classifies Result calls on a job that is still
+// queued or running: synchronise with Wait or Done first.
+var ErrNotFinished = errors.New("jobs: job not finished")
 
 // Status is the lifecycle state of a Job.
 type Status string
@@ -88,7 +93,7 @@ func (j *Job) Result() (any, error) {
 	case StatusFailed:
 		return nil, j.err
 	default:
-		return nil, fmt.Errorf("jobs: job %s has not finished (%s)", j.id, j.status)
+		return nil, fmt.Errorf("%w: job %s (%s)", ErrNotFinished, j.id, j.status)
 	}
 }
 

@@ -1,0 +1,232 @@
+package journal
+
+// Compaction is the journal's only destructive operation: it rewrites
+// the pending set into a fresh segment and then deletes history. The
+// broad chaos suite (chaos_test.go) crashes at every op of a mixed
+// workload; the tests here aim the crash exclusively at the compaction
+// window — every filesystem op between entering Compact (or the
+// rotation that triggers it) and its return — where the exact
+// recovered state is predictable and can be asserted record-for-record:
+//
+//   - no resurrection: a job whose done record was acknowledged before
+//     the window never replays as incomplete, no matter which removal
+//     or rewrite op the crash lands on;
+//   - no loss: the still-incomplete jobs replay with their request
+//     payloads intact — either from the rewritten live segment or from
+//     the old segments the crash preserved;
+//   - self-healing: the recovered journal compacts back down to one
+//     segment on a healthy filesystem.
+
+import (
+	"fmt"
+	"testing"
+
+	"starperf/internal/fsx"
+)
+
+// The compaction workloads complete jobs 0..5 and leave 6 and 7
+// in flight.
+const (
+	compactDone = 6
+	compactLive = 8
+)
+
+// runCompactionPrelude drives the fault-free part of the workload:
+// every op here happens before the crash window, so each append must
+// be acknowledged.
+func runCompactionPrelude(t *testing.T, j *Journal) {
+	t.Helper()
+	for i := 0; i < compactLive; i++ {
+		if err := j.Append(accepted(i)); err != nil {
+			t.Fatalf("pre-window accept %d failed: %v", i, err)
+		}
+	}
+	for i := 0; i < compactDone; i++ {
+		if err := j.Append(Record{Type: TypeDone, ID: accepted(i).ID}); err != nil {
+			t.Fatalf("pre-window done %d failed: %v", i, err)
+		}
+	}
+}
+
+// checkCompactionRecovery asserts the exact post-crash replay: jobs
+// 0..done-1 had acknowledged terminals before the window and must stay
+// completed; job uncertain (when ≥ 0) had its terminal append cut off
+// by the crash itself and may land either way; every later job must
+// replay incomplete with its request payload intact.
+func checkCompactionRecovery(t *testing.T, label string, rec *Recovery, done, uncertain int) {
+	t.Helper()
+	live := make(map[string]bool, len(rec.Incomplete))
+	for _, r := range rec.Incomplete {
+		live[r.ID] = true
+		if r.Kind != "predict" || len(r.Req) == 0 {
+			t.Fatalf("%s: incomplete record lost its payload: %+v", label, r)
+		}
+	}
+	for i := 0; i < done; i++ {
+		if live[accepted(i).ID] {
+			t.Fatalf("%s: completed job %d resurrected by the crash", label, i)
+		}
+	}
+	liveFrom := done
+	if uncertain >= 0 {
+		liveFrom = uncertain + 1
+	}
+	for i := liveFrom; i < compactLive; i++ {
+		if !live[accepted(i).ID] {
+			t.Fatalf("%s: incomplete job %d lost in the crash (live=%v)",
+				label, i, rec.Incomplete)
+		}
+	}
+	wantLive := compactLive - liveFrom
+	if uncertain >= 0 && live[accepted(uncertain).ID] {
+		wantLive++
+	}
+	if len(live) != wantLive {
+		t.Fatalf("%s: replay invented jobs: %+v", label, rec.Incomplete)
+	}
+}
+
+// recoverAndRecompact reopens the wreck on a healthy filesystem,
+// checks the replayed state, then proves the journal self-heals: a
+// clean compaction drops it back to one segment holding exactly the
+// incomplete jobs.
+func recoverAndRecompact(t *testing.T, label, dir string, done, uncertain int) {
+	t.Helper()
+	j, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("%s: recovery open failed: %v", label, err)
+	}
+	defer j.Close()
+	checkCompactionRecovery(t, label, rec, done, uncertain)
+	if err := j.Compact(); err != nil {
+		t.Fatalf("%s: recovered journal cannot compact: %v", label, err)
+	}
+	st := j.Stats()
+	if st.Segments != 1 {
+		t.Fatalf("%s: %d segments after healing compaction, want 1", label, st.Segments)
+	}
+	if st.Pending != len(rec.Incomplete) {
+		t.Fatalf("%s: healing compaction changed the pending set: %d -> %d",
+			label, len(rec.Incomplete), st.Pending)
+	}
+}
+
+// TestCompactionCrashExplicit measures the filesystem-op window of an
+// explicit Compact with a fault-free probe run, then replays the
+// identical workload once per op in that window with the crash aimed
+// at it.
+func TestCompactionCrashExplicit(t *testing.T) {
+	probe := fsx.NewFaulty(fsx.OS{}, fsx.FaultPlan{Seed: 1})
+	j, _, err := Open(Options{Dir: t.TempDir(), FS: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCompactionPrelude(t, j)
+	before := probe.Ops()
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := probe.Ops()
+	j.Close()
+	if after-before < 4 {
+		t.Fatalf("compaction window too small to be interesting: ops %d..%d", before, after)
+	}
+
+	for crash := before + 1; crash <= after; crash++ {
+		crash := crash
+		t.Run(fmt.Sprintf("crash@%d", crash), func(t *testing.T) {
+			dir := t.TempDir()
+			fa := fsx.NewFaulty(fsx.OS{}, fsx.FaultPlan{Seed: 1, CrashAt: crash})
+			j, _, err := Open(Options{Dir: dir, FS: fa})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runCompactionPrelude(t, j)
+			if got := fa.Ops(); got != before {
+				t.Fatalf("crash run diverged from probe: %d ops before Compact, want %d", got, before)
+			}
+			if err := j.Compact(); err == nil {
+				t.Fatal("a crash inside the compaction window went unreported")
+			}
+			j.Close() // fails post-crash; the wreck on disk is what matters
+			recoverAndRecompact(t, fmt.Sprintf("crash@%d", crash), dir, compactDone, -1)
+		})
+	}
+}
+
+// TestCompactionCrashDuringRotation aims the crash at the compaction
+// that rotation itself triggers: the probe run finds which done-append
+// crosses SegmentBytes and the op window it spans, then each crash
+// point in that window is replayed. The rotating append's own write
+// precedes the rotation inside the same window, so that one job's
+// terminal record is allowed to land either way; everything else is
+// exact.
+func TestCompactionCrashDuringRotation(t *testing.T) {
+	// Sized so the eight accepts fit in the first segment and one of
+	// the done appends crosses the threshold; the probe run below
+	// verifies both, so a drift in record size fails loudly rather
+	// than silently mistargeting the window.
+	const segBytes = 1024
+	open := func(dir string, fa *fsx.Faulty) *Journal {
+		t.Helper()
+		j, _, err := Open(Options{Dir: dir, FS: fa, SegmentBytes: segBytes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+
+	// Probe: find the append that first trips rotation and its window.
+	probe := fsx.NewFaulty(fsx.OS{}, fsx.FaultPlan{Seed: 1})
+	j := open(t.TempDir(), probe)
+	for i := 0; i < compactLive; i++ {
+		if err := j.Append(accepted(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Stats().Rotations != 0 {
+		t.Fatalf("segments of %d bytes rotate during the accept phase; raise segBytes", segBytes)
+	}
+	rotator, before := -1, 0
+	for i := 0; i < compactDone; i++ {
+		pre := probe.Ops()
+		if err := j.Append(Record{Type: TypeDone, ID: accepted(i).ID}); err != nil {
+			t.Fatal(err)
+		}
+		if j.Stats().Rotations > 0 {
+			rotator, before = i, pre
+			break
+		}
+	}
+	after := probe.Ops()
+	j.Close()
+	if rotator < 0 {
+		t.Fatalf("workload never rotated over %d-byte segments", segBytes)
+	}
+
+	for crash := before + 1; crash <= after; crash++ {
+		crash := crash
+		t.Run(fmt.Sprintf("crash@%d", crash), func(t *testing.T) {
+			dir := t.TempDir()
+			fa := fsx.NewFaulty(fsx.OS{}, fsx.FaultPlan{Seed: 1, CrashAt: crash})
+			j := open(dir, fa)
+			for i := 0; i < compactLive; i++ {
+				if err := j.Append(accepted(i)); err != nil {
+					t.Fatalf("pre-window accept %d failed: %v", i, err)
+				}
+			}
+			for i := 0; i < rotator; i++ {
+				if err := j.Append(Record{Type: TypeDone, ID: accepted(i).ID}); err != nil {
+					t.Fatalf("pre-window done %d failed: %v", i, err)
+				}
+			}
+			// The rotating append: its write may be the crashed op
+			// (Append errors, rotator stays pending on disk) or the
+			// crash may land later, inside rotateLocked/compactLocked
+			// (Append swallows the rotation failure and returns nil).
+			_ = j.Append(Record{Type: TypeDone, ID: accepted(rotator).ID})
+			j.Close()
+			recoverAndRecompact(t, fmt.Sprintf("crash@%d", crash), dir, rotator, rotator)
+		})
+	}
+}

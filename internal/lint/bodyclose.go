@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// bodyClose flags *http.Response values whose Body is never closed.
+// A leaked body pins its keep-alive connection; in the server and
+// client test suites — which spin up real httptest servers — enough
+// leaks exhaust the default transport's connection pool and turn the
+// suite flaky under -parallel.
+//
+// The analysis is syntactic by necessity: _test.go files are parsed
+// but not type-checked (see Package), so there is no type information
+// to lean on. A response is "produced" by net/http's package-level
+// helpers (Get, Post, Head, PostForm), by a Do/RoundTrip method call,
+// or by a same-package function whose declared results include
+// *http.Response (the ownership-transfer idiom: a postJSON helper
+// returns the response, its caller owns the close). A produced
+// response is satisfied when the enclosing function closes its Body
+// (deferred or not), returns it, passes it to a same-package closer —
+// a function that closes the corresponding parameter's Body, computed
+// package-wide to a fixpoint so helpers of helpers count — or stores
+// it into a struct or another variable (escape: ownership moved
+// somewhere this pass cannot follow).
+type bodyClose struct {
+	applies func(string) bool
+}
+
+// NewBodyClose returns the bodyclose rule restricted to packages
+// matched by applies.
+func NewBodyClose(applies func(string) bool) Rule { return &bodyClose{applies: applies} }
+
+func (r *bodyClose) Name() string { return "bodyclose" }
+
+func (r *bodyClose) Doc() string {
+	return "every *http.Response produced in client/server code and tests is closed on all paths"
+}
+
+func (r *bodyClose) Applies(p string) bool { return r.applies(p) }
+
+func (r *bodyClose) Check(pkg *Package, report ReportFunc) {
+	closers := collectClosers(pkg)
+	producers := collectProducers(pkg)
+	for _, file := range pkg.AllFiles() {
+		httpName := httpImportName(file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			r.checkFunc(pkg, fd, httpName, producers, closers, report)
+		}
+	}
+}
+
+// httpImportName returns the local name net/http is imported under in
+// file, or "" when it is not imported.
+func httpImportName(file *ast.File) string {
+	for name, path := range importTable(file) {
+		if path == "net/http" {
+			return name
+		}
+	}
+	return ""
+}
+
+// respResultIndex returns the index of the first declared result
+// whose type reads *http.Response (under any import alias this stays
+// a suffix match on the rendered type), or -1.
+func respResultIndex(fd *ast.FuncDecl) int {
+	if fd.Type.Results == nil {
+		return -1
+	}
+	idx := 0
+	for _, field := range fd.Type.Results.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isRespType(field.Type) {
+			return idx
+		}
+		idx += n
+	}
+	return -1
+}
+
+func isRespType(e ast.Expr) bool {
+	star, ok := e.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Response"
+}
+
+// collectProducers maps same-package function names to the result
+// index of the *http.Response they return.
+func collectProducers(pkg *Package) map[string]int {
+	out := make(map[string]int)
+	for _, file := range pkg.AllFiles() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			if i := respResultIndex(fd); i >= 0 {
+				out[fd.Name.Name] = i
+			}
+		}
+	}
+	return out
+}
+
+// collectClosers maps same-package function names to the set of
+// parameter indices whose Body they close, to a fixpoint so a helper
+// that hands its parameter to another closer counts too.
+func collectClosers(pkg *Package) map[string]map[int]bool {
+	type fn struct {
+		decl   *ast.FuncDecl
+		params []string
+	}
+	var fns []fn
+	for _, file := range pkg.AllFiles() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil || fd.Type.Params == nil {
+				continue
+			}
+			var params []string
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					params = append(params, name.Name)
+				}
+			}
+			fns = append(fns, fn{decl: fd, params: params})
+		}
+	}
+	out := make(map[string]map[int]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			for i, p := range f.params {
+				if p == "_" || out[f.decl.Name.Name][i] {
+					continue
+				}
+				if closesVar(f.decl.Body, p, out) {
+					if out[f.decl.Name.Name] == nil {
+						out[f.decl.Name.Name] = make(map[int]bool)
+					}
+					out[f.decl.Name.Name][i] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// closesVar reports whether body contains v.Body.Close() (deferred or
+// not) or passes v to a known closer at a closing parameter index.
+func closesVar(body ast.Node, v string, closers map[string]map[int]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if isBodyCloseOn(call, v) {
+			found = true
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			for i, arg := range call.Args {
+				if aid, ok := arg.(*ast.Ident); ok && aid.Name == v && closers[id.Name][i] {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isBodyCloseOn matches v.Body.Close().
+func isBodyCloseOn(call *ast.CallExpr, v string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "Body" {
+		return false
+	}
+	id, ok := inner.X.(*ast.Ident)
+	return ok && id.Name == v
+}
+
+// checkFunc analyses one function body for produced-but-unclosed
+// responses.
+func (r *bodyClose) checkFunc(pkg *Package, fd *ast.FuncDecl, httpName string,
+	producers map[string]int, closers map[string]map[int]bool, report ReportFunc) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if _, ok := r.producerCall(call, httpName, producers); ok {
+					report(call.Pos(), "http.Response discarded without closing its Body: "+
+						"assign it and defer resp.Body.Close()")
+				}
+			}
+		case *ast.AssignStmt:
+			r.checkAssign(fd, st, httpName, producers, closers, report)
+		}
+		return true
+	})
+}
+
+// producerCall decides whether call yields an *http.Response and at
+// which tuple index.
+func (r *bodyClose) producerCall(call *ast.CallExpr, httpName string,
+	producers map[string]int) (int, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if i, ok := producers[fun.Name]; ok {
+			return i, true
+		}
+	case *ast.SelectorExpr:
+		if base, ok := fun.X.(*ast.Ident); ok && httpName != "" && base.Name == httpName {
+			switch fun.Sel.Name {
+			case "Get", "Post", "Head", "PostForm":
+				return 0, true
+			}
+		}
+		switch fun.Sel.Name {
+		case "Do", "RoundTrip":
+			// Client.Do / Transport.RoundTrip. The receiver is matched
+			// loosely (anything ending in a client/transport spelling or
+			// http.DefaultClient) to keep unrelated Do methods out.
+			recv := strings.ToLower(exprText(fun.X))
+			if strings.Contains(recv, "client") || strings.Contains(recv, "transport") {
+				return 0, true
+			}
+		}
+	}
+	return -1, false
+}
+
+// exprText renders a short expression for the heuristics above.
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "()"
+	case *ast.ParenExpr:
+		return exprText(x.X)
+	case *ast.StarExpr:
+		return exprText(x.X)
+	}
+	return ""
+}
+
+func (r *bodyClose) checkAssign(fd *ast.FuncDecl, st *ast.AssignStmt, httpName string,
+	producers map[string]int, closers map[string]map[int]bool, report ReportFunc) {
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	idx, ok := r.producerCall(call, httpName, producers)
+	if !ok || idx >= len(st.Lhs) {
+		return
+	}
+	id, ok := st.Lhs[idx].(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		report(id.Pos(), "http.Response assigned to _: its Body leaks the connection; "+
+			"assign it and defer resp.Body.Close()")
+		return
+	}
+	if !r.satisfied(fd.Body, id.Name, closers) {
+		report(call.Pos(), fmt.Sprintf(
+			"%s's Body is never closed in this function: defer %s.Body.Close(), return "+
+				"it, or hand it to a helper that closes it", id.Name, id.Name))
+	}
+}
+
+// satisfied reports whether v's body is closed, returned, passed to a
+// closer, or escapes into another variable or composite literal.
+func (r *bodyClose) satisfied(body ast.Node, v string, closers map[string]map[int]bool) bool {
+	if closesVar(body, v, closers) {
+		return true
+	}
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if id, isID := res.(*ast.Ident); isID && id.Name == v {
+					ok = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range st.Rhs {
+				if id, isID := rhs.(*ast.Ident); isID && id.Name == v {
+					ok = true // ownership moved to another variable
+					return false
+				}
+			}
+		case *ast.KeyValueExpr:
+			if id, isID := st.Value.(*ast.Ident); isID && id.Name == v {
+				ok = true // stored in a struct; lifetime unknown
+				return false
+			}
+		case *ast.SendStmt:
+			if id, isID := st.Value.(*ast.Ident); isID && id.Name == v {
+				ok = true
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}

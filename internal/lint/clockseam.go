@@ -1,0 +1,67 @@
+package lint
+
+import "fmt"
+
+// clockSeam is the static twin of TestDeterminismByteIdentical: in
+// the deterministic core (desim, jobs, journal) no wall-clock read
+// and no draw from the global rand source may be *reachable*, not
+// merely present — a time.Now three frames down a helper chain breaks
+// byte-identical replay exactly as thoroughly as an inline one. The
+// sanctioned escape is the injected seam: assigning time.Now as the
+// default of a field named Now or Clock (PoolConfig.Now) is how the
+// production clock enters, and calls through that seam are function
+// values the analysis deliberately treats as opaque.
+//
+// The syntactic seedrand rule stays on: it covers test files (which
+// carry no types and thus no call graph) and packages outside this
+// rule's reachability scope.
+type clockSeam struct {
+	applies func(string) bool
+}
+
+// NewClockSeam returns the clockseam rule restricted to packages
+// matched by applies.
+func NewClockSeam(applies func(string) bool) Rule { return &clockSeam{applies: applies} }
+
+func (r *clockSeam) Name() string { return "clockseam" }
+
+func (r *clockSeam) Doc() string {
+	return "no wall-clock or global-rand reachable from the deterministic core except through a Now/Clock seam"
+}
+
+func (r *clockSeam) Applies(p string) bool { return r.applies(p) }
+
+// Check is unused: the engine dispatches ProgramRules to CheckProgram.
+func (r *clockSeam) Check(pkg *Package, report ReportFunc) {}
+
+func (r *clockSeam) CheckProgram(prog *Program, report ProgramReportFunc) {
+	for _, key := range prog.sortedFuncKeys() {
+		ff := prog.Funcs[key]
+		if !r.applies(ff.Pkg.Path) {
+			continue
+		}
+		// Direct facts are reported where they occur.
+		for _, f := range ff.Clock {
+			report(ff.Pkg, f.Pos, fmt.Sprintf(
+				"%s in the deterministic core: a Config plus a Seed must fully determine "+
+					"a run; route it through an injected Now/Clock seam or a seeded source",
+				f.Desc))
+		}
+		// Reach-through-call facts are reported at the call site, but
+		// only when the callee's package is outside this rule's scope —
+		// a scoped callee is reported directly at its own fact.
+		for _, call := range ff.Calls {
+			callee := prog.Funcs[call.Key]
+			if callee != nil && r.applies(callee.Pkg.Path) {
+				continue
+			}
+			if reach := prog.ReachClock(call.Key); reach != nil {
+				report(ff.Pkg, call.Pos, fmt.Sprintf(
+					"%s reachable from the deterministic core via %s: a Config plus a Seed "+
+						"must fully determine a run; inject the clock/seed through the seam "+
+						"instead of calling into wall-clock code",
+					reach.Fact.Desc, chainString(append([]string{ff.Display}, reach.Chain...))))
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// errClass turns PR 3's runtime errors_test.go sweep into a static
+// guarantee: every error that an exported function of the public
+// surface (the root starperf package and client) can return must be
+// classifiable — wrapping a declared sentinel (cfgerr.ErrInvalid, a
+// package-level Err… variable), carried by a named error type
+// (UnreachableError, *client.APIError), or propagated with
+// fmt.Errorf("…: %w", err). What it hunts is the unclassifiable leaf:
+// an inline errors.New or a fmt.Errorf without %w created inside a
+// function body, which callers can match only by string.
+//
+// The analysis is a reachability question over the phase-one call
+// graph: a leaf is a violation when some exported, error-returning
+// function in scope transitively calls the function that mints it.
+// Package-level `var ErrX = errors.New(…)` declarations are never
+// leaves — they are the sentinels; only function-body creations
+// count. Classifier packages (cfgerr, whose constructors exist to
+// mint classified errors) are exempt wholesale.
+type errClass struct {
+	applies func(string) bool
+	exempt  func(string) bool
+}
+
+// NewErrClass returns the errclass rule. applies selects the packages
+// whose exported functions anchor the reachability sweep; exempt
+// names classifier packages whose function-body error creations are
+// the classification mechanism itself.
+func NewErrClass(applies, exempt func(string) bool) Rule {
+	return &errClass{applies: applies, exempt: exempt}
+}
+
+func (r *errClass) Name() string { return "errclass" }
+
+func (r *errClass) Doc() string {
+	return "errors returned by the exported API must wrap a declared sentinel or typed error"
+}
+
+func (r *errClass) Applies(p string) bool { return r.applies(p) }
+
+// Check is unused: the engine dispatches ProgramRules to CheckProgram.
+func (r *errClass) Check(pkg *Package, report ReportFunc) {}
+
+// errLeaf is one unclassifiable error creation.
+type errLeaf struct {
+	pkg  *Package
+	pos  token.Pos
+	desc string
+}
+
+// errSummary caches one function's leaves.
+type errSummary struct {
+	leaves []errLeaf
+}
+
+func (r *errClass) CheckProgram(prog *Program, report ProgramReportFunc) {
+	type hit struct {
+		leaf  errLeaf
+		entry string // display of the first exported entry point reaching it
+		chain []string
+	}
+	reported := make(map[token.Pos]*hit)
+	var order []token.Pos
+
+	for _, key := range prog.sortedFuncKeys() {
+		ff := prog.Funcs[key]
+		if !r.applies(ff.Pkg.Path) || !ff.Decl.Name.IsExported() {
+			continue
+		}
+		obj, _ := ff.Pkg.Info.Defs[ff.Decl.Name].(*types.Func)
+		if obj == nil || errorResultIndices(obj.Type().(*types.Signature)) == nil {
+			continue
+		}
+		// Walk every function reachable from this entry point and
+		// collect their leaves.
+		seen := map[string]bool{}
+		var walk func(k string, chain []string)
+		walk = func(k string, chain []string) {
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			f := prog.Funcs[k]
+			if f == nil {
+				return
+			}
+			for _, leaf := range r.summary(prog, f).leaves {
+				if _, ok := reported[leaf.pos]; !ok {
+					reported[leaf.pos] = &hit{leaf: leaf, entry: ff.Display,
+						chain: append(append([]string{}, chain...), f.Display)}
+					order = append(order, leaf.pos)
+				}
+			}
+			for _, call := range f.Calls {
+				// Only an error-returning callee can propagate its leaf
+				// back through the return path this rule models.
+				if callee := prog.Funcs[call.Key]; callee != nil && returnsError(callee) {
+					walk(call.Key, append(append([]string{}, chain...), f.Display))
+				}
+			}
+		}
+		walk(key, nil)
+	}
+
+	for _, pos := range order {
+		h := reported[pos]
+		report(h.leaf.pkg, pos, fmt.Sprintf(
+			"%s reaches the exported API (%s via %s) without wrapping a declared "+
+				"sentinel or typed error: callers can only match it by string; wrap "+
+				"cfgerr.ErrInvalid, a package Err… sentinel, or return a typed error",
+			h.leaf.desc, h.entry, chainString(h.chain)))
+	}
+}
+
+// returnsError reports whether ff's signature includes an error
+// result.
+func returnsError(ff *FuncFacts) bool {
+	obj, _ := ff.Pkg.Info.Defs[ff.Decl.Name].(*types.Func)
+	return obj != nil && errorResultIndices(obj.Type().(*types.Signature)) != nil
+}
+
+// summary computes (and caches) the unclassifiable leaves of one
+// function: errors.New calls and fmt.Errorf calls whose format string
+// has no %w verb, skipping exempt classifier packages and functions
+// that cannot return an error at all.
+func (r *errClass) summary(prog *Program, ff *FuncFacts) *errSummary {
+	if s, ok := prog.errMemo[ff.Key]; ok {
+		return s
+	}
+	s := &errSummary{}
+	prog.errMemo[ff.Key] = s
+	if r.exempt(ff.Pkg.Path) {
+		return s
+	}
+	obj, _ := ff.Pkg.Info.Defs[ff.Decl.Name].(*types.Func)
+	if obj == nil || errorResultIndices(obj.Type().(*types.Signature)) == nil {
+		// A function with no error result cannot propagate its leaf to
+		// the API through the return path this rule models.
+		return s
+	}
+	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(ff.Pkg, call)
+		if fn == nil {
+			return true
+		}
+		switch fn.FullName() {
+		case "errors.New":
+			s.leaves = append(s.leaves, errLeaf{
+				pkg: ff.Pkg, pos: call.Pos(), desc: "errors.New in " + ff.Display})
+		case "fmt.Errorf":
+			if !errorfWraps(call) {
+				s.leaves = append(s.leaves, errLeaf{
+					pkg: ff.Pkg, pos: call.Pos(), desc: "fmt.Errorf without %w in " + ff.Display})
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// errorfWraps reports whether a fmt.Errorf call's format string
+// (when it is a literal) contains a %w verb. Non-literal formats are
+// treated as wrapping: the rule cannot judge them, and a false
+// negative beats demanding a suppression for dynamic formats.
+func errorfWraps(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return true
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return true
+	}
+	return strings.Contains(lit.Value, "%w")
+}

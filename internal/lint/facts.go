@@ -1,0 +1,858 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is phase one of the two-phase analyzer: it compresses
+// every function of the module into a fact summary — which mutexes it
+// acquires, whether it performs disk or network I/O, whether it reads
+// the wall clock or the global rand source, and which module-local
+// functions it calls — and builds the intra-module call graph over
+// those summaries. Phase two (iounderlock.go, lockorder.go,
+// clockseam.go, errclass.go) asks reachability questions of the graph
+// instead of re-walking every AST per rule.
+//
+// The summaries are deliberately conservative approximations:
+//
+//   - Calls through function values and non-fsx interfaces are
+//     opaque (no edge). The fsx.FS/fsx.File seam is the exception —
+//     its whole purpose is to be the I/O boundary, so every method on
+//     it counts as primitive I/O wherever it is dispatched.
+//   - Function literals are not scanned as separate functions; a
+//     closure body contributes no facts to its enclosing function
+//     (it usually runs on another goroutine or after return).
+//   - Lock identity is the declaring struct type plus field name
+//     (jobs.Pool.mu), which conflates instances of the same type —
+//     the standard approximation for static lock-order analysis.
+
+// Fact kinds a function summary can carry.
+const (
+	factIO    = iota // disk or network I/O
+	factClock        // wall-clock read or global-rand draw
+)
+
+// Fact is one primitive effect observed in a function body.
+type Fact struct {
+	// Kind is factIO or factClock.
+	Kind int
+	// Pos locates the call (or value escape) in its package.
+	Pos token.Pos
+	// Desc names the primitive, e.g. "fsx.File.Sync" or "time.Now".
+	Desc string
+}
+
+// LockFact is one direct mutex acquisition or release.
+type LockFact struct {
+	// Key is the global lock identity: declaring struct type + field
+	// ("starperf/internal/jobs.Pool.mu") or package-level variable
+	// path. Locals are position-qualified so they never collide.
+	Key string
+	// Display is the short human form ("jobs.Pool.mu").
+	Display string
+	// Pos locates the Lock/RLock call.
+	Pos token.Pos
+	// Shared is true for RLock.
+	Shared bool
+}
+
+// CallFact is one static call edge to a module-local function.
+type CallFact struct {
+	// Key is the callee's funcKey.
+	Key string
+	// Display is the callee's short name.
+	Display string
+	// Pos locates the call site.
+	Pos token.Pos
+}
+
+// FuncFacts is one function's summary.
+type FuncFacts struct {
+	Key     string
+	Display string
+	Pkg     *Package
+	Decl    *ast.FuncDecl
+
+	IO       []Fact
+	Clock    []Fact
+	Acquires []LockFact
+	Calls    []CallFact
+}
+
+// Program is the phase-one product: every loaded package plus the
+// fact summaries and call graph over them. Build once per Run.
+type Program struct {
+	Pkgs  []*Package
+	Funcs map[string]*FuncFacts
+
+	ioMemo    map[string]*reach
+	clockMemo map[string]*reach
+	acqMemo   map[string][]lockReach
+
+	errMemo map[string]*errSummary // errclass summaries, computed lazily
+}
+
+// reach is one answer to "is a fact of this kind reachable": the fact
+// plus the call chain (display names, caller first) that reaches it.
+// A nil *reach means unreachable.
+type reach struct {
+	Fact  Fact
+	Chain []string
+}
+
+// lockReach is one transitively-acquirable lock with its chain.
+type lockReach struct {
+	Lock  LockFact
+	Chain []string
+}
+
+// BuildProgram summarises every function of pkgs and returns the
+// program graph. pkgs should be the full module so cross-package
+// reachability sees every callee; packages whose facts you do not
+// want scanned are excluded by rule scope, not by omission here.
+func BuildProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Pkgs:      pkgs,
+		Funcs:     make(map[string]*FuncFacts),
+		ioMemo:    make(map[string]*reach),
+		clockMemo: make(map[string]*reach),
+		acqMemo:   make(map[string][]lockReach),
+		errMemo:   make(map[string]*errSummary),
+	}
+	for _, pkg := range pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ff := &FuncFacts{
+					Key:     funcKey(obj),
+					Display: funcDisplay(obj),
+					Pkg:     pkg,
+					Decl:    fd,
+				}
+				p.collectFacts(pkg, fd, ff)
+				p.Funcs[ff.Key] = ff
+			}
+		}
+	}
+	return p
+}
+
+// funcKey is the canonical, module-unique function identity.
+func funcKey(fn *types.Func) string { return fn.FullName() }
+
+// pkgBase is the last path element of a package, for display.
+func pkgBase(p *types.Package) string {
+	if p == nil {
+		return ""
+	}
+	path := p.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// funcDisplay renders a short human-readable function name:
+// "jobs.NewPool", "(*jobs.Pool).SubmitMeta", "(fsx.FS).SyncDir".
+func funcDisplay(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return pkgBase(fn.Pkg()) + "." + fn.Name()
+	}
+	t := sig.Recv().Type()
+	ptr := ""
+	if pt, isPtr := t.(*types.Pointer); isPtr {
+		t = pt.Elem()
+		ptr = "*"
+	}
+	if named, isNamed := t.(*types.Named); isNamed {
+		return "(" + ptr + pkgBase(named.Obj().Pkg()) + "." + named.Obj().Name() + ")." + fn.Name()
+	}
+	return pkgBase(fn.Pkg()) + "." + fn.Name()
+}
+
+// collectFacts walks one function body recording primitives and call
+// edges. Function literals are skipped (see the file comment).
+func (p *Program) collectFacts(pkg *Package, fd *ast.FuncDecl, ff *FuncFacts) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			p.recordCall(pkg, x, ff)
+		case *ast.SelectorExpr:
+			// time.Now escaping as a value (not called) is a clock
+			// fact unless it feeds a named clock seam.
+			if fn := usedFunc(pkg, x.Sel); fn != nil && isClockFunc(fn) {
+				// Whether this selector is a call's Fun is decided in
+				// recordCall; value escapes are found by a dedicated
+				// pass below because they need parent context.
+				return true
+			}
+		}
+		return true
+	})
+	p.collectClockEscapes(pkg, fd, ff)
+}
+
+// usedFunc resolves an identifier to the *types.Func it uses, if any.
+func usedFunc(pkg *Package, id *ast.Ident) *types.Func {
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeFunc resolves a call expression's static callee.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return usedFunc(pkg, fun)
+	case *ast.SelectorExpr:
+		return usedFunc(pkg, fun.Sel)
+	}
+	return nil
+}
+
+// recordCall classifies one call: primitive I/O, clock read, global
+// rand draw, or a module-local edge.
+func (p *Program) recordCall(pkg *Package, call *ast.CallExpr, ff *FuncFacts) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return // func value, interface with no static callee, builtin
+	}
+	switch {
+	case isIOFunc(fn):
+		ff.IO = append(ff.IO, Fact{Kind: factIO, Pos: call.Pos(), Desc: funcDisplay(fn)})
+	case isClockFunc(fn):
+		ff.Clock = append(ff.Clock, Fact{Kind: factClock, Pos: call.Pos(), Desc: "time." + fn.Name()})
+	case isGlobalRandFunc(fn):
+		ff.Clock = append(ff.Clock, Fact{Kind: factClock, Pos: call.Pos(), Desc: "rand." + fn.Name() + " (global source)"})
+	case fn.Pkg() != nil && isModulePath(p, fn.Pkg().Path()):
+		ff.Calls = append(ff.Calls, CallFact{Key: funcKey(fn), Display: funcDisplay(fn), Pos: call.Pos()})
+	}
+	if op, lock, ok := lockOp(pkg, call); ok && (op == opLock || op == opRLock) {
+		lock.Shared = op == opRLock
+		ff.Acquires = append(ff.Acquires, lock)
+	}
+}
+
+// isModulePath reports whether path belongs to a package loaded into
+// the program (i.e. module-local).
+func isModulePath(p *Program, path string) bool {
+	for _, pkg := range p.Pkgs {
+		if pkg.Path == path {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- primitive classification ----
+
+// osIOFuncs are the package-level os functions that touch the
+// filesystem (predicates like IsNotExist and accessors like Getenv
+// deliberately excluded).
+var osIOFuncs = map[string]bool{
+	"Create": true, "CreateTemp": true, "Open": true, "OpenFile": true,
+	"ReadFile": true, "WriteFile": true, "Remove": true, "RemoveAll": true,
+	"Rename": true, "Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"ReadDir": true, "Stat": true, "Lstat": true, "Truncate": true,
+	"Chmod": true, "Chown": true, "Link": true, "Symlink": true, "Pipe": true,
+	"ReadLink": true,
+}
+
+// netIOFuncs are the package-level net dial/listen entry points.
+var netIOFuncs = map[string]bool{
+	"Dial": true, "DialTimeout": true, "DialTCP": true, "DialUDP": true,
+	"DialUnix": true, "DialIP": true, "Listen": true, "ListenPacket": true,
+	"ListenTCP": true, "ListenUDP": true, "ListenUnix": true, "LookupHost": true,
+	"LookupAddr": true, "LookupIP": true,
+}
+
+// httpIOFuncs are the package-level net/http client entry points.
+var httpIOFuncs = map[string]bool{
+	"Get": true, "Post": true, "Head": true, "PostForm": true,
+}
+
+// isFsxPath matches the repo's filesystem seam package (and a
+// fixture's local equivalent): every method on it is I/O by
+// definition.
+func isFsxPath(path string) bool {
+	return path == "fsx" || strings.HasSuffix(path, "/fsx")
+}
+
+// recvNamed returns the named type of fn's receiver (pointers
+// dereferenced), or nil for package functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isIOFunc reports whether fn is a primitive disk/network operation.
+func isIOFunc(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	if isFsxPath(path) {
+		return true // the seam: every method and helper is I/O
+	}
+	named := recvNamed(fn)
+	switch path {
+	case "os":
+		if named != nil {
+			return named.Obj().Name() == "File" // every *os.File method
+		}
+		return osIOFuncs[fn.Name()]
+	case "syscall":
+		return true
+	case "net":
+		if named != nil {
+			return true // Conn, Listener, Dialer, Resolver methods
+		}
+		return netIOFuncs[fn.Name()]
+	case "net/http":
+		if named != nil {
+			n := named.Obj().Name()
+			return n == "Client" || n == "Transport"
+		}
+		return httpIOFuncs[fn.Name()]
+	}
+	return false
+}
+
+// isClockFunc reports whether fn is a wall-clock read.
+func isClockFunc(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "time" && bannedTime[fn.Name()]
+}
+
+// isGlobalRandFunc reports whether fn draws from math/rand's (or
+// v2's) unseeded global source.
+func isGlobalRandFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil || recvNamed(fn) != nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return (path == "math/rand" || path == "math/rand/v2") && bannedRand[fn.Name()]
+}
+
+// collectClockEscapes finds time.Now (et al.) used as a *value* —
+// assigned, passed, stored — rather than called. Feeding a named
+// clock seam (a field or key called Now or Clock) is the one
+// sanctioned escape: that is how the injectable clock is defaulted.
+func (p *Program) collectClockEscapes(pkg *Package, fd *ast.FuncDecl, ff *FuncFacts) {
+	seam := make(map[ast.Expr]bool)
+	calls := make(map[ast.Expr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			calls[ast.Unparen(x.Fun)] = true
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if i < len(x.Lhs) && isSeamTarget(x.Lhs[i]) {
+					seam[ast.Unparen(rhs)] = true
+				}
+			}
+		case *ast.KeyValueExpr:
+			if key, ok := x.Key.(*ast.Ident); ok && isSeamName(key.Name) {
+				seam[ast.Unparen(x.Value)] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := usedFunc(pkg, sel.Sel)
+		if fn == nil || !isClockFunc(fn) {
+			return true
+		}
+		if calls[ast.Expr(sel)] || seam[ast.Expr(sel)] {
+			return true
+		}
+		ff.Clock = append(ff.Clock, Fact{
+			Kind: factClock, Pos: sel.Pos(),
+			Desc: "time." + fn.Name() + " captured as a value outside a Now/Clock seam",
+		})
+		return true
+	})
+}
+
+// isSeamTarget reports whether an assignment target is a named clock
+// seam (x.Now = ..., cfg.Clock = ...).
+func isSeamTarget(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		return isSeamName(x.Sel.Name)
+	case *ast.Ident:
+		return isSeamName(x.Name)
+	}
+	return false
+}
+
+func isSeamName(name string) bool { return name == "Now" || name == "Clock" }
+
+// ---- lock identity ----
+
+// Lock operation kinds.
+const (
+	opLock = iota
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+// lockMethods maps sync method identities to operations.
+var lockMethods = map[string]int{
+	"(*sync.Mutex).Lock":     opLock,
+	"(*sync.Mutex).Unlock":   opUnlock,
+	"(*sync.RWMutex).Lock":   opLock,
+	"(*sync.RWMutex).Unlock": opUnlock,
+	"(*sync.RWMutex).RLock":  opRLock,
+	"(*sync.RWMutex).RUnlock": opRUnlock,
+}
+
+// lockOp decides whether call is a mutex operation and, if so,
+// resolves the lock's identity.
+func lockOp(pkg *Package, call *ast.CallExpr) (op int, lock LockFact, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return 0, LockFact{}, false
+	}
+	fn := usedFunc(pkg, sel.Sel)
+	if fn == nil {
+		return 0, LockFact{}, false
+	}
+	op, isLock := lockMethods[fn.FullName()]
+	if !isLock {
+		return 0, LockFact{}, false
+	}
+	key, display := lockIdentity(pkg, sel.X)
+	return op, LockFact{Key: key, Display: display, Pos: call.Pos()}, true
+}
+
+// lockIdentity names the mutex behind a receiver expression. Field
+// selectors resolve to "declaring-type.field"; package-level
+// variables to their path; locals are position-qualified. The
+// fallback renders the expression text, which still gives stable
+// within-function pairing.
+func lockIdentity(pkg *Package, e ast.Expr) (key, display string) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel := pkg.Info.Selections[x]; sel != nil {
+			recv := sel.Recv()
+			if pt, ok := recv.(*types.Pointer); ok {
+				recv = pt.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				obj := named.Obj()
+				key = obj.Pkg().Path() + "." + obj.Name() + "." + sel.Obj().Name()
+				display = pkgBase(obj.Pkg()) + "." + obj.Name() + "." + sel.Obj().Name()
+				return key, display
+			}
+		}
+		if obj, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && obj.Pkg() != nil {
+			key = obj.Pkg().Path() + "." + obj.Name()
+			return key, pkgBase(obj.Pkg()) + "." + obj.Name()
+		}
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[x].(*types.Var); ok {
+			// An identifier whose type is a named struct embedding the
+			// mutex (t.Lock() via promotion) keys on the struct type.
+			t := obj.Type()
+			if pt, ok := t.(*types.Pointer); ok {
+				t = pt.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && !isSyncMutex(named) {
+				key = named.Obj().Pkg().Path() + "." + named.Obj().Name() + ".(embedded)"
+				return key, pkgBase(named.Obj().Pkg()) + "." + named.Obj().Name() + ".(embedded)"
+			}
+			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				key = obj.Pkg().Path() + "." + obj.Name()
+				return key, pkgBase(obj.Pkg()) + "." + obj.Name()
+			}
+			// Local mutex: position-qualified so distinct locals never
+			// alias.
+			key = fmt.Sprintf("local.%s@%d", obj.Name(), obj.Pos())
+			return key, obj.Name()
+		}
+	}
+	text := types.ExprString(e)
+	return "expr." + text, text
+}
+
+// isSyncMutex reports whether named is sync.Mutex or sync.RWMutex.
+func isSyncMutex(named *types.Named) bool {
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// ---- reachability ----
+
+// ReachIO answers whether disk/network I/O is reachable from the
+// function with the given key, with the witness chain.
+func (p *Program) ReachIO(key string) *reach {
+	return p.reachFact(key, factIO, p.ioMemo, make(map[string]bool))
+}
+
+// ReachClock answers whether a wall-clock read or global-rand draw is
+// reachable from key.
+func (p *Program) ReachClock(key string) *reach {
+	return p.reachFact(key, factClock, p.clockMemo, make(map[string]bool))
+}
+
+func (p *Program) reachFact(key string, kind int, memo map[string]*reach, visiting map[string]bool) *reach {
+	if r, ok := memo[key]; ok {
+		return r
+	}
+	if visiting[key] {
+		return nil // cycle: resolved by the first frame
+	}
+	visiting[key] = true
+	defer delete(visiting, key)
+	ff := p.Funcs[key]
+	if ff == nil {
+		memo[key] = nil
+		return nil
+	}
+	facts := ff.IO
+	if kind == factClock {
+		facts = ff.Clock
+	}
+	if len(facts) > 0 {
+		r := &reach{Fact: facts[0], Chain: []string{ff.Display}}
+		memo[key] = r
+		return r
+	}
+	for _, call := range ff.Calls {
+		if sub := p.reachFact(call.Key, kind, memo, visiting); sub != nil {
+			r := &reach{Fact: sub.Fact, Chain: append([]string{ff.Display}, sub.Chain...)}
+			memo[key] = r
+			return r
+		}
+	}
+	memo[key] = nil
+	return nil
+}
+
+// ReachAcquires returns every lock transitively acquirable from key
+// (direct acquisitions included), deduped by lock key, in first-seen
+// (source) order, each with its witness chain.
+func (p *Program) ReachAcquires(key string) []lockReach {
+	if r, ok := p.acqMemo[key]; ok {
+		return r
+	}
+	out := p.reachAcquires(key, make(map[string]bool))
+	p.acqMemo[key] = out
+	return out
+}
+
+func (p *Program) reachAcquires(key string, visiting map[string]bool) []lockReach {
+	if visiting[key] {
+		return nil
+	}
+	visiting[key] = true
+	defer delete(visiting, key)
+	ff := p.Funcs[key]
+	if ff == nil {
+		return nil
+	}
+	var out []lockReach
+	seen := make(map[string]bool)
+	for _, l := range ff.Acquires {
+		if !seen[l.Key] {
+			seen[l.Key] = true
+			out = append(out, lockReach{Lock: l, Chain: []string{ff.Display}})
+		}
+	}
+	for _, call := range ff.Calls {
+		for _, sub := range p.reachAcquires(call.Key, visiting) {
+			if !seen[sub.Lock.Key] {
+				seen[sub.Lock.Key] = true
+				out = append(out, lockReach{Lock: sub.Lock, Chain: append([]string{ff.Display}, sub.Chain...)})
+			}
+		}
+	}
+	return out
+}
+
+// chainString renders a witness chain for a finding message.
+func chainString(chain []string) string { return strings.Join(chain, " → ") }
+
+// ---- critical-section scanning ----
+
+// heldLock is one lock currently held during the scan.
+type heldLock struct {
+	LockFact
+	deferred bool // a defer Unlock is pending; released at return
+}
+
+// csCallbacks receives critical-section events from scanCritical.
+type csCallbacks struct {
+	// onCall fires for every statically-resolvable call made while at
+	// least one lock is held (the lock/unlock operations themselves
+	// excluded). held is a snapshot in acquisition order.
+	onCall func(call *ast.CallExpr, fn *types.Func, held []heldLock)
+	// onAcquire fires for every direct acquisition, with the locks
+	// already held at that point (possibly none).
+	onAcquire func(lock LockFact, held []heldLock)
+	// onLeak fires when control can leave the function (return or
+	// falling off the end) while a non-deferred lock acquired in this
+	// function is still held.
+	onLeak func(pos token.Pos, lock LockFact)
+}
+
+// scanCritical walks fd's body in statement order, tracking which
+// mutexes are held, and reports calls made under them. The walk is a
+// linear approximation: branch bodies are scanned with a copy of the
+// held set and the parent continues with its own — the early
+// unlock-and-return idiom is tracked exactly; an unlock on a
+// fall-through branch is missed (rare; suppress with //lint:ignore).
+func scanCritical(pkg *Package, fd *ast.FuncDecl, cb csCallbacks) {
+	held := []heldLock{}
+	terminated := scanStmts(pkg, fd.Body.List, &held, cb)
+	if !terminated {
+		leakCheck(fd.Body.Rbrace, held, cb)
+	}
+}
+
+func leakCheck(pos token.Pos, held []heldLock, cb csCallbacks) {
+	if cb.onLeak == nil {
+		return
+	}
+	for _, h := range held {
+		if !h.deferred {
+			cb.onLeak(pos, h.LockFact)
+		}
+	}
+}
+
+func cloneHeld(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+// scanStmts processes one statement list; it returns true when the
+// list cannot fall through to the statement after it (ends in
+// return/branch).
+func scanStmts(pkg *Package, list []ast.Stmt, held *[]heldLock, cb csCallbacks) bool {
+	for _, s := range list {
+		if scanStmt(pkg, s, held, cb) {
+			return true
+		}
+	}
+	return false
+}
+
+func scanStmt(pkg *Package, s ast.Stmt, held *[]heldLock, cb csCallbacks) bool {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if op, lock, ok := lockOp(pkg, call); ok {
+				applyLockOp(op, lock, held, cb)
+				return false
+			}
+		}
+		scanExpr(pkg, st.X, *held, cb)
+	case *ast.DeferStmt:
+		if op, lock, ok := lockOp(pkg, st.Call); ok && (op == opUnlock || op == opRUnlock) {
+			for i := range *held {
+				if (*held)[i].Key == lock.Key {
+					(*held)[i].deferred = true
+				}
+			}
+			return false
+		}
+		// Deferred non-unlock calls run at return; their lock context
+		// is ambiguous, so they are not treated as under-lock events.
+		for _, arg := range st.Call.Args {
+			scanExpr(pkg, arg, *held, cb)
+		}
+	case *ast.GoStmt:
+		// The spawned function runs without inheriting the lock; only
+		// its argument expressions evaluate here.
+		for _, arg := range st.Call.Args {
+			scanExpr(pkg, arg, *held, cb)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			scanExpr(pkg, r, *held, cb)
+		}
+		leakCheck(st.Pos(), *held, cb)
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto end this path
+	case *ast.BlockStmt:
+		return scanStmts(pkg, st.List, held, cb)
+	case *ast.LabeledStmt:
+		return scanStmt(pkg, st.Stmt, held, cb)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			scanStmt(pkg, st.Init, held, cb)
+		}
+		scanExpr(pkg, st.Cond, *held, cb)
+		branch := cloneHeld(*held)
+		scanStmts(pkg, st.Body.List, &branch, cb)
+		if st.Else != nil {
+			branch = cloneHeld(*held)
+			scanStmt(pkg, st.Else, &branch, cb)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			scanStmt(pkg, st.Init, held, cb)
+		}
+		if st.Cond != nil {
+			scanExpr(pkg, st.Cond, *held, cb)
+		}
+		branch := cloneHeld(*held)
+		scanStmts(pkg, st.Body.List, &branch, cb)
+	case *ast.RangeStmt:
+		scanExpr(pkg, st.X, *held, cb)
+		branch := cloneHeld(*held)
+		scanStmts(pkg, st.Body.List, &branch, cb)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			scanStmt(pkg, st.Init, held, cb)
+		}
+		if st.Tag != nil {
+			scanExpr(pkg, st.Tag, *held, cb)
+		}
+		scanClauses(pkg, st.Body, held, cb)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			scanStmt(pkg, st.Init, held, cb)
+		}
+		scanClauses(pkg, st.Body, held, cb)
+	case *ast.SelectStmt:
+		for _, clause := range st.Body.List {
+			comm, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			branch := cloneHeld(*held)
+			if comm.Comm != nil {
+				scanStmt(pkg, comm.Comm, &branch, cb)
+			}
+			scanStmts(pkg, comm.Body, &branch, cb)
+		}
+	default:
+		// Assignments, declarations, sends, inc/dec: scan embedded
+		// calls.
+		scanNodeExprs(pkg, s, *held, cb)
+	}
+	return false
+}
+
+func scanClauses(pkg *Package, body *ast.BlockStmt, held *[]heldLock, cb csCallbacks) {
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			scanExpr(pkg, e, *held, cb)
+		}
+		branch := cloneHeld(*held)
+		scanStmts(pkg, cc.Body, &branch, cb)
+	}
+}
+
+// applyLockOp mutates the held set for one statement-level lock call.
+func applyLockOp(op int, lock LockFact, held *[]heldLock, cb csCallbacks) {
+	switch op {
+	case opLock, opRLock:
+		lock.Shared = op == opRLock
+		if cb.onAcquire != nil {
+			cb.onAcquire(lock, cloneHeld(*held))
+		}
+		*held = append(*held, heldLock{LockFact: lock})
+	case opUnlock, opRUnlock:
+		for i := len(*held) - 1; i >= 0; i-- {
+			if (*held)[i].Key == lock.Key {
+				*held = append((*held)[:i], (*held)[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// scanExpr reports resolvable calls inside e with the current held
+// set, skipping function literal bodies.
+func scanExpr(pkg *Package, e ast.Expr, held []heldLock, cb csCallbacks) {
+	if e == nil {
+		return
+	}
+	scanNodeExprs(pkg, e, held, cb)
+}
+
+func scanNodeExprs(pkg *Package, n ast.Node, held []heldLock, cb csCallbacks) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch c := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if op, lock, ok := lockOp(pkg, c); ok {
+				// A nested acquisition (rare) still records an order
+				// event; nested releases are ignored by the linear scan.
+				if op == opLock || op == opRLock {
+					lock.Shared = op == opRLock
+					if cb.onAcquire != nil {
+						cb.onAcquire(lock, cloneHeld(held))
+					}
+				}
+				return true
+			}
+			if len(held) == 0 || cb.onCall == nil {
+				return true
+			}
+			if fn := calleeFunc(pkg, c); fn != nil {
+				cb.onCall(c, fn, cloneHeld(held))
+			}
+		}
+		return true
+	})
+}
+
+// sortedFuncKeys returns the program's function keys sorted, for
+// deterministic rule iteration.
+func (p *Program) sortedFuncKeys() []string {
+	keys := make([]string, 0, len(p.Funcs))
+	for k := range p.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

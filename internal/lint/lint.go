@@ -59,34 +59,102 @@ type Rule interface {
 	Check(pkg *Package, report ReportFunc)
 }
 
+// ProgramReportFunc is how program-wide rules emit findings: the
+// package is needed to resolve positions and suppressions for the
+// file being reported into (which, for interprocedural rules, is not
+// necessarily the rule's entry-point package).
+type ProgramReportFunc func(pkg *Package, pos token.Pos, msg string)
+
+// ProgramRule is a rule that analyses the whole module at once over
+// the phase-one call graph (Program) instead of package by package.
+// Its Check method is never called by the engine; Applies declares
+// where the rule's entry points live (the rule consults its own scope
+// when walking the program, and may report findings outside it — an
+// errclass leaf can sit in a package the rule does not scan).
+type ProgramRule interface {
+	Rule
+	CheckProgram(prog *Program, report ProgramReportFunc)
+}
+
+// Result is the full outcome of a lint run.
+type Result struct {
+	// Findings are the surviving diagnostics, sorted by position.
+	Findings []Finding
+	// Suppressed counts findings silenced by //lint:ignore.
+	Suppressed int
+	// UnusedIgnores lists //lint:ignore directives (rule
+	// "unused-ignore") that silenced nothing in this run and whose
+	// every named rule actually ran — stale suppressions that outlive
+	// the code they excused.
+	UnusedIgnores []Finding
+}
+
 // Run executes every applicable rule over every package, drops
 // suppressed findings, and returns the rest sorted by position. The
 // returned slice also contains a "directive" finding for every
 // malformed //lint:ignore comment.
 func Run(pkgs []*Package, rules []Rule) []Finding {
-	var out []Finding
+	return RunDetail(pkgs, rules).Findings
+}
+
+// RunDetail is Run with the suppression accounting exposed: how many
+// findings //lint:ignore silenced, and which directives are stale.
+func RunDetail(pkgs []*Package, rules []Rule) Result {
+	var res Result
+	tables := make(map[string]*supTable, len(pkgs))
 	for _, pkg := range pkgs {
 		sup, bad := collectSuppressions(pkg)
-		out = append(out, bad...)
-		for _, rule := range rules {
+		tables[pkg.Path] = sup
+		res.Findings = append(res.Findings, bad...)
+	}
+	record := func(rule Rule, pkg *Package, pos token.Pos, msg string) {
+		p := pkg.Fset.Position(pos)
+		if tables[pkg.Path].suppress(p.Filename, p.Line, rule.Name()) {
+			res.Suppressed++
+			return
+		}
+		res.Findings = append(res.Findings, Finding{
+			Rule:    rule.Name(),
+			File:    p.Filename,
+			Line:    p.Line,
+			Col:     p.Column,
+			Message: msg,
+		})
+	}
+
+	var progRules []ProgramRule
+	for _, rule := range rules {
+		if pr, ok := rule.(ProgramRule); ok {
+			progRules = append(progRules, pr)
+			continue
+		}
+		for _, pkg := range pkgs {
 			if !rule.Applies(pkg.Path) {
 				continue
 			}
+			pkg := pkg
+			rule := rule
 			rule.Check(pkg, func(pos token.Pos, msg string) {
-				p := pkg.Fset.Position(pos)
-				if sup.suppressed(p.Filename, p.Line, rule.Name()) {
-					return
-				}
-				out = append(out, Finding{
-					Rule:    rule.Name(),
-					File:    p.Filename,
-					Line:    p.Line,
-					Col:     p.Column,
-					Message: msg,
-				})
+				record(rule, pkg, pos, msg)
 			})
 		}
 	}
+	if len(progRules) > 0 {
+		prog := BuildProgram(pkgs)
+		for _, rule := range progRules {
+			rule := rule
+			rule.CheckProgram(prog, func(pkg *Package, pos token.Pos, msg string) {
+				record(rule, pkg, pos, msg)
+			})
+		}
+	}
+
+	sortFindings(res.Findings)
+	res.UnusedIgnores = unusedIgnores(pkgs, tables, rules)
+	return res
+}
+
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -103,15 +171,78 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 		}
 		return a.Message < b.Message
 	})
+}
+
+// unusedIgnores reports directives that suppressed nothing. A
+// directive is only judged when every rule it names ran in this
+// invocation (a -rules subset must not flag suppressions for the
+// rules it skipped); per-package rules additionally must apply to the
+// directive's package, while program rules see the whole module.
+func unusedIgnores(pkgs []*Package, tables map[string]*supTable, rules []Rule) []Finding {
+	byName := make(map[string]Rule, len(rules))
+	for _, r := range rules {
+		byName[r.Name()] = r
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, e := range tables[pkg.Path].entries {
+			if e.used {
+				continue
+			}
+			judgeable := true
+			for rname := range e.rules {
+				r, ok := byName[rname]
+				if !ok {
+					judgeable = false
+					break
+				}
+				if _, isProg := r.(ProgramRule); !isProg && !r.Applies(pkg.Path) {
+					judgeable = false
+					break
+				}
+			}
+			if !judgeable {
+				continue
+			}
+			out = append(out, Finding{
+				Rule: "unused-ignore", File: e.file, Line: e.line, Col: e.col,
+				Message: fmt.Sprintf("//lint:ignore %s suppresses nothing: delete it or re-justify it",
+					e.ruleList),
+			})
+		}
+	}
+	sortFindings(out)
 	return out
 }
 
-// suppressions maps file -> line -> the set of rule names suppressed
-// on that line.
-type suppressions map[string]map[int]map[string]bool
+// supEntry is one //lint:ignore directive with its usage flag.
+type supEntry struct {
+	rules    map[string]bool
+	ruleList string // the comma list as written, for messages
+	file     string
+	line     int
+	col      int
+	used     bool
+}
 
-func (s suppressions) suppressed(file string, line int, rule string) bool {
-	return s[file][line][rule]
+// supTable indexes a package's directives by the lines they cover
+// (the directive's own line and the line below it).
+type supTable struct {
+	byLine  map[string]map[int][]*supEntry
+	entries []*supEntry
+}
+
+// suppress reports whether rule is silenced at file:line, marking
+// every covering directive used.
+func (t *supTable) suppress(file string, line int, rule string) bool {
+	hit := false
+	for _, e := range t.byLine[file][line] {
+		if e.rules[rule] {
+			e.used = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 const ignorePrefix = "//lint:ignore"
@@ -120,8 +251,8 @@ const ignorePrefix = "//lint:ignore"
 // included) for //lint:ignore directives. A well-formed directive
 // suppresses the named rules on its own line and on the line directly
 // below it; malformed directives are returned as findings.
-func collectSuppressions(pkg *Package) (suppressions, []Finding) {
-	sup := make(suppressions)
+func collectSuppressions(pkg *Package) (*supTable, []Finding) {
+	sup := &supTable{byLine: make(map[string]map[int][]*supEntry)}
 	var bad []Finding
 	for _, f := range pkg.AllFiles() {
 		for _, cg := range f.Comments {
@@ -142,18 +273,24 @@ func collectSuppressions(pkg *Package) (suppressions, []Finding) {
 					})
 					continue
 				}
-				byFile := sup[p.Filename]
-				if byFile == nil {
-					byFile = make(map[int]map[string]bool)
-					sup[p.Filename] = byFile
+				e := &supEntry{
+					rules:    make(map[string]bool),
+					ruleList: fields[0],
+					file:     p.Filename,
+					line:     p.Line,
+					col:      p.Column,
 				}
 				for _, rule := range strings.Split(fields[0], ",") {
-					for _, line := range []int{p.Line, p.Line + 1} {
-						if byFile[line] == nil {
-							byFile[line] = make(map[string]bool)
-						}
-						byFile[line][rule] = true
-					}
+					e.rules[rule] = true
+				}
+				sup.entries = append(sup.entries, e)
+				byFile := sup.byLine[p.Filename]
+				if byFile == nil {
+					byFile = make(map[int][]*supEntry)
+					sup.byLine[p.Filename] = byFile
+				}
+				for _, line := range []int{p.Line, p.Line + 1} {
+					byFile[line] = append(byFile[line], e)
 				}
 			}
 		}
@@ -215,12 +352,40 @@ func DefaultRules() []Rule {
 		"starperf/internal/model",
 		"starperf/internal/stargraph",
 	)
+	// The interprocedural rules (phase two over the call graph).
+	// iounderlock exempts the two packages whose contract is I/O under
+	// their own lock: the journal's WAL serialises writers through
+	// j.mu by design, and fsx.Faulty brackets injected faults with a
+	// bookkeeping mutex. Everyone else holding a lock across I/O —
+	// including a lock held across a *call into* those packages — is
+	// the PR 5 fsync-under-p.mu bug and gets flagged.
+	ioScope := func(p string) bool {
+		return p != "starperf/internal/journal" && p != "starperf/internal/fsx"
+	}
+	// clockseam guards the deterministic core: the packages whose
+	// behaviour TestDeterminismByteIdentical freezes byte-for-byte.
+	clockCore := inPackages(
+		"starperf/internal/desim",
+		"starperf/internal/jobs",
+		"starperf/internal/journal",
+	)
+	// errclass anchors at the public surface: the root api.go package
+	// and the HTTP client. cfgerr is the classifier, so its own
+	// constructors are exempt leaves.
+	errSurface := inPackages("starperf", "starperf/client")
+	errClassifier := inPackages("starperf/internal/cfgerr")
+	httpScope := inPackages("starperf/client", "starperf/internal/server")
 	return []Rule{
 		NewMapOrder(simulation),
 		NewFloatEq(numerical, "EqualWithin", "Close", "approxEq"),
 		NewSeedRand(deterministic),
 		NewAPIErr("starperf", anyPackage),
 		NewEqDoc(documented),
+		NewIOUnderLock(ioScope),
+		NewLockOrder(anyPackage),
+		NewClockSeam(clockCore),
+		NewErrClass(errSurface, errClassifier),
+		NewBodyClose(httpScope),
 	}
 }
 

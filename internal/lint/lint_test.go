@@ -47,15 +47,24 @@ func scanWants(pkg *Package) map[string]int {
 	return wants
 }
 
-// checkFixture runs one rule over one fixture package and compares
-// the findings against the // want markers, proving both that the
-// rule fires on violations and that //lint:ignore suppresses it.
-func checkFixture(t *testing.T, rule Rule, pkgPath string) {
+// checkFixture runs one rule over the given fixture packages and
+// compares the findings against their // want markers, proving both
+// that the rule fires on violations and that //lint:ignore suppresses
+// it. Interprocedural rules pass every package of their fixture call
+// graph; per-package rules pass one.
+func checkFixture(t *testing.T, rule Rule, pkgPaths ...string) {
 	t.Helper()
-	pkg := loadFixture(t, pkgPath)
-	wants := scanWants(pkg)
+	pkgs := make([]*Package, 0, len(pkgPaths))
+	wants := make(map[string]int)
+	for _, path := range pkgPaths {
+		pkg := loadFixture(t, path)
+		pkgs = append(pkgs, pkg)
+		for k, n := range scanWants(pkg) {
+			wants[k] += n
+		}
+	}
 	got := make(map[string]int)
-	for _, f := range Run([]*Package{pkg}, []Rule{rule}) {
+	for _, f := range Run(pkgs, []Rule{rule}) {
 		if f.Rule != rule.Name() {
 			t.Errorf("unexpected finding from rule %q: %s", f.Rule, f)
 			continue
@@ -94,6 +103,63 @@ func TestEqDocFixture(t *testing.T) {
 	checkFixture(t, NewEqDoc(anyPackage), "fix/eqdoc")
 }
 
+func TestIOUnderLockFixture(t *testing.T) {
+	checkFixture(t, NewIOUnderLock(anyPackage), "fix/iounderlock", "fix/iounderlock/wal")
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, NewLockOrder(anyPackage), "fix/lockorder")
+}
+
+func TestClockSeamFixture(t *testing.T) {
+	checkFixture(t, NewClockSeam(inPackages("fix/clockseam")),
+		"fix/clockseam", "fix/clockseam/clk")
+}
+
+func TestErrClassFixture(t *testing.T) {
+	checkFixture(t, NewErrClass(inPackages("fix/errclass/api"), inPackages()),
+		"fix/errclass/api", "fix/errclass/impl")
+}
+
+func TestBodyCloseFixture(t *testing.T) {
+	checkFixture(t, NewBodyClose(anyPackage), "fix/bodyclose")
+}
+
+func TestSuppressedCount(t *testing.T) {
+	pkgs := []*Package{
+		loadFixture(t, "fix/iounderlock"),
+		loadFixture(t, "fix/iounderlock/wal"),
+	}
+	res := RunDetail(pkgs, []Rule{NewIOUnderLock(anyPackage)})
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1 (the SubmitWaived directive)", res.Suppressed)
+	}
+	if len(res.UnusedIgnores) != 0 {
+		t.Errorf("used directive flagged as unused: %v", res.UnusedIgnores)
+	}
+}
+
+func TestUnusedIgnores(t *testing.T) {
+	pkg := loadFixture(t, "fix/unusedignore")
+	res := RunDetail([]*Package{pkg}, []Rule{NewSeedRand(anyPackage)})
+	if len(res.Findings) != 0 {
+		t.Errorf("unexpected findings: %v", res.Findings)
+	}
+	if len(res.UnusedIgnores) != 1 {
+		t.Fatalf("UnusedIgnores = %v, want exactly one", res.UnusedIgnores)
+	}
+	if got := res.UnusedIgnores[0]; got.Rule != "unused-ignore" ||
+		!strings.Contains(got.Message, "seedrand") {
+		t.Errorf("unhelpful unused-ignore finding: %v", got)
+	}
+	// A directive naming a rule that did not run in this invocation
+	// cannot be judged stale.
+	res = RunDetail([]*Package{pkg}, []Rule{NewMapOrder(anyPackage)})
+	if len(res.UnusedIgnores) != 0 {
+		t.Errorf("directive for a skipped rule flagged as unused: %v", res.UnusedIgnores)
+	}
+}
+
 func TestMalformedDirective(t *testing.T) {
 	pkg := loadFixture(t, "fix/directive")
 	findings := Run([]*Package{pkg}, nil)
@@ -126,13 +192,13 @@ func TestSuppressionSameLineAndAbove(t *testing.T) {
 	if file == "" {
 		t.Fatal("fixture has no //lint:ignore directive")
 	}
-	if !sup.suppressed(file, line, "floateq") || !sup.suppressed(file, line+1, "floateq") {
+	if !sup.suppress(file, line, "floateq") || !sup.suppress(file, line+1, "floateq") {
 		t.Error("directive must suppress its own line and the next")
 	}
-	if sup.suppressed(file, line+2, "floateq") {
+	if sup.suppress(file, line+2, "floateq") {
 		t.Error("directive must not leak past the next line")
 	}
-	if sup.suppressed(file, line, "maporder") {
+	if sup.suppress(file, line, "maporder") {
 		t.Error("directive must only suppress the named rule")
 	}
 }
@@ -185,6 +251,26 @@ func TestDefaultRulesScopes(t *testing.T) {
 		{"apierr", "starperf/examples/quickstart", true},
 		{"eqdoc", "starperf/internal/stargraph", true},
 		{"eqdoc", "starperf/internal/desim", false},
+		{"iounderlock", "starperf/internal/jobs", true},
+		{"iounderlock", "starperf/internal/server", true},
+		{"iounderlock", "starperf/internal/cache", true},
+		{"iounderlock", "starperf/internal/journal", false},
+		{"iounderlock", "starperf/internal/fsx", false},
+		{"lockorder", "starperf/internal/jobs", true},
+		{"lockorder", "starperf/internal/journal", true},
+		{"lockorder", "starperf/client", true},
+		{"clockseam", "starperf/internal/desim", true},
+		{"clockseam", "starperf/internal/jobs", true},
+		{"clockseam", "starperf/internal/journal", true},
+		{"clockseam", "starperf/internal/server", false},
+		{"clockseam", "starperf/client", false},
+		{"clockseam", "starperf/internal/cache", false},
+		{"errclass", "starperf", true},
+		{"errclass", "starperf/client", true},
+		{"errclass", "starperf/internal/model", false},
+		{"bodyclose", "starperf/client", true},
+		{"bodyclose", "starperf/internal/server", true},
+		{"bodyclose", "starperf/internal/desim", false},
 	}
 	for _, c := range cases {
 		r, ok := byName[c.rule]

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lockOrder enforces a consistent global mutex acquisition order and
+// flags the two deadlock shapes a single goroutine can author: an
+// AB/BA inversion (one code path acquires A then B, another B then A
+// — two goroutines interleaving those paths deadlock), and a
+// double-acquire (taking a lock already held, directly or through a
+// call chain — Go mutexes are not reentrant, so this deadlocks
+// single-handedly). It also reports a lock still held when control
+// leaves the function with no pending defer Unlock: a leaked critical
+// section pins every future contender, the mutex sibling of the
+// half-open breaker probe slot PR 5 leaked on panic.
+//
+// Lock identity is the declaring struct type plus field name
+// (jobs.Pool.mu), which conflates instances of the same type. That is
+// deliberately conservative: an ordering that is only safe because
+// two instances are known distinct deserves a //lint:ignore with the
+// argument written down.
+type lockOrder struct {
+	applies func(string) bool
+}
+
+// NewLockOrder returns the lockorder rule restricted to packages
+// matched by applies.
+func NewLockOrder(applies func(string) bool) Rule { return &lockOrder{applies: applies} }
+
+func (r *lockOrder) Name() string { return "lockorder" }
+
+func (r *lockOrder) Doc() string {
+	return "consistent global lock order; no double-acquire or lock leaked past return"
+}
+
+func (r *lockOrder) Applies(p string) bool { return r.applies(p) }
+
+// Check is unused: the engine dispatches ProgramRules to CheckProgram.
+func (r *lockOrder) Check(pkg *Package, report ReportFunc) {}
+
+// lockEdge is one observed acquisition order: to was acquired (or is
+// acquirable through a call) while from was held.
+type lockEdge struct {
+	from, to string // lock keys
+	fromD, toD string // displays
+	pkg  *Package
+	pos  token.Pos
+	via  string // call-chain suffix for interprocedural edges
+}
+
+func (r *lockOrder) CheckProgram(prog *Program, report ProgramReportFunc) {
+	edges := make(map[[2]string]lockEdge) // first witness per ordered pair
+	addEdge := func(e lockEdge) {
+		k := [2]string{e.from, e.to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = e
+		}
+	}
+
+	for _, key := range prog.sortedFuncKeys() {
+		ff := prog.Funcs[key]
+		if !r.applies(ff.Pkg.Path) {
+			continue
+		}
+		scanCritical(ff.Pkg, ff.Decl, csCallbacks{
+			onAcquire: func(lock LockFact, held []heldLock) {
+				for _, h := range held {
+					if h.Key == lock.Key {
+						report(ff.Pkg, lock.Pos, fmt.Sprintf(
+							"%s acquired while already held: Go mutexes are not reentrant, "+
+								"this deadlocks", lock.Display))
+						continue
+					}
+					addEdge(lockEdge{
+						from: h.Key, to: lock.Key, fromD: h.Display, toD: lock.Display,
+						pkg: ff.Pkg, pos: lock.Pos,
+					})
+				}
+			},
+			onCall: func(call *ast.CallExpr, fn *types.Func, held []heldLock) {
+				for _, lr := range prog.ReachAcquires(funcKey(fn)) {
+					for _, h := range held {
+						if h.Key == lr.Lock.Key {
+							report(ff.Pkg, call.Pos(), fmt.Sprintf(
+								"call acquires %s (via %s) while it is already held: "+
+									"Go mutexes are not reentrant, this deadlocks",
+								lr.Lock.Display, chainString(lr.Chain)))
+							continue
+						}
+						addEdge(lockEdge{
+							from: h.Key, to: lr.Lock.Key, fromD: h.Display, toD: lr.Lock.Display,
+							pkg: ff.Pkg, pos: call.Pos(), via: " via " + chainString(lr.Chain),
+						})
+					}
+				}
+			},
+			onLeak: func(pos token.Pos, lock LockFact) {
+				report(ff.Pkg, pos, fmt.Sprintf(
+					"%s still held when the function can return and no defer releases it: "+
+						"a panic or early return here pins the lock forever (the probe-slot "+
+						"leak shape); unlock on every path or defer the unlock", lock.Display))
+			},
+		})
+	}
+
+	// Inversions: both orders of the same unordered pair observed.
+	keys := make([][2]string, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		if k[0] >= k[1] {
+			continue // report each unordered pair once, from its lesser key
+		}
+		fwd := edges[k]
+		rev, ok := edges[[2]string{k[1], k[0]}]
+		if !ok {
+			continue
+		}
+		fp := fwd.pkg.Fset.Position(fwd.pos)
+		rp := rev.pkg.Fset.Position(rev.pos)
+		report(fwd.pkg, fwd.pos, fmt.Sprintf(
+			"lock order inversion: %s is acquired while %s is held here%s, but the "+
+				"reverse order occurs at %s:%d%s — two goroutines interleaving these "+
+				"paths deadlock; pick one global order",
+			fwd.toD, fwd.fromD, fwd.via, rp.Filename, rp.Line, rev.via))
+		report(rev.pkg, rev.pos, fmt.Sprintf(
+			"lock order inversion: %s is acquired while %s is held here%s, but the "+
+				"reverse order occurs at %s:%d%s — two goroutines interleaving these "+
+				"paths deadlock; pick one global order",
+			rev.toD, rev.fromD, rev.via, fp.Filename, fp.Line, fwd.via))
+	}
+}

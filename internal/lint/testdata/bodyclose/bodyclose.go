@@ -1,0 +1,55 @@
+// Package bodyclose seeds leaked and properly-handled http.Response
+// bodies in typed (non-test) code; the _test.go sibling exercises the
+// untyped heuristics.
+package bodyclose
+
+import "net/http"
+
+// Fetch leaks the response body.
+func Fetch(url string) (int, error) {
+	resp, err := http.Get(url) // want bodyclose
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// FetchClosed closes it: fine.
+func FetchClosed(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// Open transfers ownership to the caller: fine, the caller closes.
+func Open(url string) (*http.Response, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Discarded drops the response entirely.
+func Discarded(url string) {
+	http.Get(url) // want bodyclose
+}
+
+// Blank throws the response away while keeping the error.
+func Blank(url string) error {
+	_, err := http.Get(url) // want bodyclose
+	return err
+}
+
+// Waived leaks with a written-down reason.
+func Waived(url string) (int, error) {
+	//lint:ignore bodyclose fixture: connection torn down by the test server
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}

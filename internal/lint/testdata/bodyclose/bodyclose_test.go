@@ -1,0 +1,58 @@
+package bodyclose
+
+import (
+	"net/http"
+	"testing"
+)
+
+// post is the ownership-transfer idiom: it returns the response, so
+// its callers own the close.
+func post(t *testing.T, url string) *http.Response {
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// drain is a closer helper: passing a response to it satisfies the
+// rule.
+func drain(t *testing.T, resp *http.Response) {
+	defer resp.Body.Close()
+}
+
+func use(int) {}
+
+func TestLeaks(t *testing.T) {
+	resp := post(t, "http://example.invalid") // want bodyclose
+	use(resp.StatusCode)
+}
+
+func TestHelperCloses(t *testing.T) {
+	resp := post(t, "http://example.invalid")
+	drain(t, resp)
+}
+
+func TestDirectClose(t *testing.T) {
+	resp := post(t, "http://example.invalid")
+	resp.Body.Close()
+}
+
+func TestDoLeaks(t *testing.T) {
+	client := &http.Client{}
+	req, err := http.NewRequest("GET", "http://example.invalid", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req) // want bodyclose
+	if err != nil {
+		t.Fatal(err)
+	}
+	use(resp.StatusCode)
+}
+
+func TestWaived(t *testing.T) {
+	//lint:ignore bodyclose fixture: closed by the server shutdown hook
+	resp := post(t, "http://example.invalid")
+	use(resp.StatusCode)
+}

@@ -1,0 +1,9 @@
+// Package clk is the fixture's wall-clock helper living outside the
+// deterministic core: reaching it from a scoped package is the
+// violation.
+package clk
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }

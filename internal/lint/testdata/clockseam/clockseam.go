@@ -1,0 +1,53 @@
+// Package clockseam seeds the determinism hazards: direct wall-clock
+// reads, clock reads reached through an out-of-scope helper, draws
+// from the global rand source, and time.Now escaping as a value — and
+// the one sanctioned escape, defaulting an injected Now seam.
+package clockseam
+
+import (
+	"math/rand"
+	"time"
+
+	"fix/clockseam/clk"
+)
+
+// Config carries the injected clock seam.
+type Config struct {
+	Now func() time.Time
+}
+
+// Direct reads the clock inline.
+func Direct() int64 {
+	return time.Now().UnixNano() // want clockseam
+}
+
+// Reach reads it through a helper outside the deterministic core.
+func Reach() int64 {
+	return clk.Stamp() // want clockseam
+}
+
+// Draw uses the unseeded global source.
+func Draw() int {
+	return rand.Intn(6) // want clockseam
+}
+
+// WithDefaults assigns the production clock through the named seam —
+// the sanctioned escape, exactly how PoolConfig.Now is defaulted.
+func WithDefaults(c Config) Config {
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Escape captures the clock as a value outside any seam.
+func Escape() func() time.Time {
+	f := time.Now // want clockseam
+	return f
+}
+
+// Waived reads the clock with a justified suppression.
+func Waived() int64 {
+	//lint:ignore clockseam fixture: boundary timestamp, never feeds event order
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,45 @@
+// Package api is the fixture's public surface: every error its
+// exported functions can return must wrap a declared sentinel or
+// typed error.
+package api
+
+import (
+	"errors"
+	"fmt"
+
+	"fix/errclass/impl"
+)
+
+// ErrInvalid is the API's declared configuration sentinel.
+var ErrInvalid = errors.New("api: invalid")
+
+// Validate returns only classified errors: fine.
+func Validate(ok bool) error {
+	if !ok {
+		return fmt.Errorf("%w: validate", ErrInvalid)
+	}
+	return impl.Classified()
+}
+
+// Run reaches the unclassified leaves in impl (reported there).
+func Run(n int) error {
+	if err := impl.Leaf(); err != nil {
+		return err
+	}
+	return impl.DeepLeaf(n)
+}
+
+// Inline mints a leaf right in the exported function.
+func Inline() error {
+	return errors.New("api: inline failure") // want errclass
+}
+
+// Waived keeps a string-matched error with a written-down reason.
+func Waived() error {
+	//lint:ignore errclass fixture: legacy callers match this string; migration tracked
+	return errors.New("api: legacy string error")
+}
+
+// unreached has a leaf no exported function can return; it must stay
+// unreported.
+func unreached() error { return errors.New("api: internal only") }

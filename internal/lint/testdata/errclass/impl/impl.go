@@ -1,0 +1,28 @@
+// Package impl is the fixture's internal implementation package: its
+// unclassifiable error leaves are violations only because the api
+// package's exported functions reach them.
+package impl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is this package's declared sentinel.
+var ErrBad = errors.New("impl: bad")
+
+// Classified wraps the sentinel: fine.
+func Classified() error { return fmt.Errorf("%w: details", ErrBad) }
+
+// Leaf mints an unclassifiable error the API can return.
+func Leaf() error {
+	return errors.New("impl: anonymous failure") // want errclass
+}
+
+// DeepLeaf formats without wrapping anything.
+func DeepLeaf(n int) error {
+	if n > 0 {
+		return fmt.Errorf("impl: n=%d out of range", n) // want errclass
+	}
+	return nil
+}

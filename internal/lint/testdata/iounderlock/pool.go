@@ -1,0 +1,52 @@
+// Package iounderlock seeds the regression shape of the PR 5
+// journal-under-mutex bug: a pool that journals (which fsyncs two
+// frames down) while holding its own lock.
+package iounderlock
+
+import (
+	"os"
+	"sync"
+
+	"fix/iounderlock/wal"
+)
+
+// Pool guards its counters with mu.
+type Pool struct {
+	mu   sync.Mutex
+	log  *wal.Log
+	next int
+}
+
+// SubmitBad reproduces the PR 5 bug: the journal append — an fsync
+// two calls down — runs while p.mu is held.
+func (p *Pool) SubmitBad(rec []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.next++
+	return p.log.Append(rec) // want iounderlock
+}
+
+// SubmitGood is the fixed shape: reserve under the lock, write
+// outside it.
+func (p *Pool) SubmitGood(rec []byte) error {
+	p.mu.Lock()
+	p.next++
+	p.mu.Unlock()
+	return p.log.Append(rec)
+}
+
+// DirectBad performs primitive I/O under the lock with no call chain
+// at all.
+func (p *Pool) DirectBad(path string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return os.WriteFile(path, nil, 0o644) // want iounderlock
+}
+
+// SubmitWaived is the bad shape with a justified suppression.
+func (p *Pool) SubmitWaived(rec []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//lint:ignore iounderlock fixture: single-writer log serialised by this lock by design
+	return p.log.Append(rec)
+}

@@ -1,0 +1,17 @@
+// Package wal is the fixture's stand-in for the real journal: its
+// Append writes and fsyncs, so any caller holding a mutex across it
+// reproduces the PR 5 fsync-under-p.mu bug.
+package wal
+
+import "os"
+
+// Log is a minimal write-ahead log.
+type Log struct{ f *os.File }
+
+// Append writes one record and fsyncs it.
+func (l *Log) Append(rec []byte) error {
+	if _, err := l.f.Write(rec); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}

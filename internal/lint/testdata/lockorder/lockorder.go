@@ -1,0 +1,91 @@
+// Package lockorder seeds the three deadlock shapes the rule hunts:
+// an AB/BA inversion, a double-acquire through a call chain, and the
+// probe-leak shape — a lock still held on an early-return path.
+package lockorder
+
+import (
+	"errors"
+	"sync"
+)
+
+// A and B are two independently locked structures.
+type A struct{ mu sync.Mutex }
+
+// B is the second lock of the inversion pair.
+type B struct{ mu sync.Mutex }
+
+var (
+	ga A
+	gb B
+
+	errInjected = errors.New("injected")
+)
+
+// LockAB acquires A then B.
+func LockAB() {
+	ga.mu.Lock()
+	defer ga.mu.Unlock()
+	gb.mu.Lock() // want lockorder
+	defer gb.mu.Unlock()
+}
+
+// LockBA acquires B then A — the inversion.
+func LockBA() {
+	gb.mu.Lock()
+	defer gb.mu.Unlock()
+	ga.mu.Lock() // want lockorder
+	defer ga.mu.Unlock()
+}
+
+// C demonstrates the non-reentrancy shapes.
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *C) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Reacquire deadlocks itself: get retakes c.mu through the call.
+func (c *C) Reacquire() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.get() // want lockorder
+}
+
+// DoubleDirect retakes the lock with no call chain at all.
+func (c *C) DoubleDirect() {
+	c.mu.Lock()
+	c.mu.Lock() // want lockorder
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// Probe models the PR 5 probe-slot leak: the error path returns with
+// the lock still held and no defer to release it.
+type Probe struct {
+	mu      sync.Mutex
+	probing bool
+}
+
+// Acquire leaks p.mu when fail is set.
+func (p *Probe) Acquire(fail bool) error {
+	p.mu.Lock()
+	p.probing = true
+	if fail {
+		return errInjected // want lockorder
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// AcquireWaived hands the lock to its caller by documented contract.
+func (p *Probe) AcquireWaived() {
+	p.mu.Lock()
+	p.probing = true
+	//lint:ignore lockorder fixture: lock intentionally handed to the caller
+	return
+}

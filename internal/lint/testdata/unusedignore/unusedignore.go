@@ -1,0 +1,16 @@
+// Package unusedignore carries a stale suppression: the directive
+// names a rule that fires on nothing here, so -unused-ignores must
+// flag it.
+package unusedignore
+
+import "errors"
+
+// Err keeps the file non-trivial.
+var Err = errors.New("unusedignore: x")
+
+// F once read the wall clock; the read was removed and the directive
+// stayed behind.
+func F() error {
+	//lint:ignore seedrand fixture: stale — the clock read was removed
+	return Err
+}

@@ -371,7 +371,7 @@ func Evaluate(cfg Config) (*Result, error) {
 	res.Multiplexing = queueing.Multiplexing(res.VCOccupancy) // eq. 19
 	res.Latency = (s + ws) * res.Multiplexing                 // eq. 1
 	if !res.Converged {
-		return res, fmt.Errorf("model: no convergence in %d iterations (ΔS̄ at %.3g)", maxIter, s)
+		return res, fmt.Errorf("%w: no convergence in %d iterations (ΔS̄ at %.3g)", ErrSaturated, maxIter, s)
 	}
 	return res, nil
 }

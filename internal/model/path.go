@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 
+	"starperf/internal/cfgerr"
 	"starperf/internal/hypercube"
 	"starperf/internal/stargraph"
 	"starperf/internal/topology"
@@ -80,7 +81,7 @@ type StarPaths struct {
 // distribution.
 func NewStarPaths(n int) (*StarPaths, error) {
 	if n < 2 || n > 12 {
-		return nil, fmt.Errorf("model: star paths for n=%d outside [2,12]", n)
+		return nil, cfgerr.Errorf("model: star paths for n=%d outside [2,12]", n)
 	}
 	all := enumerateTypes(n)
 	if err := checkTypeTable(n, all); err != nil {
@@ -170,7 +171,7 @@ type CubePaths struct {
 // NewCubePaths builds the path structure of Q_m.
 func NewCubePaths(m int) (*CubePaths, error) {
 	if m < 1 || m > hypercube.MaxM {
-		return nil, fmt.Errorf("model: cube paths for m=%d out of range", m)
+		return nil, cfgerr.Errorf("model: cube paths for m=%d out of range", m)
 	}
 	cp := &CubePaths{m: m}
 	for h := 1; h <= m; h++ {

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -9,6 +10,13 @@ import (
 	"starperf/internal/perm"
 	"starperf/internal/stargraph"
 )
+
+// ErrSelfCheck classifies failures of the model's internal
+// cross-validation (the combinatorial type table against the
+// closed-form distance distribution): a wrapped ErrSelfCheck means
+// the model's own tables are inconsistent, not that the caller's
+// configuration was wrong.
+var ErrSelfCheck = errors.New("model: self-check failed")
 
 // ctype is the canonical residual-permutation state used by the
 // star-graph path dynamic program: the length of the cycle through
@@ -265,17 +273,17 @@ func checkTypeTable(n int, classes []destClass) error {
 	var total uint64
 	for _, c := range classes {
 		if c.h >= len(got) {
-			return fmt.Errorf("model: type %s at distance %d beyond diameter", c.t.key(), c.h)
+			return fmt.Errorf("%w: type %s at distance %d beyond diameter", ErrSelfCheck, c.t.key(), c.h)
 		}
 		got[c.h] += c.count
 		total += c.count
 	}
 	if total != perm.Factorial(n) {
-		return fmt.Errorf("model: type counts sum to %d, want %d", total, perm.Factorial(n))
+		return fmt.Errorf("%w: type counts sum to %d, want %d", ErrSelfCheck, total, perm.Factorial(n))
 	}
 	for h := range dist {
 		if got[h] != dist[h] {
-			return fmt.Errorf("model: %d permutations at distance %d, want %d", got[h], h, dist[h])
+			return fmt.Errorf("%w: %d permutations at distance %d, want %d", ErrSelfCheck, got[h], h, dist[h])
 		}
 	}
 	return nil

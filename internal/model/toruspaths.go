@@ -1,10 +1,11 @@
 package model
 
 import (
-	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+
+	"starperf/internal/cfgerr"
 )
 
 // TorusPaths is the k-ary n-cube PathStructure. A destination is
@@ -26,10 +27,10 @@ type TorusPaths struct {
 // (k even, as required by the negative-hop schemes).
 func NewTorusPaths(k, n int) (*TorusPaths, error) {
 	if k < 2 || k%2 != 0 || n < 1 {
-		return nil, fmt.Errorf("model: torus paths need even k ≥ 2 and n ≥ 1 (got k=%d n=%d)", k, n)
+		return nil, cfgerr.Errorf("model: torus paths need even k ≥ 2 and n ≥ 1 (got k=%d n=%d)", k, n)
 	}
 	if n > 8 || k > 64 {
-		return nil, fmt.Errorf("model: torus k=%d n=%d too large", k, n)
+		return nil, cfgerr.Errorf("model: torus k=%d n=%d too large", k, n)
 	}
 	tp := &TorusPaths{k: k, n: n, pathCount: make(map[string]float64)}
 	// enumerate non-increasing offset vectors of length n over [0,k/2]

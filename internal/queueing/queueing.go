@@ -9,6 +9,8 @@ package queueing
 import (
 	"fmt"
 	"math"
+
+	"starperf/internal/cfgerr"
 )
 
 // ErrUnstable is returned (wrapped) when a queue's utilisation
@@ -31,7 +33,7 @@ func (e ErrUnstable) Error() string {
 // It returns ErrUnstable when λS ≥ 1.
 func MG1Wait(lambda, s, variance float64) (float64, error) {
 	if lambda < 0 || s < 0 || variance < 0 {
-		return 0, fmt.Errorf("queueing: negative parameter (λ=%v, S=%v, σ²=%v)", lambda, s, variance)
+		return 0, cfgerr.Errorf("queueing: negative parameter (λ=%v, S=%v, σ²=%v)", lambda, s, variance)
 	}
 	if lambda <= 0 || s <= 0 { // negatives were rejected above
 		return 0, nil

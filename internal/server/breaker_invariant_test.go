@@ -1,0 +1,160 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// This file drills the breaker-probe bug class for good: PR 5 leaked
+// the half-open probe slot when a panicking handler skipped observe,
+// pinning the route open forever. The fix routes every admitted
+// request through a deferred observe (a panic counts as a failure),
+// which makes three invariants checkable under any interleaving of
+// admits, sheds, finishes, panics and clock advances:
+//
+//  1. single probe: in half-open, at most one request is admitted
+//     between observes;
+//  2. no slot leak: whenever the probe flag is set, an admitted
+//     request is still in flight to clear it;
+//  3. never pinned: once every admitted request has observed, waiting
+//     out the cooldown always re-admits.
+//
+// The static lockorder rule proves the mutex sibling of this property
+// (no lock held past return); this test fuzzes the semantic slot the
+// linter cannot see.
+
+// breakerHarness drives one breakerSet through an op sequence while
+// model-checking the invariants.
+type breakerHarness struct {
+	t   *testing.T
+	b   *breakerSet
+	clk *fakeClock
+
+	// outstanding are admitted requests that have not observed yet;
+	// each entry remembers nothing — outcome is chosen at finish time.
+	outstanding int
+	// probeAdmits counts admissions whose post-state was half-open
+	// since the last observe; it may never exceed one.
+	probeAdmits int
+}
+
+func newBreakerHarness(t *testing.T) *breakerHarness {
+	clk := newFakeClock()
+	b := withClock(newBreakerSet(BreakerConfig{
+		Window: 8, MinSamples: 2, FailureRatio: 0.5, Cooldown: time.Second,
+	}), clk)
+	return &breakerHarness{t: t, b: b, clk: clk}
+}
+
+// state snapshots the route's fields under the breaker lock.
+func (h *breakerHarness) state() (state string, probing bool) {
+	h.b.mu.Lock()
+	defer h.b.mu.Unlock()
+	rb := h.b.route("/r")
+	return rb.state, rb.probing
+}
+
+func (h *breakerHarness) check() {
+	h.t.Helper()
+	state, probing := h.state()
+	if probing && state != breakerHalfOpen {
+		h.t.Fatalf("probe flag set in state %q", state)
+	}
+	if probing && h.outstanding == 0 {
+		h.t.Fatalf("probe slot leaked: probing with no request in flight")
+	}
+}
+
+// step applies one fuzz byte as an operation.
+func (h *breakerHarness) step(op byte) {
+	h.t.Helper()
+	switch op % 6 {
+	case 0: // admit
+		ok, retryAfter := h.b.allow("/r")
+		if ok {
+			h.outstanding++
+			if _, probing := h.state(); probing {
+				h.probeAdmits++
+				if h.probeAdmits > 1 {
+					h.t.Fatal("two probes admitted without an intervening observe")
+				}
+			}
+		} else if retryAfter <= 0 {
+			h.t.Fatal("rejection without a Retry-After hint")
+		}
+	case 1: // finish one request successfully
+		h.finish(false)
+	case 2: // finish one request as a server-side failure
+		h.finish(true)
+	case 3: // a handler panic: guard's deferred observe records a failure
+		h.finish(true)
+	case 4: // admission control sheds before allow: no breaker traffic
+	case 5: // time passes
+		h.clk.advance(300 * time.Millisecond)
+	}
+	h.check()
+}
+
+func (h *breakerHarness) finish(failed bool) {
+	if h.outstanding == 0 {
+		return
+	}
+	h.outstanding--
+	h.b.observe("/r", failed)
+	h.probeAdmits = 0
+}
+
+// drain finishes every in-flight request, then proves the breaker is
+// not pinned: after a full cooldown the route must admit again.
+func (h *breakerHarness) drain() {
+	h.t.Helper()
+	for h.outstanding > 0 {
+		h.finish(h.outstanding%2 == 0)
+		h.check()
+	}
+	h.clk.advance(h.b.cfg.Cooldown + time.Millisecond)
+	if ok, _ := h.b.allow("/r"); !ok {
+		state, probing := h.state()
+		h.t.Fatalf("breaker pinned: drained and cooled down but still rejecting "+
+			"(state=%s probing=%v)", state, probing)
+	}
+}
+
+// FuzzBreakerProbeSlot lets the fuzzer pick the interleaving.
+func FuzzBreakerProbeSlot(f *testing.F) {
+	f.Add([]byte{0, 2, 0, 2, 5, 5, 5, 5, 0, 1})       // trip, cool, probe ok
+	f.Add([]byte{0, 3, 0, 3, 5, 5, 5, 5, 0, 3, 5, 0}) // panics end-to-end
+	f.Add([]byte{0, 0, 0, 2, 2, 2, 5, 0, 4, 1})       // stragglers + shed
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		h := newBreakerHarness(t)
+		for _, op := range ops {
+			h.step(op)
+		}
+		h.drain()
+	})
+}
+
+// TestBreakerProbeSlotInvariants runs the same harness over seeded
+// random orderings so the property is exercised on every go test run,
+// not only under -fuzz.
+func TestBreakerProbeSlotInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := newBreakerHarness(t)
+		steps := 50 + rng.Intn(200)
+		for i := 0; i < steps; i++ {
+			h.step(byte(rng.Intn(256)))
+			if t.Failed() {
+				t.Fatalf("invariant broken at seed %d step %d", seed, i)
+			}
+		}
+		h.drain()
+		if t.Failed() {
+			t.Fatalf("drain failed at seed %d", seed)
+		}
+	}
+}
