@@ -11,8 +11,17 @@
 // byte-identically. That makes every request here idempotent and
 // every 429/503/504/network failure retryable.
 //
-// Only stdlib dependencies, deliberately: the package is importable
-// from anywhere without dragging the simulator along.
+// Against a sharded cluster the client is ring-aware: LearnRing
+// bootstraps the membership from any node's /healthz, job polls
+// prefer the id's ring owner, and a dead node makes the client fall
+// down the same successor order the servers themselves fail over on.
+// A client that never calls LearnRing still works — every node
+// answers every request, forwarding internally — it just pays an
+// extra hop.
+//
+// Only stdlib dependencies (plus the module's own pure-stdlib ring
+// package), deliberately: the package is importable from anywhere
+// without dragging the simulator along.
 package client
 
 import (
@@ -24,10 +33,13 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"starperf/internal/cluster"
 )
 
 // Config describes a Client. BaseURL is required; everything else
@@ -75,11 +87,15 @@ func (c Config) withDefaults() Config {
 
 // Client is a starperfd API client, safe for concurrent use.
 type Client struct {
-	base  string
-	http  *http.Client
-	cfg   Config
-	sleep func(ctx context.Context, d time.Duration) error
-	jit   func(max time.Duration) time.Duration
+	base   string
+	scheme string // member base URLs are scheme://addr
+	http   *http.Client
+	cfg    Config
+	sleep  func(ctx context.Context, d time.Duration) error
+	jit    func(max time.Duration) time.Duration
+
+	mu   sync.RWMutex
+	ring *cluster.Ring // nil until LearnRing finds a clustered server
 }
 
 // New validates cfg and builds a Client.
@@ -88,6 +104,10 @@ func New(cfg Config) (*Client, error) {
 		return nil, fmt.Errorf("%w: BaseURL required", ErrConfig)
 	}
 	cfg = cfg.withDefaults()
+	scheme := "http"
+	if u, err := url.Parse(cfg.BaseURL); err == nil && u.Scheme != "" {
+		scheme = u.Scheme
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = time.Now().UnixNano()
@@ -95,10 +115,11 @@ func New(cfg Config) (*Client, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var mu sync.Mutex
 	return &Client{
-		base:  strings.TrimRight(cfg.BaseURL, "/"),
-		http:  cfg.HTTPClient,
-		cfg:   cfg,
-		sleep: sleepCtx,
+		base:   strings.TrimRight(cfg.BaseURL, "/"),
+		scheme: scheme,
+		http:   cfg.HTTPClient,
+		cfg:    cfg,
+		sleep:  sleepCtx,
 		jit: func(max time.Duration) time.Duration {
 			if max <= 0 {
 				return 0
@@ -108,6 +129,88 @@ func New(cfg Config) (*Client, error) {
 			return time.Duration(rng.Int63n(int64(max) + 1))
 		},
 	}, nil
+}
+
+// healthEnvelope mirrors the server's /healthz body; Cluster is
+// present on a clustered node.
+type healthEnvelope struct {
+	OK      bool `json:"ok"`
+	Cluster *struct {
+		Self         string   `json:"self"`
+		Members      []string `json:"members"`
+		VirtualNodes int      `json:"virtual_nodes"`
+	} `json:"cluster"`
+}
+
+// LearnRing bootstraps cluster membership from the configured node's
+// /healthz and rebuilds the same consistent-hash ring the servers
+// route by, so subsequent job polls go straight to each id's owner
+// and fall down the cluster's own failover order when it is dead.
+// Against an unclustered server it is a no-op. Call it again to pick
+// up a changed member set (membership is static per deployment, so
+// once per process is typical).
+func (c *Client) LearnRing(ctx context.Context) error {
+	body, _, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return err
+	}
+	var env healthEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return fmt.Errorf("%w: healthz body: %v", ErrProtocol, err)
+	}
+	if env.Cluster == nil || len(env.Cluster.Members) == 0 {
+		return nil
+	}
+	// The ring's key placement depends only on the member set and the
+	// virtual-node count, not on which member calls itself Self — any
+	// member works as the client's vantage point.
+	ring, err := cluster.New(cluster.Config{
+		Self:         env.Cluster.Members[0],
+		Peers:        env.Cluster.Members,
+		VirtualNodes: env.Cluster.VirtualNodes,
+	})
+	if err != nil {
+		return fmt.Errorf("%w: rebuilding ring: %v", ErrProtocol, err)
+	}
+	c.mu.Lock()
+	c.ring = ring
+	c.mu.Unlock()
+	return nil
+}
+
+// targets returns the preference-ordered base URLs for a request:
+// for a known job id, the id's ring successors (owner first); for
+// everything else, the bootstrap node then the other members. The
+// bootstrap URL always appears so a ring learned from a stale
+// /healthz can never strand the client. Without a ring the list is
+// the bootstrap node alone.
+func (c *Client) targets(id string) []string {
+	c.mu.RLock()
+	ring := c.ring
+	c.mu.RUnlock()
+	if ring == nil {
+		return []string{c.base}
+	}
+	out := make([]string, 0, ring.Size()+1)
+	seen := make(map[string]bool, ring.Size()+1)
+	add := func(base string) {
+		if !seen[base] {
+			seen[base] = true
+			out = append(out, base)
+		}
+	}
+	if id != "" {
+		for _, m := range ring.Successors(id) {
+			add(c.scheme + "://" + m)
+		}
+	} else {
+		add(c.base)
+		for _, m := range ring.Members() {
+			add(c.scheme + "://" + m)
+		}
+	}
+	add(c.base)
+	return out
 }
 
 // sleepCtx sleeps for d or until ctx is done, whichever is first.
@@ -188,22 +291,35 @@ type attemptResult struct {
 	netErr error // transport-level failure; always retryable
 }
 
-// do runs one request with the full retry discipline and returns the
-// final 2xx body. Non-retryable API errors return *APIError at once.
+// do runs one request with the full retry discipline against the
+// default target list. Non-retryable API errors return *APIError at
+// once.
 func (c *Client) do(ctx context.Context, method, path string, reqBody []byte) ([]byte, http.Header, error) {
+	return c.doTargets(ctx, method, c.targets(""), path, reqBody)
+}
+
+// doTargets runs one request against a preference-ordered target
+// list. A transport error or a 5xx advances to the next target — the
+// node is dead or failing, exactly the condition the server-side ring
+// fails over on. A 429 stays put: that is backpressure from a healthy
+// node, and hopping away from it would dodge the admission control
+// the cluster relies on. The retry budget spans all targets.
+func (c *Client) doTargets(ctx context.Context, method string, bases []string, path string, reqBody []byte) ([]byte, http.Header, error) {
 	var lastErr error
+	target := 0
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			if err := c.backoff(ctx, attempt, lastErr); err != nil {
 				return nil, nil, err
 			}
 		}
-		res := c.attempt(ctx, method, path, reqBody)
+		res := c.attempt(ctx, method, bases[target%len(bases)], path, reqBody)
 		if res.netErr != nil {
 			if ctx.Err() != nil {
 				return nil, nil, ctx.Err()
 			}
 			lastErr = fmt.Errorf("client: %s %s: %w", method, path, res.netErr)
+			target++
 			continue
 		}
 		if res.status >= 200 && res.status < 300 {
@@ -215,17 +331,20 @@ func (c *Client) do(ctx context.Context, method, path string, reqBody []byte) ([
 		}
 		apiErr.retryAfter = parseRetryAfter(res.header)
 		lastErr = apiErr
+		if res.status >= 500 {
+			target++
+		}
 	}
 	return nil, nil, fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
 }
 
-// attempt performs exactly one HTTP round trip.
-func (c *Client) attempt(ctx context.Context, method, path string, reqBody []byte) attemptResult {
+// attempt performs exactly one HTTP round trip against base.
+func (c *Client) attempt(ctx context.Context, method, base, path string, reqBody []byte) attemptResult {
 	var rd io.Reader
 	if reqBody != nil {
 		rd = bytes.NewReader(reqBody)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return attemptResult{netErr: err}
 	}
@@ -258,7 +377,10 @@ type retryAfterCarrier interface{ RetryAfter() time.Duration }
 func (e *APIError) RetryAfter() time.Duration { return e.retryAfter }
 
 // backoff sleeps before retry n: the server's Retry-After when it
-// gave one, otherwise full-jitter exponential backoff.
+// gave one, otherwise full-jitter exponential backoff. A wait that
+// cannot finish inside the context deadline fails immediately — a
+// caller with 200ms of patience told to come back in 5s learns the
+// request is doomed now, not after blocking out its whole budget.
 func (c *Client) backoff(ctx context.Context, attempt int, lastErr error) error {
 	var d time.Duration
 	var carrier retryAfterCarrier
@@ -270,6 +392,9 @@ func (c *Client) backoff(ctx context.Context, attempt int, lastErr error) error 
 			max = c.cfg.MaxBackoff
 		}
 		d = c.jit(max)
+	}
+	if t, ok := ctx.Deadline(); ok && d >= time.Until(t) {
+		return context.DeadlineExceeded
 	}
 	return c.sleep(ctx, d)
 }
@@ -382,7 +507,9 @@ func (c *Client) runJob(ctx context.Context, path string, req any) (json.RawMess
 		if err := c.sleep(ctx, c.cfg.PollInterval); err != nil {
 			return nil, err
 		}
-		out, _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+job.ID, nil)
+		// Poll the id's ring owner first (it holds the job), falling
+		// down the successor order when it is unreachable.
+		out, _, err := c.doTargets(ctx, http.MethodGet, c.targets(job.ID), "/v1/jobs/"+job.ID, nil)
 		if err != nil {
 			return nil, err
 		}

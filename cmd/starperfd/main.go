@@ -20,11 +20,19 @@
 // interrupted — every accepted job still reaches done/failed exactly
 // once, with the same content-addressed result bytes.
 //
+// -self and -peers make the daemon one member of a sharded cluster
+// (see internal/cluster): jobs hash onto a consistent-hash ring over
+// the member addresses, non-owners forward to the owner (failing over
+// down the ring when it is unreachable, computing locally as the last
+// resort), and finished results are filled from peer caches after
+// verification. Every member must be started with the same member
+// set — -self plus -peers must spell the same cluster on every node.
+//
 // Usage:
 //
 //	starperfd [-addr :8080] [-workers N] [-queue 256] [-cachedir DIR]
 //	          [-cachebytes 67108864] [-jobtimeout 0] [-maxbody 1048576]
-//	          [-journal DIR]
+//	          [-journal DIR] [-self host:port -peers host:port,...]
 //
 // The server drains in-flight jobs on SIGINT/SIGTERM before exiting.
 package main
@@ -39,13 +47,27 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"starperf/internal/cache"
+	"starperf/internal/cluster"
 	"starperf/internal/journal"
 	"starperf/internal/server"
 )
+
+// splitPeers parses the -peers flag: a comma-separated address list,
+// blank entries dropped so a trailing comma is harmless.
+func splitPeers(list string) []string {
+	var peers []string
+	for _, p := range strings.Split(list, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -57,7 +79,24 @@ func main() {
 	maxbody := flag.Int64("maxbody", 1<<20, "request body limit in bytes")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
 	journaldir := flag.String("journal", "", "durable job journal directory (empty: no crash recovery)")
+	self := flag.String("self", "", "this node's advertised host:port on the cluster ring (empty: unclustered)")
+	peers := flag.String("peers", "", "comma-separated peer host:port list (requires -self)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per ring member (0: default; must match across the cluster)")
 	flag.Parse()
+
+	var ring *cluster.Ring
+	if *self != "" || *peers != "" {
+		var err error
+		ring, err = cluster.New(cluster.Config{
+			Self:         *self,
+			Peers:        splitPeers(*peers),
+			VirtualNodes: *vnodes,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "starperfd: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	var jnl *journal.Journal
 	var jrec *journal.Recovery
@@ -78,6 +117,7 @@ func main() {
 		Cache:        cache.Config{MaxBytes: *cachebytes, Dir: *cachedir},
 		MaxBodyBytes: *maxbody,
 		Journal:      jnl,
+		Ring:         ring,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "starperfd: %v\n", err)
@@ -100,6 +140,10 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("starperfd listening on %s (workers=%d queue=%d cachedir=%q)",
 		*addr, *workers, *queue, *cachedir)
+	if ring != nil {
+		log.Printf("starperfd: cluster member %s of ring %v (%d virtual nodes/member)",
+			ring.Self(), ring.Members(), ring.VirtualNodes())
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

@@ -31,6 +31,7 @@
 package journal
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -223,9 +224,18 @@ func (j *Journal) replay() (*Recovery, error) {
 }
 
 // replaySegment applies one segment's records to the pending state.
+// It walks the segment bytes in place — no string copy of the file,
+// no per-line payload copy — because replay is boot cost: a node
+// restarting after a crash reads every segment before it can serve.
 func (j *Journal) replaySegment(data []byte, rec *Recovery) {
-	for _, line := range strings.Split(string(data), "\n") {
-		if line == "" {
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		if len(line) == 0 {
 			continue
 		}
 		r, ok := decodeRecord(line)
@@ -279,24 +289,46 @@ func encodeRecord(r Record) ([]byte, error) {
 	return line, nil
 }
 
-// decodeRecord parses and verifies one line.
-func decodeRecord(line string) (Record, bool) {
+// decodeRecord parses and verifies one line. The payload slice
+// aliases the caller's buffer: json.Unmarshal copies everything it
+// keeps (json.RawMessage included), so nothing in the decoded Record
+// outlives the segment read that produced the line.
+func decodeRecord(line []byte) (Record, bool) {
 	var r Record
 	if len(line) < 10 || line[8] != ' ' {
 		return r, false
 	}
-	sum, err := strconv.ParseUint(line[:8], 16, 32)
-	if err != nil {
+	sum, ok := hexUint32(line[:8])
+	if !ok {
 		return r, false
 	}
-	payload := []byte(line[9:])
-	if crc32.Checksum(payload, crcTable) != uint32(sum) {
+	payload := line[9:]
+	if crc32.Checksum(payload, crcTable) != sum {
 		return r, false
 	}
 	if err := json.Unmarshal(payload, &r); err != nil {
 		return r, false
 	}
 	return r, true
+}
+
+// hexUint32 parses exactly eight hex digits without the string
+// round-trip strconv would force on a []byte input.
+func hexUint32(b []byte) (uint32, bool) {
+	var v uint32
+	for _, c := range b {
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | uint32(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | uint32(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			v = v<<4 | uint32(c-'A'+10)
+		default:
+			return 0, false
+		}
+	}
+	return v, true
 }
 
 // openSegment starts the next segment and makes its directory entry

@@ -329,6 +329,7 @@ func DefaultRules() []Rule {
 		"starperf/internal/server",
 		"starperf/internal/journal",
 		"starperf/internal/fsx",
+		"starperf/internal/cluster",
 		"starperf/client",
 	)
 	numerical := inPackages(
@@ -363,18 +364,22 @@ func DefaultRules() []Rule {
 		return p != "starperf/internal/journal" && p != "starperf/internal/fsx"
 	}
 	// clockseam guards the deterministic core: the packages whose
-	// behaviour TestDeterminismByteIdentical freezes byte-for-byte.
+	// behaviour TestDeterminismByteIdentical freezes byte-for-byte,
+	// plus the consistent-hash ring — every node and client must
+	// compute identical placement from the member list alone.
 	clockCore := inPackages(
 		"starperf/internal/desim",
 		"starperf/internal/jobs",
 		"starperf/internal/journal",
+		"starperf/internal/cluster",
 	)
-	// errclass anchors at the public surface: the root api.go package
-	// and the HTTP client. cfgerr is the classifier, so its own
+	// errclass anchors at the public surface: the root api.go package,
+	// the HTTP client, and the ring package the client re-exposes
+	// through LearnRing. cfgerr is the classifier, so its own
 	// constructors are exempt leaves.
-	errSurface := inPackages("starperf", "starperf/client")
+	errSurface := inPackages("starperf", "starperf/client", "starperf/internal/cluster")
 	errClassifier := inPackages("starperf/internal/cfgerr")
-	httpScope := inPackages("starperf/client", "starperf/internal/server")
+	httpScope := inPackages("starperf/client", "starperf/internal/server", "starperf/internal/cluster")
 	return []Rule{
 		NewMapOrder(simulation),
 		NewFloatEq(numerical, "EqualWithin", "Close", "approxEq"),

@@ -235,6 +235,7 @@ func TestDefaultRulesScopes(t *testing.T) {
 		{"maporder", "starperf/internal/server", true},
 		{"maporder", "starperf/internal/journal", true},
 		{"maporder", "starperf/internal/fsx", true},
+		{"maporder", "starperf/internal/cluster", true},
 		{"maporder", "starperf/client", true},
 		{"maporder", "starperf/internal/model", false},
 		{"floateq", "starperf/internal/model", true},
@@ -262,14 +263,17 @@ func TestDefaultRulesScopes(t *testing.T) {
 		{"clockseam", "starperf/internal/desim", true},
 		{"clockseam", "starperf/internal/jobs", true},
 		{"clockseam", "starperf/internal/journal", true},
+		{"clockseam", "starperf/internal/cluster", true},
 		{"clockseam", "starperf/internal/server", false},
 		{"clockseam", "starperf/client", false},
 		{"clockseam", "starperf/internal/cache", false},
 		{"errclass", "starperf", true},
 		{"errclass", "starperf/client", true},
+		{"errclass", "starperf/internal/cluster", true},
 		{"errclass", "starperf/internal/model", false},
 		{"bodyclose", "starperf/client", true},
 		{"bodyclose", "starperf/internal/server", true},
+		{"bodyclose", "starperf/internal/cluster", true},
 		{"bodyclose", "starperf/internal/desim", false},
 	}
 	for _, c := range cases {

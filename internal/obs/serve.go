@@ -121,6 +121,42 @@ type BreakerStats struct {
 	Rejected uint64 `json:"rejected"`
 }
 
+// ClusterStats is a point-in-time snapshot of one node's view of the
+// sharded cluster (PR 7): its ring membership plus the peer-routing
+// counters — how many requests it owned, relayed, failed over, filled
+// from a peer's cache, or computed locally as the last resort.
+type ClusterStats struct {
+	// Self is this node's advertised address; Members the full ring
+	// membership (sorted, self included); VirtualNodes the per-member
+	// virtual-node count. All three must agree across the cluster.
+	Self         string   `json:"self"`
+	Members      []string `json:"members"`
+	VirtualNodes int      `json:"virtual_nodes"`
+	// Owned counts compute requests this node owned on the ring and
+	// served itself; Forwarded requests relayed to a peer that
+	// answered; ForwardErrors individual peer attempts that failed
+	// (connection refused, timeout, 5xx).
+	Owned         uint64 `json:"owned"`
+	Forwarded     uint64 `json:"forwarded"`
+	ForwardErrors uint64 `json:"forward_errors"`
+	// Failovers counts preference-order steps past an unavailable
+	// peer (dead, timing out, or breaker-open); LocalFallbacks
+	// requests for ids this node does not own that it computed anyway
+	// because no preferred peer could — capacity degraded,
+	// availability kept.
+	Failovers      uint64 `json:"failovers"`
+	LocalFallbacks uint64 `json:"local_fallbacks"`
+	// PeerFills counts results fetched from a peer's cache instead of
+	// recomputed; PeerFillCorrupt fetched bodies rejected because
+	// their bytes did not match the advertised content sum (never
+	// stored, never served).
+	PeerFills       uint64 `json:"peer_fills"`
+	PeerFillCorrupt uint64 `json:"peer_fill_corrupt"`
+	// PeerBreakers snapshots the per-peer circuit breakers guarding
+	// forwards and fills, keyed by peer address in Route.
+	PeerBreakers []BreakerStats `json:"peer_breakers"`
+}
+
 // RouteStats summarises one HTTP route's traffic: request count,
 // error responses (status ≥ 400) and a latency sketch read from the
 // per-route power-of-two histogram (internal/stats).

@@ -20,10 +20,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -31,6 +33,7 @@ import (
 
 	"starperf/internal/cache"
 	"starperf/internal/cfgerr"
+	"starperf/internal/cluster"
 	"starperf/internal/jobs"
 	"starperf/internal/journal"
 	"starperf/internal/obs"
@@ -65,6 +68,28 @@ type Config struct {
 	// Breaker tunes the per-route circuit breaker guarding the
 	// compute routes.
 	Breaker BreakerConfig
+	// Ring, when set, makes this node one member of a sharded cluster
+	// (see internal/cluster and cluster.go): compute requests for ids
+	// a peer owns are forwarded there, failing over down the ring when
+	// the owner is unreachable; finished results are filled from peer
+	// caches after verification; /metricsz reports the routing
+	// counters. Every member must build its ring from the same member
+	// list, or nodes disagree about ownership.
+	Ring *cluster.Ring
+	// PeerHTTP is the HTTP client peers are reached with (default a
+	// plain http.Client; tests inject one bound to test listeners).
+	PeerHTTP *http.Client
+	// PeerTimeout bounds one peer cache fill or cross-node job lookup
+	// (default 2s). Forwarded compute requests are budgeted by the
+	// caller's own deadline instead.
+	PeerTimeout time.Duration
+	// PeerScheme is the URL scheme peers are reached by (default
+	// "http" — cluster traffic is assumed to run on a trusted
+	// network, as the README documents).
+	PeerScheme string
+	// PeerBreaker tunes the per-peer circuit breakers that keep a
+	// dead or flapping peer probed instead of hammered.
+	PeerBreaker BreakerConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +120,7 @@ type Server struct {
 	mux      *http.ServeMux
 	metrics  *metrics
 	breakers *breakerSet
+	cluster  *peerNet // nil when unclustered
 	sem      chan struct{}
 	maxBody  int64
 
@@ -125,6 +151,9 @@ func New(cfg Config) (*Server, error) {
 		maxBody:         cfg.MaxBodyBytes,
 		defaultDeadline: cfg.DefaultDeadline,
 	}
+	if cfg.Ring != nil {
+		s.cluster = newPeerNet(cfg)
+	}
 	// The three compute routes run behind the breaker and admission
 	// control; the read-only operational routes never shed — you must
 	// be able to poll a job or read /metricsz on an overloaded server.
@@ -132,6 +161,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.guard("/v1/simulate", s.handleSimulate)))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.guard("/v1/sweep", s.handleSweep)))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJob))
+	s.mux.HandleFunc("GET /v1/ring/{id}", s.instrument("/v1/ring", s.handleRing))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metricsz", s.instrument("/metricsz", s.handleMetricsz))
 	return s, nil
@@ -228,6 +258,11 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 		}
+		if s.cluster != nil {
+			// Name the serving node; a relayed peer response overwrites
+			// this with the node that actually did the work.
+			w.Header().Set(nodeHeader, s.cluster.ring.Self())
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(sw, r)
@@ -295,19 +330,33 @@ type jobBody struct {
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
-// decode parses a JSON request body strictly — unknown fields are
-// errors, because a silently dropped typo would mint a fresh cache
-// key for a request the caller never meant to make.
-func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
+// readBody drains a request body into memory (already bounded by
+// MaxBytesReader). Handlers keep the raw bytes because the cluster
+// path forwards them verbatim to a peer — which re-normalises and
+// re-hashes them to the same content id.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.writeJSON(w, http.StatusRequestEntityTooLarge,
 				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), Class: "body_too_large"})
-			return false
+			return nil, false
 		}
+		s.writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: "reading request: " + err.Error(), Class: "bad_request"})
+		return nil, false
+	}
+	return raw, true
+}
+
+// decode parses a JSON request body strictly — unknown fields are
+// errors, because a silently dropped typo would mint a fresh cache
+// key for a request the caller never meant to make.
+func (s *Server) decode(w http.ResponseWriter, raw []byte, v any) bool {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
 		s.writeJSON(w, http.StatusBadRequest,
 			errorBody{Error: "malformed request: " + err.Error(), Class: "bad_request"})
 		return false
@@ -356,8 +405,12 @@ func (s *Server) writeResult(w http.ResponseWriter, id, cacheState string, body 
 // stored bytes; otherwise evaluate on the pool (deduplicated against
 // concurrent identical requests) and store.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
 	var req PredictRequest
-	if !s.decode(w, r, &req) {
+	if !s.decode(w, raw, &req) {
 		return
 	}
 	req = req.withDefaults()
@@ -372,6 +425,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	if body, ok := s.cache.Get(id); ok {
 		s.writeResult(w, id, "hit", body)
+		return
+	}
+	if s.clusterRoute(w, r, id, raw, true) {
 		return
 	}
 	meta, err := submitMeta("predict", req)
@@ -435,8 +491,12 @@ func (s *Server) submitAsync(w http.ResponseWriter, id string, meta jobs.Meta, f
 
 // handleSimulate serves POST /v1/simulate.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
 	var req SimulateRequest
-	if !s.decode(w, r, &req) {
+	if !s.decode(w, raw, &req) {
 		return
 	}
 	req = req.withDefaults()
@@ -447,6 +507,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	id, err := req.hash()
 	if err != nil {
 		s.writeErr(w, err)
+		return
+	}
+	if s.cache.Contains(id) {
+		s.writeJSON(w, http.StatusOK, jobBody{ID: id, Status: jobs.StatusDone})
+		return
+	}
+	if s.clusterRoute(w, r, id, raw, false) {
 		return
 	}
 	meta, err := submitMeta("simulate", req)
@@ -459,8 +526,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 // handleSweep serves POST /v1/sweep.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
 	var req SweepRequest
-	if !s.decode(w, r, &req) {
+	if !s.decode(w, raw, &req) {
 		return
 	}
 	req = req.withDefaults()
@@ -473,6 +544,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
+	if s.cache.Contains(id) {
+		s.writeJSON(w, http.StatusOK, jobBody{ID: id, Status: jobs.StatusDone})
+		return
+	}
+	if s.clusterRoute(w, r, id, raw, false) {
+		return
+	}
 	meta, err := submitMeta("sweep", req)
 	if err != nil {
 		s.writeErr(w, err)
@@ -483,15 +561,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 // handleJob serves GET /v1/jobs/{id}: resolve from the cache first
 // (results outlive the pool's retention window there), then from the
-// pool registry.
+// pool registry, then — on a clustered node — from the peers that may
+// own the job. Done responses advertise the sha256 of their result
+// bytes in X-Starperf-Result-Sum so a peer filling its cache can
+// verify what it received.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if body, ok := s.cache.Get(id); ok {
+		w.Header().Set(resultSumHeader, resultSum(body))
 		s.writeJSON(w, http.StatusOK, jobBody{ID: id, Status: jobs.StatusDone, Result: body})
 		return
 	}
 	j, ok := s.pool.Get(id)
 	if !ok {
+		if s.clusterJobLookup(w, r, id) {
+			return
+		}
 		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + id, Class: "not_found"})
 		return
 	}
@@ -502,7 +587,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			s.writeErr(w, err)
 			return
 		}
-		s.writeJSON(w, http.StatusOK, jobBody{ID: id, Status: jobs.StatusDone, Result: v.([]byte)})
+		body := v.([]byte)
+		w.Header().Set(resultSumHeader, resultSum(body))
+		s.writeJSON(w, http.StatusOK, jobBody{ID: id, Status: jobs.StatusDone, Result: body})
 	case jobs.StatusFailed:
 		_, err := j.Result()
 		s.writeJSON(w, http.StatusOK, jobBody{ID: id, Status: jobs.StatusFailed, Error: err.Error()})
@@ -511,9 +598,32 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// healthBody is the GET /healthz response. Cluster is present on a
+// clustered node and is what the client bootstraps its ring from.
+type healthBody struct {
+	OK      bool        `json:"ok"`
+	Cluster *ringConfig `json:"cluster,omitempty"`
+}
+
+// ringConfig is the ring-membership triple every member (and the
+// client) must agree on to build identical rings.
+type ringConfig struct {
+	Self         string   `json:"self"`
+	Members      []string `json:"members"`
+	VirtualNodes int      `json:"virtual_nodes"`
+}
+
 // handleHealthz serves GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	body := healthBody{OK: true}
+	if s.cluster != nil {
+		body.Cluster = &ringConfig{
+			Self:         s.cluster.ring.Self(),
+			Members:      s.cluster.ring.Members(),
+			VirtualNodes: s.cluster.ring.VirtualNodes(),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 // Metricsz is the GET /metricsz response body. Journal is null when
@@ -525,6 +635,8 @@ type Metricsz struct {
 	Journal   *obs.JournalStats  `json:"journal,omitempty"`
 	Admission obs.AdmissionStats `json:"admission"`
 	Breakers  []obs.BreakerStats `json:"breakers"`
+	// Cluster is null on an unclustered node.
+	Cluster *obs.ClusterStats `json:"cluster,omitempty"`
 }
 
 // handleMetricsz serves GET /metricsz.
@@ -542,6 +654,10 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	body.Admission.Shed = s.shed.Load()
 	for _, b := range body.Breakers {
 		body.Admission.BreakerRejected += b.Rejected
+	}
+	if s.cluster != nil {
+		st := s.cluster.stats()
+		body.Cluster = &st
 	}
 	s.writeJSON(w, http.StatusOK, body)
 }

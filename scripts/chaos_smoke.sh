@@ -21,11 +21,25 @@ CRASH_PORT=${CRASH_PORT:-18092}
 
 WORK=$(mktemp -d)
 SRV=""
+PIDS=()
 cleanup() {
-  [ -n "$SRV" ] && kill "$SRV" 2>/dev/null || true
+  status=$?
+  # Kill every server this script ever started, current one included:
+  # a failure between spawn and the next kill must not leak a daemon.
+  for pid in ${SRV:-} ${PIDS[@]+"${PIDS[@]}"}; do
+    kill "$pid" 2>/dev/null || true
+  done
+  sleep 0.2
+  for pid in ${SRV:-} ${PIDS[@]+"${PIDS[@]}"}; do
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
   rm -rf "$WORK"
+  exit "$status"
 }
 trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 # A simulate workload heavy enough (~seconds) that SIGKILL lands while
 # the job is still running, so the restart genuinely has to requeue it.
@@ -61,6 +75,7 @@ echo "chaos_smoke: control run (uninterrupted)"
 "$BIN" -addr "127.0.0.1:$CONTROL_PORT" -workers 1 \
   -journal "$WORK/control-journal" -cachedir "$WORK/control-cache" &
 SRV=$!
+PIDS+=("$SRV")
 wait_healthy "$CONTROL_PORT"
 ACCEPT=$(curl -fsS -X POST "http://127.0.0.1:$CONTROL_PORT/v1/simulate" -d "$REQ")
 ID=$(echo "$ACCEPT" | grep -o 'sha256:[0-9a-f]*')
@@ -73,6 +88,7 @@ echo "chaos_smoke: crash run (SIGKILL mid-job)"
 "$BIN" -addr "127.0.0.1:$CRASH_PORT" -workers 1 \
   -journal "$WORK/crash-journal" -cachedir "$WORK/crash-cache" &
 SRV=$!
+PIDS+=("$SRV")
 wait_healthy "$CRASH_PORT"
 ACCEPT=$(curl -fsS -X POST "http://127.0.0.1:$CRASH_PORT/v1/simulate" -d "$REQ")
 CRASH_ID=$(echo "$ACCEPT" | grep -o 'sha256:[0-9a-f]*')
@@ -89,6 +105,7 @@ echo "chaos_smoke: restart over the crashed journal"
   -journal "$WORK/crash-journal" -cachedir "$WORK/crash-cache" \
   >"$WORK/restart.log" 2>&1 &
 SRV=$!
+PIDS+=("$SRV")
 wait_healthy "$CRASH_PORT"
 grep -q 'recovery: 1 requeued' "$WORK/restart.log" || {
   echo "chaos_smoke: restart did not requeue the interrupted job:" >&2
@@ -96,7 +113,9 @@ grep -q 'recovery: 1 requeued' "$WORK/restart.log" || {
   exit 1
 }
 poll_done "$CRASH_PORT" "$ID" "$WORK/recovered.json"
-cmp "$WORK/control.json" "$WORK/recovered.json" || {
+# cmp -s so the comparison itself can't write noise; the explicit
+# exit 1 is what CI sees when the bytes diverge.
+cmp -s "$WORK/control.json" "$WORK/recovered.json" || {
   echo "chaos_smoke: recovered result differs from uninterrupted run" >&2
   echo "control:   $(cat "$WORK/control.json")" >&2
   echo "recovered: $(cat "$WORK/recovered.json")" >&2

@@ -1,0 +1,200 @@
+#!/usr/bin/env bash
+# Cluster chaos drill for the sharded starperfd (the out-of-process
+# twin of TestClusterChaosDrillOwnerKilledMidJob).
+#
+# A single-node control run computes a simulate job to completion.
+# Then a 3-node ring starts, the job's ring owner is found via
+# GET /v1/ring/{id}, the same job is submitted to the owner, and the
+# owner is SIGKILLed while its single wedged worker still holds it.
+# The drill then demands:
+#
+#   1. availability — a survivor answers the dead owner's job within
+#      the request deadline (failover forwarding or local compute),
+#      byte-identical to the control run;
+#   2. visibility — the survivor's /metricsz failover counters show
+#      the reroute;
+#   3. healing — the restarted owner replays its journal, re-enqueues
+#      the interrupted job, and serves the same bytes; and the third
+#      node, which never computed anything, serves them too (peer
+#      cache fill).
+#
+# The final /metricsz snapshot of every node is written to
+# $METRICS_OUT (default $WORK/cluster_metricsz.json); CI uploads it
+# as an artifact.
+#
+# CI runs this from the cluster-smoke job; locally:
+#
+#   go build -o /tmp/starperfd ./cmd/starperfd && scripts/cluster_chaos.sh
+set -euo pipefail
+
+BIN=${BIN:-/tmp/starperfd}
+PORTS=(${CLUSTER_PORTS:-18093 18094 18095})
+CONTROL_PORT=${CONTROL_PORT:-18096}
+
+WORK=$(mktemp -d)
+METRICS_OUT=${METRICS_OUT:-$WORK/cluster_metricsz.json}
+PIDS=()
+cleanup() {
+  status=$?
+  for pid in ${PIDS[@]+"${PIDS[@]}"}; do
+    kill "$pid" 2>/dev/null || true
+  done
+  sleep 0.2
+  for pid in ${PIDS[@]+"${PIDS[@]}"}; do
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+  exit "$status"
+}
+trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
+
+# Heavy enough (~seconds) that SIGKILL lands while the job is still
+# running on the owner's single worker.
+REQ='{"topo":{"kind":"star","n":4},"v":4,"msg_len":16,"rate":0.004,"seed":11,"warmup":5000,"measure":2000000}'
+
+MEMBERS=$(printf '127.0.0.1:%s,' "${PORTS[@]}")
+MEMBERS=${MEMBERS%,}
+
+wait_healthy() {
+  local port=$1
+  for _ in $(seq 1 100); do
+    curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "cluster_chaos: server on :$port never became healthy" >&2
+  return 1
+}
+
+poll_done() { # poll_done PORT ID OUTFILE
+  local port=$1 id=$2 out=$3
+  for _ in $(seq 1 600); do
+    if curl -fsS "http://127.0.0.1:$port/v1/jobs/$id" -o "$out" 2>/dev/null; then
+      if grep -q '"status":"done"' "$out"; then return 0; fi
+      if grep -q '"status":"failed"' "$out"; then
+        echo "cluster_chaos: job failed: $(cat "$out")" >&2
+        return 1
+      fi
+    fi
+    sleep 0.2
+  done
+  echo "cluster_chaos: job $id never completed on :$port" >&2
+  return 1
+}
+
+start_node() { # start_node INDEX -> appends to PIDS, records NODE_PID
+  local i=$1 port=${PORTS[$1]}
+  "$BIN" -addr "127.0.0.1:$port" -workers 1 \
+    -self "127.0.0.1:$port" -peers "$MEMBERS" \
+    -journal "$WORK/journal-$i" -cachedir "$WORK/cache-$i" \
+    >"$WORK/node-$i.log" 2>&1 &
+  NODE_PID[$i]=$!
+  PIDS+=("${NODE_PID[$i]}")
+}
+
+echo "cluster_chaos: control run (single node, uninterrupted)"
+"$BIN" -addr "127.0.0.1:$CONTROL_PORT" -workers 1 \
+  -journal "$WORK/control-journal" -cachedir "$WORK/control-cache" &
+CONTROL=$!
+PIDS+=("$CONTROL")
+wait_healthy "$CONTROL_PORT"
+ACCEPT=$(curl -fsS -X POST "http://127.0.0.1:$CONTROL_PORT/v1/simulate" -d "$REQ")
+ID=$(echo "$ACCEPT" | grep -o 'sha256:[0-9a-f]*')
+[ -n "$ID" ] || { echo "cluster_chaos: no job id in $ACCEPT" >&2; exit 1; }
+poll_done "$CONTROL_PORT" "$ID" "$WORK/control.json"
+kill -TERM "$CONTROL" && wait "$CONTROL"
+
+echo "cluster_chaos: starting 3-node ring ($MEMBERS)"
+declare -a NODE_PID
+for i in 0 1 2; do start_node "$i"; done
+for p in "${PORTS[@]}"; do wait_healthy "$p"; done
+curl -fsS "http://127.0.0.1:${PORTS[0]}/healthz" | grep -q '"members"' || {
+  echo "cluster_chaos: /healthz has no ring membership" >&2
+  exit 1
+}
+
+# The ring (any node's view — they agree) names the owner and the
+# cluster-wide failover order for this job id.
+RING=$(curl -fsS "http://127.0.0.1:${PORTS[0]}/v1/ring/$ID")
+# Parse only the "nodes" array — the envelope's "self" field is also
+# an address and must not be mistaken for the owner.
+ORDER=$(echo "$RING" | sed -n 's/.*"nodes":\[\([^]]*\)\].*/\1/p' | grep -o '127\.0\.0\.1:[0-9]*')
+OWNER_ADDR=$(echo "$ORDER" | head -1)
+SURVIVOR_ADDR=$(echo "$ORDER" | sed -n 2p)
+THIRD_ADDR=$(echo "$ORDER" | sed -n 3p)
+OWNER_PORT=${OWNER_ADDR##*:}
+SURVIVOR_PORT=${SURVIVOR_ADDR##*:}
+THIRD_PORT=${THIRD_ADDR##*:}
+OWNER_IDX=""
+for i in 0 1 2; do
+  [ "${PORTS[$i]}" = "$OWNER_PORT" ] && OWNER_IDX=$i
+done
+[ -n "$OWNER_IDX" ] || { echo "cluster_chaos: owner $OWNER_ADDR not in ring" >&2; exit 1; }
+echo "cluster_chaos: job $ID is owned by $OWNER_ADDR (failover: $SURVIVOR_ADDR, $THIRD_ADDR)"
+
+echo "cluster_chaos: submitting to the owner, then SIGKILL mid-job"
+ACCEPT=$(curl -fsS -X POST "http://127.0.0.1:$OWNER_PORT/v1/simulate" -d "$REQ")
+echo "$ACCEPT" | grep -q "$ID" || {
+  echo "cluster_chaos: owner submit returned $ACCEPT, want $ID" >&2
+  exit 1
+}
+kill -9 "${NODE_PID[$OWNER_IDX]}"
+wait "${NODE_PID[$OWNER_IDX]}" 2>/dev/null || true
+
+echo "cluster_chaos: survivor must answer the dead owner's job"
+ACCEPT=$(curl -fsS -X POST "http://127.0.0.1:$SURVIVOR_PORT/v1/simulate" -d "$REQ")
+echo "$ACCEPT" | grep -q "$ID" || {
+  echo "cluster_chaos: survivor resubmit returned $ACCEPT, want $ID" >&2
+  exit 1
+}
+poll_done "$SURVIVOR_PORT" "$ID" "$WORK/survivor.json"
+cmp -s "$WORK/control.json" "$WORK/survivor.json" || {
+  echo "cluster_chaos: survivor result differs from control run" >&2
+  echo "control:  $(cat "$WORK/control.json")" >&2
+  echo "survivor: $(cat "$WORK/survivor.json")" >&2
+  exit 1
+}
+curl -fsS "http://127.0.0.1:$SURVIVOR_PORT/metricsz" >"$WORK/survivor_metricsz.json"
+grep -q '"failovers":[1-9]' "$WORK/survivor_metricsz.json" || {
+  echo "cluster_chaos: survivor answered but /metricsz shows no failover" >&2
+  cat "$WORK/survivor_metricsz.json" >&2
+  exit 1
+}
+
+echo "cluster_chaos: restarting the owner over its journal"
+start_node "$OWNER_IDX"
+wait_healthy "$OWNER_PORT"
+grep -q 'requeued' "$WORK/node-$OWNER_IDX.log" || {
+  echo "cluster_chaos: restarted owner logged no journal recovery:" >&2
+  cat "$WORK/node-$OWNER_IDX.log" >&2
+  exit 1
+}
+poll_done "$OWNER_PORT" "$ID" "$WORK/recovered.json"
+cmp -s "$WORK/control.json" "$WORK/recovered.json" || {
+  echo "cluster_chaos: restarted owner's result differs from control run" >&2
+  exit 1
+}
+
+echo "cluster_chaos: third node must serve the job via peer cache fill"
+poll_done "$THIRD_PORT" "$ID" "$WORK/third.json"
+cmp -s "$WORK/control.json" "$WORK/third.json" || {
+  echo "cluster_chaos: third node's result differs from control run" >&2
+  exit 1
+}
+
+# Snapshot every live node's /metricsz for the CI artifact.
+{
+  echo '{'
+  for i in 0 1 2; do
+    port=${PORTS[$i]}
+    [ "$i" -gt 0 ] && echo ','
+    printf '"127.0.0.1:%s": ' "$port"
+    curl -fsS "http://127.0.0.1:$port/metricsz" || echo 'null'
+  done
+  echo '}'
+} >"$METRICS_OUT"
+echo "cluster_chaos: metricsz snapshot written to $METRICS_OUT"
+
+echo "cluster_chaos: OK — owner killed mid-job, survivors answered byte-identically, ring healed on restart"
