@@ -231,8 +231,9 @@ type (
 
 // Experiment harness re-exports: Panel/Series/Point latency curves,
 // the Figure-1 regenerator and the throughput sweep. The config-struct
-// entry points (Figure1Panel, ThroughputSweep) are the current API;
-// the positional forms below remain as deprecated shims.
+// entry points (Figure1Panel, ThroughputSweep) are the API; the old
+// positional forms (Figure1, ThroughputCurve) were deprecated in PR 3
+// and removed in PR 10.
 type (
 	Panel            = experiments.Panel
 	SimOptions       = experiments.SimOptions
@@ -251,21 +252,4 @@ func Figure1Panel(cfg Figure1Config) (*Panel, error) {
 // accepted throughput.
 func ThroughputSweep(cfg ThroughputConfig) ([]ThroughputRow, error) {
 	return experiments.ThroughputSweep(cfg)
-}
-
-// Figure1 regenerates one panel of the paper's Figure 1 ('a', 'b' or
-// 'c').
-//
-// Deprecated: use Figure1Panel with a Figure1Config.
-func Figure1(panel byte, points int, opts SimOptions) (*Panel, error) {
-	return experiments.Figure1(panel, points, opts)
-}
-
-// ThroughputCurve sweeps offered load past saturation and reports
-// accepted throughput.
-//
-// Deprecated: use ThroughputSweep with a ThroughputConfig.
-func ThroughputCurve(top Topology, kind RoutingKind, v, msgLen, points int,
-	maxRate float64, opts SimOptions) ([]ThroughputRow, error) {
-	return experiments.ThroughputCurve(top, kind, v, msgLen, points, maxRate, opts)
 }

@@ -12,6 +12,7 @@ package starperf
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"starperf/internal/experiments"
@@ -57,7 +58,9 @@ func reportPanel(b *testing.B, p *experiments.Panel) {
 // BenchmarkFigure1a regenerates Figure 1(a): S5, V=6, M=32 and 64.
 func BenchmarkFigure1a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		p, err := experiments.Figure1('a', 6, benchOpts())
+		p, err := experiments.Figure1Panel(experiments.Figure1Config{
+			Panel: 'a', Points: 6, Workers: runtime.NumCPU(), Sim: benchOpts(),
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,7 +71,9 @@ func BenchmarkFigure1a(b *testing.B) {
 // BenchmarkFigure1b regenerates Figure 1(b): S5, V=9.
 func BenchmarkFigure1b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		p, err := experiments.Figure1('b', 6, benchOpts())
+		p, err := experiments.Figure1Panel(experiments.Figure1Config{
+			Panel: 'b', Points: 6, Workers: runtime.NumCPU(), Sim: benchOpts(),
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,7 +84,9 @@ func BenchmarkFigure1b(b *testing.B) {
 // BenchmarkFigure1c regenerates Figure 1(c): S5, V=12, rates to 0.02.
 func BenchmarkFigure1c(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		p, err := experiments.Figure1('c', 6, benchOpts())
+		p, err := experiments.Figure1Panel(experiments.Figure1Config{
+			Panel: 'c', Points: 6, Workers: runtime.NumCPU(), Sim: benchOpts(),
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -239,7 +246,10 @@ func BenchmarkThroughput(b *testing.B) {
 	g := stargraph.MustNew(5)
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.ThroughputCurve(g, routing.EnhancedNbc, 6, 32, 6, 0.03, opts)
+		rows, err := experiments.ThroughputSweep(experiments.ThroughputConfig{
+			Top: g, Kind: routing.EnhancedNbc, V: 6, MsgLen: 32,
+			Points: 6, MaxRate: 0.03, Workers: runtime.NumCPU(), Sim: opts,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -246,7 +246,8 @@ var (
 
 // APIError is a non-2xx response decoded from the server's error
 // envelope. Status is the HTTP code; Class the machine-readable
-// error class ("invalid_config", "overloaded", ...).
+// error class from the v1 wire contract ("invalid_config",
+// "queue_full", "saturated", "unreachable", "timeout", "internal").
 type APIError struct {
 	Status  int
 	Class   string
@@ -259,6 +260,14 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("starperfd: %d %s: %s", e.Status, e.Class, e.Message)
 }
 
+// Is maps wire classes back onto the client's sentinel errors: a
+// server-side invalid_config rejection matches ErrConfig, so callers
+// classify a bad request the same way whether the client or the
+// server caught it.
+func (e *APIError) Is(target error) bool {
+	return target == ErrConfig && e.Class == "invalid_config"
+}
+
 // Temporary reports whether the failure is worth retrying: server
 // overload, shutdown, breaker, or a timed-out job.
 func (e *APIError) Temporary() bool {
@@ -269,10 +278,22 @@ func (e *APIError) Temporary() bool {
 	return false
 }
 
-// errorEnvelope mirrors the server's error body.
+// errorEnvelope mirrors the server's error body. Error is raw because
+// two generations of the wire contract share the "error" key: the v1
+// envelope nests an object ({"error":{"class","message",...}}), the
+// pre-PR-8 shape held the message as a string with class alongside.
+// The client decodes both, so it can talk to one release older
+// servers during a rolling upgrade.
 type errorEnvelope struct {
-	Error string `json:"error"`
-	Class string `json:"class"`
+	Error json.RawMessage `json:"error"`
+	Class string          `json:"class"` // legacy flat shape only
+}
+
+// wireError is the nested object of the v1 envelope.
+type wireError struct {
+	Class        string `json:"class"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
 }
 
 // jobEnvelope mirrors the server's async job body.
@@ -329,7 +350,9 @@ func (c *Client) doTargets(ctx context.Context, method string, bases []string, p
 		if !apiErr.Temporary() {
 			return nil, nil, apiErr
 		}
-		apiErr.retryAfter = parseRetryAfter(res.header)
+		if ra := parseRetryAfter(res.header); ra > 0 {
+			apiErr.retryAfter = ra // header overrides the envelope's ms hint
+		}
 		lastErr = apiErr
 		if res.status >= 500 {
 			target++
@@ -413,14 +436,28 @@ func parseRetryAfter(h http.Header) time.Duration {
 	return time.Duration(secs) * time.Second
 }
 
-// decodeAPIError maps a non-2xx body to an *APIError, tolerating
-// non-JSON bodies from intermediaries.
+// decodeAPIError maps a non-2xx body to an *APIError: the v1 nested
+// envelope first, the legacy flat shape second, tolerating non-JSON
+// bodies from intermediaries. A v1 retry_after_ms seeds the retry
+// schedule (the Retry-After header, when present, overrides it with
+// the server's coarser but authoritative figure).
 func decodeAPIError(status int, body []byte) *APIError {
 	var env errorEnvelope
-	if err := json.Unmarshal(body, &env); err != nil || env.Error == "" {
+	if err := json.Unmarshal(body, &env); err != nil || len(env.Error) == 0 {
 		return &APIError{Status: status, Class: "unknown", Message: strings.TrimSpace(string(body))}
 	}
-	return &APIError{Status: status, Class: env.Class, Message: env.Error}
+	var nested wireError
+	if err := json.Unmarshal(env.Error, &nested); err == nil && nested.Class != "" {
+		return &APIError{
+			Status: status, Class: nested.Class, Message: nested.Message,
+			retryAfter: time.Duration(nested.RetryAfterMS) * time.Millisecond,
+		}
+	}
+	var legacy string
+	if err := json.Unmarshal(env.Error, &legacy); err == nil && legacy != "" {
+		return &APIError{Status: status, Class: env.Class, Message: legacy}
+	}
+	return &APIError{Status: status, Class: "unknown", Message: strings.TrimSpace(string(body))}
 }
 
 // Health checks GET /healthz.

@@ -127,7 +127,9 @@ func main() {
 
 	switch *panel {
 	case "a", "b", "c":
-		emit(experiments.Figure1((*panel)[0], *points, opts))
+		emit(experiments.Figure1Panel(experiments.Figure1Config{
+			Panel: (*panel)[0], Points: *points, Sim: opts,
+		}))
 	case "grid":
 		rows, err := experiments.ValidationGrid(opts)
 		if err != nil {
@@ -178,8 +180,10 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		rows, err := experiments.ThroughputCurve(g, routing.EnhancedNbc, *v, *m,
-			*points, *maxRate, opts)
+		rows, err := experiments.ThroughputSweep(experiments.ThroughputConfig{
+			Top: g, Kind: routing.EnhancedNbc, V: *v, MsgLen: *m,
+			Points: *points, MaxRate: *maxRate, Sim: opts,
+		})
 		if err != nil {
 			fail(err)
 		}

@@ -56,8 +56,10 @@ func main() {
 	}
 
 	fmt.Printf("\naccepted throughput past saturation:\n")
-	rows, err := experiments.ThroughputCurve(g, routing.EnhancedNbc, v, m, 8, 0.03,
-		experiments.SimOptions{Warmup: 4000, Measure: 12000, Drain: 30000, Seeds: []uint64{9}})
+	rows, err := experiments.ThroughputSweep(experiments.ThroughputConfig{
+		Top: g, Kind: routing.EnhancedNbc, V: v, MsgLen: m, Points: 8, MaxRate: 0.03,
+		Sim: experiments.SimOptions{Warmup: 4000, Measure: 12000, Drain: 30000, Seeds: []uint64{9}},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

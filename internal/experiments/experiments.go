@@ -352,19 +352,6 @@ func ratesUpTo(max float64, count int) []float64 {
 	return out
 }
 
-// Figure1 reproduces one panel of the paper's Figure 1.
-//
-// Deprecated: use Figure1Panel with a Figure1Config; this positional
-// shim delegates with the historical parallelism default (NumCPU
-// workers unless opts.Workers says otherwise — the config-struct
-// entry point defaults to serial instead).
-func Figure1(panel byte, points int, opts SimOptions) (*Panel, error) {
-	if opts.Workers == 0 {
-		opts.Workers = runtime.NumCPU()
-	}
-	return Figure1Panel(Figure1Config{Panel: panel, Points: points, Sim: opts})
-}
-
 // StarPanel generalises Figure 1 to any star size: model and
 // simulation latency curves for S_n with V virtual channels, one
 // series per message length, sweeping 0..maxRate (0 chooses 60% of

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestFigure1PanelA(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-minute soak under -race")
 	}
-	p, err := Figure1('a', 5, fastOpts())
+	p, err := Figure1Panel(Figure1Config{Panel: 'a', Points: 5, Workers: runtime.NumCPU(), Sim: fastOpts()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestFigure1PanelA(t *testing.T) {
 }
 
 func TestFigure1BadPanel(t *testing.T) {
-	if _, err := Figure1('z', 3, fastOpts()); err == nil {
+	if _, err := Figure1Panel(Figure1Config{Panel: 'z', Points: 3, Sim: fastOpts()}); err == nil {
 		t.Fatal("unknown panel accepted")
 	}
 }
@@ -67,7 +68,7 @@ func TestShapeChecksOnRealPanel(t *testing.T) {
 	}
 	opts := fastOpts()
 	opts.Seeds = []uint64{3, 4, 5}
-	p, err := Figure1('a', 6, opts)
+	p, err := Figure1Panel(Figure1Config{Panel: 'a', Points: 6, Workers: runtime.NumCPU(), Sim: opts})
 	if err != nil {
 		t.Fatal(err)
 	}

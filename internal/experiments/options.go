@@ -11,13 +11,13 @@ import (
 	"starperf/internal/topology"
 )
 
-// The config-struct entry points of the package. The original
-// positional signatures (Figure1, ThroughputCurve) remain as
-// deprecated shims so existing callers keep compiling; new code —
-// and the root starperf facade — should construct these structs,
-// which match how Simulate/Predict already take their parameters and
-// leave room to grow (observability, new knobs) without another
-// signature break.
+// The config-struct entry points of the package — the only entry
+// points since PR 10 retired the positional Figure1/ThroughputCurve
+// shims. The structs match how Simulate/Predict already take their
+// parameters and leave room to grow (observability, new knobs)
+// without another signature break. Note the parallelism default
+// changed with the shims' removal: these default to serial (Workers
+// 1); callers that want the old NumCPU behaviour say so explicitly.
 
 // Figure1Config parameterises Figure1Panel.
 type Figure1Config struct {

@@ -1,12 +1,5 @@
 package experiments
 
-import (
-	"runtime"
-
-	"starperf/internal/routing"
-	"starperf/internal/topology"
-)
-
 // ThroughputRow is one operating point of an accepted-vs-offered
 // traffic curve.
 type ThroughputRow struct {
@@ -18,24 +11,6 @@ type ThroughputRow struct {
 	// delivered; Saturated whether the run failed to drain.
 	Latency   float64
 	Saturated bool
-}
-
-// ThroughputCurve sweeps offered load past saturation and records
-// accepted throughput.
-//
-// Deprecated: use ThroughputSweep with a ThroughputConfig; this
-// positional shim delegates with the historical parallelism default
-// (NumCPU workers unless opts.Workers says otherwise — the
-// config-struct entry point defaults to serial instead).
-func ThroughputCurve(top topology.Topology, kind routing.Kind, v, msgLen, points int,
-	maxRate float64, opts SimOptions) ([]ThroughputRow, error) {
-	if opts.Workers == 0 {
-		opts.Workers = runtime.NumCPU()
-	}
-	return ThroughputSweep(ThroughputConfig{
-		Top: top, Kind: kind, V: v, MsgLen: msgLen,
-		Points: points, MaxRate: maxRate, Sim: opts,
-	})
 }
 
 // SaturationThroughput returns the peak accepted rate of a curve.

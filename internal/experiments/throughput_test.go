@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -15,7 +16,10 @@ func TestThroughputCurve(t *testing.T) {
 	opts.Measure = 8000
 	// S4 with V=5, M=16 has a physical capacity ceiling of
 	// (n−1)/(d̄·M) ≈ 0.074 msg/node/cycle; sweep well past it.
-	rows, err := ThroughputCurve(g, routing.EnhancedNbc, 5, 16, 6, 0.12, opts)
+	rows, err := ThroughputSweep(ThroughputConfig{
+		Top: g, Kind: routing.EnhancedNbc, V: 5, MsgLen: 16,
+		Points: 6, MaxRate: 0.12, Workers: runtime.NumCPU(), Sim: opts,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +52,10 @@ func TestThroughputCurve(t *testing.T) {
 
 func TestThroughputRejectsBadSpec(t *testing.T) {
 	g := stargraph.MustNew(4)
-	if _, err := ThroughputCurve(g, routing.EnhancedNbc, 2, 16, 3, 0.01, fastOpts()); err == nil {
+	if _, err := ThroughputSweep(ThroughputConfig{
+		Top: g, Kind: routing.EnhancedNbc, V: 2, MsgLen: 16,
+		Points: 3, MaxRate: 0.01, Sim: fastOpts(),
+	}); err == nil {
 		t.Fatal("V below minimum accepted")
 	}
 }

@@ -244,6 +244,124 @@ func (p *Pool) SubmitMeta(id string, meta Meta, fn Func) (*Job, error) {
 	return j, nil
 }
 
+// BatchItem is one submission in a SubmitBatch call: the same
+// (id, meta, fn) triple SubmitMeta takes, as data.
+type BatchItem struct {
+	ID   string
+	Meta Meta
+	Fn   Func
+}
+
+// BatchResult is one item's outcome: exactly what SubmitMeta would
+// have returned for it.
+type BatchResult struct {
+	Job *Job
+	Err error
+}
+
+// SubmitBatch enqueues every item with per-item outcomes — a bad,
+// duplicate or shed item never blocks its neighbours — but the
+// accepted subset pays for durability once: slots are reserved for all
+// accepted items in one pass under the lock, their accepted records go
+// to the journal as ONE group commit (AppendBatch, one fsync), and
+// only then are the jobs made visible to workers. results[i] mirrors
+// what SubmitMeta(items[i]...) would return; a duplicate id inside the
+// batch dedupes onto the first occurrence's job like any other
+// singleflight hit.
+func (p *Pool) SubmitBatch(items []BatchItem) []BatchResult {
+	results := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return results
+	}
+	accepted := make([]int, 0, len(items)) // indices that reserved a slot
+	p.mu.Lock()
+	for i, it := range items {
+		if it.ID == "" {
+			results[i].Err = cfgerr.New("jobs: empty job id")
+			continue
+		}
+		if it.Fn == nil {
+			results[i].Err = cfgerr.New("jobs: nil job func")
+			continue
+		}
+		if p.closed {
+			results[i].Err = ErrPoolClosed
+			continue
+		}
+		if j, ok := p.inflight[it.ID]; ok {
+			p.deduped++
+			results[i].Job = j
+			continue
+		}
+		if p.queued >= p.cfg.QueueDepth {
+			p.rejected++
+			results[i].Err = &QueueFullError{Depth: p.cfg.QueueDepth}
+			continue
+		}
+		j := &Job{id: it.ID, kind: it.Meta.Kind, fn: it.Fn, status: StatusQueued, done: make(chan struct{})}
+		p.inflight[it.ID] = j
+		p.jobs[it.ID] = j
+		p.kind(it.Meta.Kind).inflight++
+		p.queued++
+		p.submitted++
+		results[i].Job = j
+		accepted = append(accepted, i)
+	}
+	p.mu.Unlock()
+
+	if len(accepted) == 0 {
+		return results
+	}
+	if p.cfg.Journal != nil {
+		// Write-ahead, amortised: the whole accepted set becomes
+		// durable behind one fsync before any of its jobs can run.
+		recs := make([]journal.Record, len(accepted))
+		for n, i := range accepted {
+			it := items[i]
+			recs[n] = journal.Record{
+				Type: journal.TypeAccepted, ID: it.ID, Kind: it.Meta.Kind, Req: it.Meta.Req,
+			}
+		}
+		_ = p.cfg.Journal.AppendBatch(recs)
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		// Shutdown began while the batch was being committed: the queue
+		// channel is closed, so none of the accepted jobs can run. Undo
+		// every reservation, exactly as SubmitMeta does for one.
+		for _, i := range accepted {
+			it := items[i]
+			delete(p.inflight, it.ID)
+			delete(p.jobs, it.ID)
+			p.kind(it.Meta.Kind).inflight--
+			p.queued--
+			p.submitted--
+		}
+		p.mu.Unlock()
+		if p.cfg.Journal != nil {
+			recs := make([]journal.Record, len(accepted))
+			for n, i := range accepted {
+				recs[n] = journal.Record{
+					Type: journal.TypeFailed, ID: items[i].ID, Err: ErrPoolClosed.Error(),
+				}
+			}
+			_ = p.cfg.Journal.AppendBatch(recs)
+		}
+		for _, i := range accepted {
+			results[i].Job.complete(nil, ErrPoolClosed)
+			results[i].Job = nil
+			results[i].Err = ErrPoolClosed
+		}
+		return results
+	}
+	for _, i := range accepted {
+		p.queue <- results[i].Job // reservations above keep this non-blocking
+	}
+	p.mu.Unlock()
+	return results
+}
+
 // kind returns (creating if needed) the aggregate for one job kind.
 // Callers hold p.mu.
 func (p *Pool) kind(name string) *kindAgg {

@@ -22,6 +22,20 @@
 // segments are removed. The journal's steady-state size is therefore
 // proportional to the in-flight job count, not the job history.
 //
+// Group commit. Concurrent Appends coalesce into one write and one
+// fsync: a caller encodes its record under the lock, enqueues it, and
+// the first waiter in line becomes the commit leader — it takes up to
+// GroupMaxRecords queued records, writes them as one buffer, fsyncs
+// once, and releases every caller whose records that commit made
+// durable. Records that arrive while a commit's fsync is in flight
+// simply form the next batch, so the fsync itself is the batching
+// window (the classic WAL group commit); GroupWindow can add an
+// explicit linger on top for bursty loads that need larger batches at
+// the price of single-append latency. An append is only acknowledged
+// after its commit's fsync returns, so the durability contract is
+// unchanged — a crash can tear at most the unacknowledged tail of the
+// in-flight batch, never a committed record.
+//
 // Durability is exactly as strong as the filesystem honours fsync —
 // the chaos suite drives the package over internal/fsx fault plans
 // (short writes, EIO, sync failures, crash-at-every-op) to pin what
@@ -36,15 +50,18 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math/bits"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"starperf/internal/cfgerr"
 	"starperf/internal/fsx"
 	"starperf/internal/obs"
+	"starperf/internal/stats"
 )
 
 // crcTable is the CRC-32C (Castagnoli) table every record checksum
@@ -96,6 +113,20 @@ type Options struct {
 	// that measure the sync cost itself should set it: an unsynced
 	// journal is a journal only until the power goes out.
 	NoSync bool
+	// GroupMaxRecords caps how many records one group commit coalesces
+	// into a single write + fsync (default 64). Concurrent appenders
+	// past the cap simply form the next batch.
+	GroupMaxRecords int
+	// GroupWindow, when positive, makes a commit leader linger that
+	// long before writing, so a bursty trickle accumulates into larger
+	// batches. The default 0 relies on natural batching alone — the
+	// in-flight fsync is the window — because a linger taxes every
+	// serial append with the full window's latency.
+	GroupWindow time.Duration
+	// Now is the clock behind the commit-latency histogram (default
+	// time.Now). It is a seam like jobs.PoolConfig.Now: the journal
+	// never branches on it, and tests inject a fake clock.
+	Now func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +135,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 1 << 20
+	}
+	if o.GroupMaxRecords <= 0 {
+		o.GroupMaxRecords = 64
+	}
+	if o.Now == nil {
+		o.Now = time.Now
 	}
 	return o
 }
@@ -122,12 +159,26 @@ type Recovery struct {
 	Incomplete []Record
 }
 
+// commitBins bounds the commit-latency histogram: power-of-two µs
+// buckets, same shape as the server's per-route histograms.
+const commitBins = 40
+
+// waiter is one enqueued append (or batch of appends) awaiting a
+// group commit. Everything on it is guarded by the journal's mu.
+type waiter struct {
+	lines []byte // encoded record lines, newline-terminated
+	count int    // records in lines
+	done  bool
+	err   error
+}
+
 // Journal is an append-only, checksummed, rotating WAL. Safe for
 // concurrent use.
 type Journal struct {
 	opts Options
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signals commit completion to queued waiters
 	file     fsx.File
 	fileName string
 	size     int64
@@ -138,6 +189,9 @@ type Journal struct {
 	torn     bool              // last write may have left a partial line
 	closed   bool
 
+	queue      []*waiter // records awaiting a group commit, FIFO
+	committing bool      // a leader owns the live segment's I/O right now
+
 	appends      uint64
 	appendErrors uint64
 	syncs        uint64
@@ -145,6 +199,12 @@ type Journal struct {
 	compactions  uint64
 	replayed     int
 	corrupt      int
+
+	commits       uint64       // group commits (one write+fsync each)
+	commitRecords uint64       // records those commits made durable
+	maxBatch      int          // largest records-per-commit seen
+	commitLat     stats.Stream // commit latency in µs (exact mean/max)
+	commitHist    *stats.Histogram
 }
 
 // Open replays the journal in opts.Dir (creating it if missing),
@@ -157,7 +217,12 @@ func Open(opts Options) (*Journal, *Recovery, error) {
 	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("journal: creating %s: %w", opts.Dir, err)
 	}
-	j := &Journal{opts: opts, pending: make(map[string]Record)}
+	j := &Journal{
+		opts:       opts,
+		pending:    make(map[string]Record),
+		commitHist: stats.NewHistogram(commitBins),
+	}
+	j.cond = sync.NewCond(&j.mu)
 	rec, err := j.replay()
 	if err != nil {
 		return nil, nil, err
@@ -355,14 +420,17 @@ func (j *Journal) openSegment() error {
 }
 
 // Append journals one record, assigning its sequence number and —
-// unless NoSync — fsyncing before returning. The in-memory lifecycle
-// state advances even when the disk write fails, so compaction and
-// Stats stay truthful about the pool; the error (and the AppendErrors
-// counter) tells the caller durability is degraded.
+// unless NoSync — fsyncing before returning. Concurrent appends
+// coalesce into one group commit (see the package comment): the call
+// blocks until a commit covering this record has fsynced, so the
+// acknowledgement is exactly as durable as it ever was. The in-memory
+// lifecycle state advances even when the disk write fails, so
+// compaction and Stats stay truthful about the pool; the error (and
+// the AppendErrors counter) tells the caller durability is degraded.
 func (j *Journal) Append(r Record) error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.closed {
+		j.mu.Unlock()
 		return ErrClosed
 	}
 	j.seq++
@@ -371,19 +439,190 @@ func (j *Journal) Append(r Record) error {
 	line, err := encodeRecord(r)
 	if err != nil {
 		j.appendErrors++
+		j.mu.Unlock()
 		return err
 	}
-	if err := j.writeLocked(line); err != nil {
-		j.appendErrors++
-		return err
+	w := &waiter{lines: line, count: 1}
+	j.queue = append(j.queue, w)
+	j.mu.Unlock()
+	return j.commitWait(w)
+}
+
+// AppendBatch journals records as one unit: every record is encoded
+// and enqueued together, so a single group commit (one write, one
+// fsync) makes the whole set durable — the journal half of a batched
+// submission. Sequence numbers are assigned in order. All records
+// share one outcome: the commit's error, or nil.
+func (j *Journal) AppendBatch(records []Record) error {
+	if len(records) == 0 {
+		return nil
 	}
-	j.appends++
-	if j.size >= j.opts.SegmentBytes {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	var lines []byte
+	for i := range records {
+		j.seq++
+		records[i].Seq = j.seq
+		j.applyLocked(records[i])
+		line, err := encodeRecord(records[i])
+		if err != nil {
+			// Unreachable for well-formed records (json.Marshal of
+			// plain structs); the batch is abandoned unwritten, state
+			// already advanced — the same advance-then-report contract
+			// a failed disk write has.
+			j.appendErrors += uint64(len(records))
+			j.mu.Unlock()
+			return err
+		}
+		lines = append(lines, line...)
+	}
+	w := &waiter{lines: lines, count: len(records)}
+	j.queue = append(j.queue, w)
+	j.mu.Unlock()
+	return j.commitWait(w)
+}
+
+// commitWait blocks until w is committed, electing the caller as
+// commit leader whenever no commit is in flight. Called without j.mu.
+//
+// Each loop iteration is one fully bracketed critical section: check
+// w, either sleep on the condition or run one commit as leader, and
+// release the mutex before coming round again. The leader drops the
+// mutex for the write+fsync — that window is what lets concurrent
+// appenders enqueue the next batch while this one syncs — and
+// j.committing keeps the live segment's I/O single-owner throughout.
+func (j *Journal) commitWait(w *waiter) error {
+	for {
+		j.mu.Lock()
+		if w.done {
+			err := w.err
+			j.mu.Unlock()
+			return err
+		}
+		if j.committing {
+			j.cond.Wait() // returns with the mutex re-held
+			j.mu.Unlock()
+			continue
+		}
+		j.committing = true
+		if j.opts.GroupWindow > 0 && !j.closed && j.queuedRecordsLocked() < j.opts.GroupMaxRecords {
+			// Opt-in linger: trade this batch's latency for size. New
+			// appends enqueue freely while we sleep; taken below.
+			j.mu.Unlock()
+			time.Sleep(j.opts.GroupWindow)
+			j.mu.Lock()
+		}
+		batch, buf, records := j.takeBatchLocked()
+		start := j.opts.Now()
+		j.mu.Unlock()
+		var n int
+		var err, syncErr error
+		if len(buf) > 0 {
+			n, err = j.file.Write(buf)
+			if err == nil && !j.opts.NoSync {
+				syncErr = j.file.Sync()
+			}
+		}
+		took := j.opts.Now().Sub(start)
+		j.mu.Lock()
+		j.finishCommitLocked(batch, records, len(buf), n, err, syncErr, took)
+		j.mu.Unlock()
+	}
+}
+
+// takeBatchLocked dequeues up to GroupMaxRecords records' worth of
+// waiters and renders their coalesced write buffer (prefixed with a
+// newline guard when the previous write tore). Zero-record flush
+// barriers ride along for free. Callers hold j.mu.
+func (j *Journal) takeBatchLocked() (batch []*waiter, buf []byte, records int) {
+	for len(j.queue) > 0 {
+		next := j.queue[0]
+		if len(batch) > 0 && records+next.count > j.opts.GroupMaxRecords {
+			break
+		}
+		batch = append(batch, next)
+		records += next.count
+		j.queue = j.queue[1:]
+		if records >= j.opts.GroupMaxRecords {
+			break
+		}
+	}
+	size := 0
+	for _, w := range batch {
+		size += len(w.lines)
+	}
+	if size == 0 {
+		return batch, nil, records
+	}
+	buf = make([]byte, 0, size+1)
+	if j.torn {
+		// Newline guard: a previously torn tail stays an isolated
+		// (checksum-rejected) line instead of merging with — and
+		// destroying — this batch's first record.
+		buf = append(buf, '\n')
+	}
+	for _, w := range batch {
+		buf = append(buf, w.lines...)
+	}
+	return batch, buf, records
+}
+
+// finishCommitLocked folds one commit's outcome into the journal
+// state, releases the batch's waiters and hands leadership back.
+// Callers hold j.mu.
+func (j *Journal) finishCommitLocked(batch []*waiter, records, bufLen, n int, err, syncErr error, took time.Duration) {
+	j.size += int64(n)
+	if bufLen > 0 {
+		if err != nil {
+			// The write may have torn a partial line into the segment.
+			j.torn = true
+		} else {
+			j.torn = false
+			err = syncErr
+		}
+		if err != nil {
+			j.appendErrors += uint64(records)
+		} else {
+			j.appends += uint64(records)
+			if !j.opts.NoSync {
+				j.syncs++
+			}
+			j.commits++
+			j.commitRecords += uint64(records)
+			if records > j.maxBatch {
+				j.maxBatch = records
+			}
+			us := took.Microseconds()
+			if us < 0 {
+				us = 0
+			}
+			j.commitLat.Add(float64(us))
+			j.commitHist.Add(bits.Len64(uint64(us)))
+		}
+	}
+	for _, w := range batch {
+		w.done = true
+		w.err = err
+	}
+	if err == nil && bufLen > 0 && j.size >= j.opts.SegmentBytes {
 		// Rotation and compaction are best-effort: a failure leaves
 		// the current segment growing, not the journal broken.
 		_ = j.rotateLocked()
 	}
-	return nil
+	j.committing = false
+	j.cond.Broadcast()
+}
+
+// queuedRecordsLocked counts the records currently awaiting commit.
+func (j *Journal) queuedRecordsLocked() int {
+	n := 0
+	for _, w := range j.queue {
+		n += w.count
+	}
+	return n
 }
 
 // writeLocked appends one encoded line to the live segment and syncs.
@@ -438,6 +677,13 @@ func (j *Journal) Compact() error {
 	defer j.mu.Unlock()
 	if j.closed {
 		return ErrClosed
+	}
+	// Wait out any in-flight group commit: j.committing marks a leader
+	// that has dropped the mutex to write the live segment, and the
+	// segment must not be swapped under it. Holding the mutex from
+	// here on keeps new leaders out until the compaction finishes.
+	for j.committing {
+		j.cond.Wait()
 	}
 	if err := j.file.Close(); err != nil {
 		return err
@@ -509,7 +755,7 @@ func (j *Journal) Pending() int {
 func (j *Journal) Stats() obs.JournalStats {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return obs.JournalStats{
+	st := obs.JournalStats{
 		Appends:        j.appends,
 		AppendErrors:   j.appendErrors,
 		Syncs:          j.syncs,
@@ -519,18 +765,53 @@ func (j *Journal) Stats() obs.JournalStats {
 		Pending:        len(j.pending),
 		Replayed:       j.replayed,
 		CorruptSkipped: j.corrupt,
+		Commits:        j.commits,
+		CommitRecords:  j.commitRecords,
+		MaxBatch:       j.maxBatch,
 	}
+	if j.commits > 0 {
+		st.FsyncsSaved = j.commitRecords - j.commits
+	}
+	if j.commitLat.N() > 0 {
+		st.CommitMeanMicros = j.commitLat.Mean()
+		st.CommitMaxMicros = uint64(j.commitLat.Max())
+		st.CommitP50Micros = commitBound(j.commitHist.Quantile(0.50))
+		st.CommitP95Micros = commitBound(j.commitHist.Quantile(0.95))
+		st.CommitP99Micros = commitBound(j.commitHist.Quantile(0.99))
+	}
+	return st
 }
 
-// Close syncs and closes the live segment. Appends after Close fail
-// with ErrClosed.
+// commitBound converts a commit-histogram bin index back to the upper
+// bound (in µs) of the latencies it counts.
+func commitBound(bin int) uint64 {
+	if bin <= 0 {
+		return 0
+	}
+	return 1<<uint(bin) - 1
+}
+
+// Close flushes the queued records, then syncs and closes the live
+// segment. Appends after Close fail with ErrClosed; appends already
+// enqueued are committed — their callers are blocked inside Append
+// and still owed a durable acknowledgement.
 func (j *Journal) Close() error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.closed {
+		j.mu.Unlock()
 		return nil
 	}
 	j.closed = true
+	if len(j.queue) > 0 || j.committing {
+		// A zero-record flush barrier: the queue is FIFO, so by the
+		// time the barrier commits, every record enqueued before the
+		// close has been committed too.
+		w := &waiter{}
+		j.queue = append(j.queue, w)
+		j.mu.Unlock()
+		_ = j.commitWait(w)
+		j.mu.Lock()
+	}
 	var syncErr error
 	if !j.opts.NoSync {
 		syncErr = j.file.Sync()
@@ -539,6 +820,7 @@ func (j *Journal) Close() error {
 		}
 	}
 	closeErr := j.file.Close()
+	j.mu.Unlock()
 	if syncErr != nil {
 		return syncErr
 	}

@@ -93,6 +93,35 @@ type JournalStats struct {
 	// checksum (a torn tail or a flipped bit).
 	Replayed       int `json:"replayed"`
 	CorruptSkipped int `json:"corrupt_skipped"`
+	// Group commit (PR 10). Commits counts coalesced write+fsync
+	// units; CommitRecords the records those commits made durable;
+	// MaxBatch the largest records-per-commit seen; FsyncsSaved how
+	// many per-record fsyncs batching amortised away
+	// (CommitRecords − Commits).
+	Commits       uint64 `json:"commits"`
+	CommitRecords uint64 `json:"commit_records"`
+	MaxBatch      int    `json:"max_batch"`
+	FsyncsSaved   uint64 `json:"fsyncs_saved"`
+	// Commit latency in microseconds: exact mean/max plus quantile
+	// upper bounds from a power-of-two histogram (conservative by at
+	// most 2×, like the per-route latency sketches).
+	CommitMeanMicros float64 `json:"commit_mean_us"`
+	CommitP50Micros  uint64  `json:"commit_p50_us"`
+	CommitP95Micros  uint64  `json:"commit_p95_us"`
+	CommitP99Micros  uint64  `json:"commit_p99_us"`
+	CommitMaxMicros  uint64  `json:"commit_max_us"`
+}
+
+// BatchStats counts the server's POST /v1/jobs:batch traffic (PR 10).
+type BatchStats struct {
+	// Batches counts batch requests taken in; Items the items they
+	// carried; MaxItems the largest batch seen.
+	Batches  uint64 `json:"batches"`
+	Items    uint64 `json:"items"`
+	MaxItems int    `json:"max_items"`
+	// Shed counts items refused by the batch's deadline-priced
+	// admission pass (each also counted in AdmissionStats.Shed).
+	Shed uint64 `json:"shed"`
 }
 
 // AdmissionStats counts the server's overload refusals.

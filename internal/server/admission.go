@@ -20,10 +20,6 @@ import (
 // job occupies a worker, and a synchronous route's HTTP latency
 // already contains queue wait, which would double-count the backlog.
 
-// deadlineHeader lets a client state its patience explicitly; a
-// context/transport deadline on the request, when present, wins.
-const deadlineHeader = "X-Starperf-Deadline"
-
 // routeKind maps a compute route to the job kind its handler
 // submits, so the route's own expected service time can be read from
 // the pool's per-kind execution means.

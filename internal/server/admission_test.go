@@ -76,7 +76,7 @@ func TestAdmissionShedsDoomedRequests(t *testing.T) {
 		t.Fatalf("impatient request: %d %s, want 429", resp.StatusCode, body)
 	}
 	var eb errorBody
-	if err := json.Unmarshal(body, &eb); err != nil || eb.Class != "overloaded" {
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Class != "queue_full" {
 		t.Fatalf("shed body %s", body)
 	}
 	ra := resp.Header.Get("Retry-After")
@@ -137,7 +137,7 @@ func TestQueueFullCarriesRetryAfter(t *testing.T) {
 		t.Fatalf("full queue: %d %s, want 429", resp.StatusCode, rb)
 	}
 	var eb errorBody
-	if err := json.Unmarshal(rb, &eb); err != nil || eb.Class != "queue_full" {
+	if err := json.Unmarshal(rb, &eb); err != nil || eb.Error.Class != "queue_full" {
 		t.Fatalf("queue-full body %s", rb)
 	}
 	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
@@ -181,7 +181,7 @@ func TestConcurrencyCapCarriesRetryAfter(t *testing.T) {
 				t.Fatalf("cap 503 Retry-After %q", resp.Header.Get("Retry-After"))
 			}
 			var eb errorBody
-			if err := json.Unmarshal(b, &eb); err != nil || eb.Class != "overloaded" {
+			if err := json.Unmarshal(b, &eb); err != nil || eb.Error.Class != "queue_full" {
 				t.Fatalf("cap body %s", b)
 			}
 			break

@@ -104,7 +104,7 @@ func TestBreakerDisabled(t *testing.T) {
 // TestBreakerOverHTTP drives the breaker through the real stack: a
 // 1ns job timeout turns every cold predict into a 504, the route
 // trips, and the next request is rejected locally with 503
-// breaker_open + Retry-After — without touching the pool.
+// queue_full + Retry-After — without touching the pool.
 func TestBreakerOverHTTP(t *testing.T) {
 	s, ts := newTestServer(t, Config{
 		Workers:    1,
@@ -125,7 +125,7 @@ func TestBreakerOverHTTP(t *testing.T) {
 			// the failures that feed the window
 		case http.StatusServiceUnavailable:
 			var eb errorBody
-			if err := json.Unmarshal(body, &eb); err != nil || eb.Class != "breaker_open" {
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Class != "queue_full" {
 				t.Fatalf("503 body %s", body)
 			}
 			if resp.Header.Get("Retry-After") == "" {

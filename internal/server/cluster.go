@@ -42,20 +42,10 @@ import (
 // once per cooldown, not hammered by every request that would have
 // preferred it.
 
-const (
-	// forwardedHeader marks a peer-relayed request (value: the
-	// forwarding node's address). Receivers serve it locally.
-	forwardedHeader = "X-Starperf-Forwarded"
-	// nodeHeader names the node that actually served a response.
-	nodeHeader = "X-Starperf-Node"
-	// resultSumHeader carries the sha256 of a returned result body,
-	// so a peer filling its cache can verify the bytes it received
-	// are the bytes the owner stored.
-	resultSumHeader = "X-Starperf-Result-Sum"
-
-	// maxPeerBody bounds a relayed or filled response body.
-	maxPeerBody = 64 << 20
-)
+// maxPeerBody bounds a relayed or filled response body. (The
+// forwarded/node/result-sum headers this path speaks are declared
+// with the rest of the X-Starperf-* contract in headers.go.)
+const maxPeerBody = 64 << 20
 
 // resultSum renders the content sum of a result body in the same
 // "sha256:<hex>" shape job ids use.
@@ -226,7 +216,7 @@ func (cn *peerNet) forwardOnce(ctx context.Context, node, path string, body []by
 // and the headers that carry meaning across the hop (including which
 // node served it, so the client sees through the relay).
 func relayResponse(w http.ResponseWriter, resp *http.Response, body []byte) {
-	for _, h := range []string{"Content-Type", "Retry-After", "X-Starperf-Job", "X-Starperf-Cache", resultSumHeader, nodeHeader} {
+	for _, h := range []string{"Content-Type", "Retry-After", jobHeader, cacheHeader, resultSumHeader, nodeHeader} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

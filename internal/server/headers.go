@@ -1,0 +1,32 @@
+package server
+
+// The X-Starperf-* header contract (PR 10 header audit). Every custom
+// header the server or the public client speaks is declared in this
+// one block and documented in DESIGN.md's header table; the
+// TestStarperfHeaderSet source scan fails the build's tests when a
+// new X-Starperf-* literal appears anywhere else, so a header cannot
+// ship undeclared or undocumented.
+const (
+	// jobHeader names the content-hash job id a submission resolved
+	// to, on every 200/202 from a compute route.
+	jobHeader = "X-Starperf-Job"
+	// cacheHeader reports whether the response bytes came from the
+	// result cache ("hit") or fresh computation ("miss").
+	cacheHeader = "X-Starperf-Cache"
+	// deadlineHeader lets a client state its patience explicitly
+	// (Go duration string); a context/transport deadline on the
+	// request, when present, wins. Admission control sheds requests
+	// whose estimated queue wait exceeds it.
+	deadlineHeader = "X-Starperf-Deadline"
+	// nodeHeader names the cluster node that actually served a
+	// response (set on forwarded replies).
+	nodeHeader = "X-Starperf-Node"
+	// forwardedHeader marks a peer-relayed request (value: the
+	// forwarding node's address). Receivers serve it locally —
+	// forwarding depth is structurally one.
+	forwardedHeader = "X-Starperf-Forwarded"
+	// resultSumHeader carries the sha256 of a returned result body,
+	// so a peer filling its cache can verify the bytes it received
+	// are the bytes the owner stored.
+	resultSumHeader = "X-Starperf-Result-Sum"
+)

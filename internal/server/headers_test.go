@@ -1,0 +1,118 @@
+package server
+
+// The PR 10 header audit's enforcement: the X-Starperf-* contract is
+// exactly the set declared in headers.go and documented in DESIGN.md.
+// TestStarperfHeaderSet scans the source of every package that speaks
+// HTTP (server, cluster ring, public client, the daemon) so a new
+// header literal anywhere fails here until it is declared and
+// documented; TestStarperfHeadersOnTheWire pins the live response
+// surface of a compute route.
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// canonicalHeaders mirrors the headers.go block — change both
+// together, along with the DESIGN.md table. The identifier is what
+// in-package code references; the client package, which cannot
+// import internal/server, repeats the literal.
+var canonicalHeaders = map[string]string{
+	"jobHeader":       jobHeader,       // X-Starperf-Job
+	"cacheHeader":     cacheHeader,     // X-Starperf-Cache
+	"deadlineHeader":  deadlineHeader,  // X-Starperf-Deadline
+	"nodeHeader":      nodeHeader,      // X-Starperf-Node
+	"forwardedHeader": forwardedHeader, // X-Starperf-Forwarded
+	"resultSumHeader": resultSumHeader, // X-Starperf-Result-Sum
+}
+
+// headerDirs are the packages whose non-test sources may speak
+// X-Starperf-* headers, relative to this package.
+var headerDirs = []string{".", "../cluster", "../../client", "../../cmd/starperfd"}
+
+func TestStarperfHeaderSet(t *testing.T) {
+	canon := make(map[string]bool, len(canonicalHeaders))
+	for _, h := range canonicalHeaders {
+		canon[h] = true
+	}
+	pat := regexp.MustCompile(`X-Starperf-[A-Za-z0-9-]+`)
+	used := make(map[string][]string) // header -> files outside headers.go
+	for _, dir := range headerDirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, h := range pat.FindAllString(string(src), -1) {
+				if !canon[h] {
+					t.Errorf("%s/%s speaks undeclared header %s — add it to headers.go, canonicalHeaders and the DESIGN.md table", dir, name, h)
+				}
+				if name != "headers.go" {
+					used[h] = append(used[h], filepath.Join(dir, name))
+				}
+			}
+			if name == "headers.go" {
+				continue
+			}
+			// In-package code speaks a header through its constant;
+			// count identifier references as usage too.
+			for ident, h := range canonicalHeaders {
+				if regexp.MustCompile(`\b` + ident + `\b`).Match(src) {
+					used[h] = append(used[h], filepath.Join(dir, name))
+				}
+			}
+		}
+	}
+	// The contract must also stay honest the other way: a declared
+	// header nothing speaks any more should be retired, not live on
+	// in the docs.
+	for _, h := range canonicalHeaders {
+		if len(used[h]) == 0 {
+			t.Errorf("declared header %s is not spoken by any non-test source — retire it from headers.go and the DESIGN.md table", h)
+		}
+	}
+	// Casing is part of the contract: exactly one spelling per header.
+	lower := make(map[string]string, len(canonicalHeaders))
+	for h := range used {
+		if prev, ok := lower[strings.ToLower(h)]; ok && prev != h {
+			t.Errorf("inconsistently cased header variants %s and %s", prev, h)
+		}
+		lower[strings.ToLower(h)] = h
+	}
+	if t.Failed() {
+		var all []string
+		for h := range used {
+			all = append(all, h)
+		}
+		sort.Strings(all)
+		t.Logf("headers found in source: %v", all)
+	}
+}
+
+func TestStarperfHeadersOnTheWire(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp := postJSON(t, ts.URL+"/v1/predict", predictS4)
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(jobHeader); got != predictID(t) {
+		t.Fatalf("%s = %q, want the job's content hash", jobHeader, got)
+	}
+	if got := resp.Header.Get(cacheHeader); got != "miss" && got != "hit" {
+		t.Fatalf("%s = %q, want hit or miss", cacheHeader, got)
+	}
+}

@@ -36,7 +36,9 @@ import (
 	"starperf/internal/cluster"
 	"starperf/internal/jobs"
 	"starperf/internal/journal"
+	"starperf/internal/model"
 	"starperf/internal/obs"
+	"starperf/internal/routing"
 )
 
 // Config sizes a Server. The zero value is usable.
@@ -123,9 +125,16 @@ type Server struct {
 	cluster  *peerNet // nil when unclustered
 	sem      chan struct{}
 	maxBody  int64
+	workers  int // pool size, for batch admission pricing
 
 	defaultDeadline time.Duration
 	shed            atomic.Uint64
+
+	// Batch ingestion counters (PR 10), reported on /metricsz.
+	batches    atomic.Uint64
+	batchItems atomic.Uint64
+	batchShed  atomic.Uint64
+	batchMax   atomic.Int64
 }
 
 // New builds a Server and starts its job pool.
@@ -149,6 +158,7 @@ func New(cfg Config) (*Server, error) {
 		breakers:        newBreakerSet(cfg.Breaker),
 		sem:             make(chan struct{}, cfg.MaxInFlight),
 		maxBody:         cfg.MaxBodyBytes,
+		workers:         cfg.Workers,
 		defaultDeadline: cfg.DefaultDeadline,
 	}
 	if cfg.Ring != nil {
@@ -160,6 +170,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.guard("/v1/predict", s.handlePredict)))
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.guard("/v1/simulate", s.handleSimulate)))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.guard("/v1/sweep", s.handleSweep)))
+	// The batch route runs its own per-item admission (one decision
+	// priced at batch cost, partial acceptance — see batch.go), so it
+	// mounts under instrument only, not guard.
+	s.mux.HandleFunc("POST /v1/jobs:batch", s.instrument("/v1/jobs:batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJob))
 	s.mux.HandleFunc("GET /v1/ring/{id}", s.instrument("/v1/ring", s.handleRing))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
@@ -250,9 +264,8 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
-			setRetryAfter(w, s.queueWait())
-			s.writeJSON(w, http.StatusServiceUnavailable,
-				errorBody{Error: "server at concurrency cap", Class: "overloaded"})
+			s.writeError(w, r, http.StatusServiceUnavailable,
+				classQueueFull, "server at concurrency cap", s.queueWait())
 			return
 		}
 		if r.Body != nil {
@@ -284,20 +297,16 @@ func (s *Server) guard(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if est, deadline := s.estWait(route), s.requestDeadline(r); est > deadline {
 			s.shed.Add(1)
-			setRetryAfter(w, est)
-			s.writeJSON(w, http.StatusTooManyRequests,
-				errorBody{
-					Error: fmt.Sprintf("estimated queue wait %s exceeds request deadline %s",
-						est.Round(time.Millisecond), deadline.Round(time.Millisecond)),
-					Class: "overloaded",
-				})
+			s.writeError(w, r, http.StatusTooManyRequests, classQueueFull,
+				fmt.Sprintf("estimated queue wait %s exceeds request deadline %s",
+					est.Round(time.Millisecond), deadline.Round(time.Millisecond)),
+				est)
 			return
 		}
 		ok, wait := s.breakers.allow(route)
 		if !ok {
-			setRetryAfter(w, wait)
-			s.writeJSON(w, http.StatusServiceUnavailable,
-				errorBody{Error: "circuit breaker open for " + route, Class: "breaker_open"})
+			s.writeError(w, r, http.StatusServiceUnavailable, classQueueFull,
+				"circuit breaker open for "+route, wait)
 			return
 		}
 		gw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
@@ -312,14 +321,6 @@ func (s *Server) guard(route string, h http.HandlerFunc) http.HandlerFunc {
 		h(gw, r)
 		panicked = false
 	}
-}
-
-// errorBody is the JSON error envelope. Class mirrors the library's
-// error contract: invalid_config ↔ starperf.ErrInvalidConfig,
-// queue_full ↔ jobs.ErrQueueFull, and so on.
-type errorBody struct {
-	Error string `json:"error"`
-	Class string `json:"class"`
 }
 
 // jobBody is the async-endpoint envelope.
@@ -339,12 +340,12 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), Class: "body_too_large"})
+			s.writeError(w, r, http.StatusRequestEntityTooLarge, classInvalidConfig,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), noRetry)
 			return nil, false
 		}
-		s.writeJSON(w, http.StatusBadRequest,
-			errorBody{Error: "reading request: " + err.Error(), Class: "bad_request"})
+		s.writeError(w, r, http.StatusBadRequest, classInvalidConfig,
+			"reading request: "+err.Error(), noRetry)
 		return nil, false
 	}
 	return raw, true
@@ -353,33 +354,65 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 // decode parses a JSON request body strictly — unknown fields are
 // errors, because a silently dropped typo would mint a fresh cache
 // key for a request the caller never meant to make.
-func (s *Server) decode(w http.ResponseWriter, raw []byte, v any) bool {
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, raw []byte, v any) bool {
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		s.writeJSON(w, http.StatusBadRequest,
-			errorBody{Error: "malformed request: " + err.Error(), Class: "bad_request"})
+		s.writeError(w, r, http.StatusBadRequest, classInvalidConfig,
+			"malformed request: "+err.Error(), noRetry)
 		return false
 	}
 	return true
 }
 
-// writeErr maps a computation or submission error onto the wire.
-func (s *Server) writeErr(w http.ResponseWriter, err error) {
+// writeErr maps a computation or submission error onto the wire via
+// classifyErr.
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, err error) {
+	status, we := s.classifyErr(err)
+	retry := noRetry
+	if we.RetryAfterMS > 0 {
+		retry = time.Duration(we.RetryAfterMS) * time.Millisecond
+	}
+	s.writeError(w, r, status, we.Class, we.Message, retry)
+}
+
+// classifyErr maps an error onto the v1 wire contract: status code
+// plus the wireError a standalone request would receive. The batch
+// handler uses it directly to build per-item entries.
+func (s *Server) classifyErr(err error) (int, wireError) {
+	var unreachable *routing.UnreachableError
 	switch {
 	case errors.Is(err, cfgerr.ErrInvalid):
-		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Class: "invalid_config"})
+		return http.StatusBadRequest, wireError{Class: classInvalidConfig, Message: err.Error()}
+	case errors.Is(err, model.ErrSaturated):
+		return http.StatusUnprocessableEntity, wireError{Class: classSaturated, Message: err.Error()}
+	case errors.As(err, &unreachable):
+		return http.StatusUnprocessableEntity, wireError{Class: classUnreachable, Message: err.Error()}
 	case errors.Is(err, jobs.ErrQueueFull):
-		setRetryAfter(w, s.queueWait())
-		s.writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), Class: "queue_full"})
+		return http.StatusTooManyRequests, wireError{
+			Class: classQueueFull, Message: err.Error(),
+			RetryAfterMS: retryMillis(s.queueWait()),
+		}
 	case errors.Is(err, jobs.ErrPoolClosed):
-		setRetryAfter(w, 0)
-		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Class: "shutting_down"})
+		return http.StatusServiceUnavailable, wireError{
+			Class: classQueueFull, Message: err.Error(),
+			RetryAfterMS: retryMillis(time.Second),
+		}
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		s.writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error(), Class: "timeout"})
+		return http.StatusGatewayTimeout, wireError{Class: classTimeout, Message: err.Error()}
 	default:
-		s.writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error(), Class: "internal"})
+		return http.StatusInternalServerError, wireError{Class: classInternal, Message: err.Error()}
 	}
+}
+
+// retryMillis converts a wait estimate to the envelope's
+// retry_after_ms, minimum 1 ms so a retryable class always carries a
+// positive hint.
+func retryMillis(d time.Duration) int64 {
+	if ms := d.Milliseconds(); ms > 1 {
+		return ms
+	}
+	return 1
 }
 
 // writeJSON emits v with the given status.
@@ -395,8 +428,8 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 // never perturb the body.
 func (s *Server) writeResult(w http.ResponseWriter, id, cacheState string, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Starperf-Job", id)
-	w.Header().Set("X-Starperf-Cache", cacheState)
+	w.Header().Set(jobHeader, id)
+	w.Header().Set(cacheHeader, cacheState)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
 }
@@ -410,17 +443,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req PredictRequest
-	if !s.decode(w, raw, &req) {
+	if !s.decode(w, r, raw, &req) {
 		return
 	}
 	req = req.withDefaults()
 	if err := req.validate(); err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	id, err := req.hash()
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	if body, ok := s.cache.Get(id); ok {
@@ -432,12 +465,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	meta, err := submitMeta("predict", req)
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	v, err := s.pool.DoMeta(r.Context(), id, meta, s.runAndStore(id, func() (any, error) { return req.run() }))
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	s.writeResult(w, id, "miss", v.([]byte))
@@ -476,14 +509,14 @@ func (s *Server) runAndStore(id string, run func() (any, error)) jobs.Func {
 // already-cached result answers done immediately; otherwise the job
 // is enqueued (or joined, if an identical one is in flight) and the
 // caller polls GET /v1/jobs/{id}.
-func (s *Server) submitAsync(w http.ResponseWriter, id string, meta jobs.Meta, fn jobs.Func) {
+func (s *Server) submitAsync(w http.ResponseWriter, r *http.Request, id string, meta jobs.Meta, fn jobs.Func) {
 	if s.cache.Contains(id) {
 		s.writeJSON(w, http.StatusOK, jobBody{ID: id, Status: jobs.StatusDone})
 		return
 	}
 	j, err := s.pool.SubmitMeta(id, meta, fn)
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	s.writeJSON(w, http.StatusAccepted, jobBody{ID: id, Status: j.Status()})
@@ -496,17 +529,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SimulateRequest
-	if !s.decode(w, raw, &req) {
+	if !s.decode(w, r, raw, &req) {
 		return
 	}
 	req = req.withDefaults()
 	if err := req.validate(); err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	id, err := req.hash()
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	if s.cache.Contains(id) {
@@ -518,10 +551,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	meta, err := submitMeta("simulate", req)
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
-	s.submitAsync(w, id, meta, s.runAndStore(id, func() (any, error) { return req.run() }))
+	s.submitAsync(w, r, id, meta, s.runAndStore(id, func() (any, error) { return req.run() }))
 }
 
 // handleSweep serves POST /v1/sweep.
@@ -531,17 +564,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SweepRequest
-	if !s.decode(w, raw, &req) {
+	if !s.decode(w, r, raw, &req) {
 		return
 	}
 	req = req.withDefaults()
 	if err := req.validate(); err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	id, err := req.hash()
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	if s.cache.Contains(id) {
@@ -553,10 +586,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	meta, err := submitMeta("sweep", req)
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
-	s.submitAsync(w, id, meta, s.runAndStore(id, func() (any, error) { return req.run() }))
+	s.submitAsync(w, r, id, meta, s.runAndStore(id, func() (any, error) { return req.run() }))
 }
 
 // handleJob serves GET /v1/jobs/{id}: resolve from the cache first
@@ -577,14 +610,14 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		if s.clusterJobLookup(w, r, id) {
 			return
 		}
-		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + id, Class: "not_found"})
+		s.writeError(w, r, http.StatusNotFound, classUnreachable, "unknown job "+id, noRetry)
 		return
 	}
 	switch j.Status() {
 	case jobs.StatusDone:
 		v, err := j.Result()
 		if err != nil {
-			s.writeErr(w, err)
+			s.writeErr(w, r, err)
 			return
 		}
 		body := v.([]byte)
@@ -633,6 +666,7 @@ type Metricsz struct {
 	Cache     obs.CacheStats     `json:"cache"`
 	Routes    []obs.RouteStats   `json:"routes"`
 	Journal   *obs.JournalStats  `json:"journal,omitempty"`
+	Batch     obs.BatchStats     `json:"batch"`
 	Admission obs.AdmissionStats `json:"admission"`
 	Breakers  []obs.BreakerStats `json:"breakers"`
 	// Cluster is null on an unclustered node.
@@ -650,6 +684,12 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	if s.journal != nil {
 		st := s.journal.Stats()
 		body.Journal = &st
+	}
+	body.Batch = obs.BatchStats{
+		Batches:  s.batches.Load(),
+		Items:    s.batchItems.Load(),
+		MaxItems: int(s.batchMax.Load()),
+		Shed:     s.batchShed.Load(),
 	}
 	body.Admission.Shed = s.shed.Load()
 	for _, b := range body.Breakers {

@@ -106,7 +106,7 @@ func TestPredictEndToEnd(t *testing.T) {
 }
 
 // TestPredictErrors covers the wire error contract: invalid configs
-// are 400 invalid_config, typos are 400 bad_request (strict
+// are 400 invalid_config, typos are 400 invalid_config (strict
 // decoding), saturation is a 200 with saturated:true.
 func TestPredictErrors(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
@@ -119,7 +119,7 @@ func TestPredictErrors(t *testing.T) {
 
 	resp = postJSON(t, ts.URL+"/v1/predict", `{"topo":{"kind":"star","n":4},"vee":4}`)
 	body = readBody(t, resp)
-	if resp.StatusCode != 400 || !bytes.Contains(body, []byte("bad_request")) {
+	if resp.StatusCode != 400 || !bytes.Contains(body, []byte("invalid_config")) {
 		t.Fatalf("unknown field: %d %s", resp.StatusCode, body)
 	}
 
@@ -343,7 +343,7 @@ func TestConcurrencyCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	body := readBody(t, resp)
-	if resp.StatusCode != 503 || !bytes.Contains(body, []byte("overloaded")) {
+	if resp.StatusCode != 503 || !bytes.Contains(body, []byte("queue_full")) {
 		t.Fatalf("capped request: %d %s", resp.StatusCode, body)
 	}
 }

@@ -1,14 +1,24 @@
 #!/usr/bin/env bash
 # Process-level crash-recovery smoke for starperfd -journal.
 #
-# An uninterrupted control server computes a simulate job to
-# completion. A second server with its own journal and cache accepts
-# the same job and is killed with SIGKILL mid-computation — no drain,
-# no deferred cleanup, exactly the crash the journal exists for. On
-# restart over the same directories the daemon must replay the
-# journal, re-enqueue the interrupted job, and finish it with a poll
-# body byte-identical to the control run's (job ids are content
-# hashes, so both runs name the same job).
+# Drill 1 (single job): an uninterrupted control server computes a
+# simulate job to completion. A second server with its own journal and
+# cache accepts the same job and is killed with SIGKILL mid-computation
+# — no drain, no deferred cleanup, exactly the crash the journal
+# exists for. On restart over the same directories the daemon must
+# replay the journal, re-enqueue the interrupted job, and finish it
+# with a poll body byte-identical to the control run's (job ids are
+# content hashes, so both runs name the same job).
+#
+# Drill 2 (mid-batch, PR 8): the same discipline against the batched
+# ingestion path. A POST /v1/jobs:batch of three simulate jobs lands
+# as ONE journal group commit; the server is SIGKILLed while the first
+# job is still computing, so the crash tears the journal after the
+# batch's accepted records but before any completion. The restart must
+# requeue every interrupted job from that single commit — never more
+# (a resurrected record the commit did not cover), never fewer — and
+# every job must poll back byte-identical to an uninterrupted control
+# batch.
 #
 # CI runs this from the chaos-smoke job; locally:
 #
@@ -129,3 +139,111 @@ kill -TERM $SRV && wait $SRV
 SRV=""
 
 echo "chaos_smoke: OK — crash-interrupted job recovered byte-identically"
+
+# ---------------------------------------------------------------- #
+# Drill 2: SIGKILL mid-batch.                                       #
+# ---------------------------------------------------------------- #
+
+# Three simulate jobs distinct only in seed: heavy enough (~seconds
+# each on one worker) that the kill lands with the batch's work still
+# in flight.
+batch_req() {
+  local items="" seed
+  for seed in 31 32 33; do
+    [ -n "$items" ] && items+=","
+    items+="{\"kind\":\"simulate\",\"config\":{\"topo\":{\"kind\":\"star\",\"n\":4},\"v\":4,\"msg_len\":16,\"rate\":0.004,\"seed\":$seed,\"warmup\":5000,\"measure\":3000000}}"
+  done
+  printf '{"items":[%s]}' "$items"
+}
+
+batch_ids() { # batch_ids RESPONSE — ids in item order, newline-separated
+  echo "$1" | grep -o 'sha256:[0-9a-f]*'
+}
+
+echo "chaos_smoke: batch control run (uninterrupted)"
+"$BIN" -addr "127.0.0.1:$CONTROL_PORT" -workers 1 \
+  -journal "$WORK/bcontrol-journal" -cachedir "$WORK/bcontrol-cache" &
+SRV=$!
+PIDS+=("$SRV")
+wait_healthy "$CONTROL_PORT"
+ACCEPT=$(curl -fsS -X POST "http://127.0.0.1:$CONTROL_PORT/v1/jobs:batch" -d "$(batch_req)")
+BATCH_IDS=$(batch_ids "$ACCEPT")
+[ "$(echo "$BATCH_IDS" | wc -l)" -eq 3 ] || {
+  echo "chaos_smoke: batch accepted $(echo "$BATCH_IDS" | wc -l) items, want 3: $ACCEPT" >&2
+  exit 1
+}
+n=0
+for id in $BATCH_IDS; do
+  n=$((n + 1))
+  poll_done "$CONTROL_PORT" "$id" "$WORK/bcontrol-$n.json"
+done
+kill -TERM $SRV && wait $SRV
+SRV=""
+
+echo "chaos_smoke: batch crash run (SIGKILL mid-batch)"
+"$BIN" -addr "127.0.0.1:$CRASH_PORT" -workers 1 \
+  -journal "$WORK/bcrash-journal" -cachedir "$WORK/bcrash-cache" &
+SRV=$!
+PIDS+=("$SRV")
+wait_healthy "$CRASH_PORT"
+ACCEPT=$(curl -fsS -X POST "http://127.0.0.1:$CRASH_PORT/v1/jobs:batch" -d "$(batch_req)")
+CRASH_IDS=$(batch_ids "$ACCEPT")
+[ "$CRASH_IDS" = "$BATCH_IDS" ] || {
+  echo "chaos_smoke: batch content-hash ids diverged:" >&2
+  echo "$CRASH_IDS" >&2
+  exit 1
+}
+# Let the first job get under way, then kill without mercy: the
+# journal holds the batch's single group commit of three accepted
+# records, plus whatever lifecycle records beat the kill.
+sleep 0.3
+kill -9 $SRV
+wait $SRV 2>/dev/null || true
+SRV=""
+
+echo "chaos_smoke: restart over the torn batch journal"
+"$BIN" -addr "127.0.0.1:$CRASH_PORT" -workers 1 \
+  -journal "$WORK/bcrash-journal" -cachedir "$WORK/bcrash-cache" \
+  >"$WORK/brestart.log" 2>&1 &
+SRV=$!
+PIDS+=("$SRV")
+wait_healthy "$CRASH_PORT"
+# Every interrupted job from the batch's commit must come back (a job
+# that beat the kill to completion is legitimately done, not lost),
+# nothing may be unrecoverable, and at least one job must genuinely
+# have been interrupted — otherwise the kill landed too late to test
+# anything.
+grep -Eq 'recovery: [1-3] requeued, [0-2] already satisfied, 0 unrecoverable' "$WORK/brestart.log" || {
+  echo "chaos_smoke: restart did not recover the batch's interrupted jobs:" >&2
+  cat "$WORK/brestart.log" >&2
+  exit 1
+}
+# No resurrected records: every job id in the recovered journal must
+# be one of the batch's three — an alien id would be a record the
+# torn tail invented or a corrupt line replay failed to reject.
+for jid in $(grep -aho 'sha256:[0-9a-f]*' "$WORK/bcrash-journal"/wal-*.log | sort -u); do
+  echo "$BATCH_IDS" | grep -q "^$jid$" || {
+    echo "chaos_smoke: journal resurrected unknown job id $jid" >&2
+    exit 1
+  }
+done
+n=0
+for id in $BATCH_IDS; do
+  n=$((n + 1))
+  poll_done "$CRASH_PORT" "$id" "$WORK/brecovered-$n.json"
+  cmp -s "$WORK/bcontrol-$n.json" "$WORK/brecovered-$n.json" || {
+    echo "chaos_smoke: batch item $n recovered differently from control" >&2
+    echo "control:   $(cat "$WORK/bcontrol-$n.json")" >&2
+    echo "recovered: $(cat "$WORK/brecovered-$n.json")" >&2
+    exit 1
+  }
+done
+curl -fsS "http://127.0.0.1:$CRASH_PORT/metricsz" >"$WORK/bmetrics.json"
+grep -q '"commits"' "$WORK/bmetrics.json" || {
+  echo "chaos_smoke: /metricsz lost its group-commit counters" >&2
+  exit 1
+}
+kill -TERM $SRV && wait $SRV
+SRV=""
+
+echo "chaos_smoke: OK — mid-batch crash recovered byte-identically, no resurrected records"
