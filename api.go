@@ -1,6 +1,7 @@
 package starperf
 
 import (
+	"starperf/internal/bounds"
 	"starperf/internal/cfgerr"
 	"starperf/internal/desim"
 	"starperf/internal/experiments"
@@ -30,6 +31,9 @@ import (
 //     anywhere the inputs, not the computation, are at fault;
 //   - saturation → errors.Is(err, ErrSaturated): the model has no
 //     steady state at the requested operating point (Predict only);
+//   - unboundable → errors.Is(err, ErrUnboundable): no finite
+//     worst-case delay bound exists at the requested operating point
+//     (PredictBounds only);
 //   - unreachable destination → errors.As(err, *UnreachableError):
 //     a traffic pattern addressed a node the fault plan stranded.
 //
@@ -211,6 +215,37 @@ func SaturationRate(base ModelConfig, lo, hi float64) (float64, error) {
 // Enhanced-Nbc.
 func PredictStar(n, v, msgLen int, rate float64) (*ModelResult, error) {
 	return model.EvaluateStar(n, v, msgLen, rate, routing.EnhancedNbc, model.Window)
+}
+
+// Worst-case bound engine re-exports: where Predict answers "what
+// latency will a message see on average", PredictBounds answers "what
+// latency will a flow never exceed" — deterministic network-calculus
+// delay bounds over the same Topology+routing abstractions (see
+// internal/bounds for the curve model and composition rules).
+type (
+	BoundsConfig = bounds.Config
+	BoundsResult = bounds.Result
+	FlowBound    = bounds.FlowBound
+)
+
+// ErrUnboundable is returned by PredictBounds when no finite
+// worst-case bound exists at the requested operating point: the
+// injection or a channel is saturated, or the cyclic burstiness fixed
+// point diverges. It is the bounds counterpart of ErrSaturated and
+// strictly more conservative.
+var ErrUnboundable = bounds.ErrUnboundable
+
+// PredictBounds computes per-flow-class and worst-flow end-to-end
+// delay bounds for adaptive wormhole routing on cfg.Top. Invalid
+// configurations match ErrInvalidConfig; operating points with no
+// finite bound match ErrUnboundable.
+func PredictBounds(cfg BoundsConfig) (*BoundsResult, error) { return bounds.Evaluate(cfg) }
+
+// BoundsCapacity bisects for the largest per-node rate in (lo, hi] at
+// which PredictBounds still produces a finite bound — the engine's
+// conservative capacity, the bounds counterpart of SaturationRate.
+func BoundsCapacity(base BoundsConfig, lo, hi float64) (float64, error) {
+	return bounds.Capacity(base, lo, hi)
 }
 
 // TrafficPattern maps sources to destinations; LengthDist draws

@@ -483,6 +483,25 @@ func (c *Client) Predict(ctx context.Context, req PredictRequest) (*PredictResul
 	return &res, nil
 }
 
+// PredictBounds evaluates the worst-case delay-bound engine
+// synchronously. An unboundable operating point is reported in the
+// result (Unboundable true), not as an error.
+func (c *Client) PredictBounds(ctx context.Context, req BoundsRequest) (*BoundsResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := c.do(ctx, http.MethodPost, "/v1/bounds", body)
+	if err != nil {
+		return nil, err
+	}
+	var res BoundsResult
+	if err := json.Unmarshal(out, &res); err != nil {
+		return nil, fmt.Errorf("client: bounds response: %w", err)
+	}
+	return &res, nil
+}
+
 // Simulate submits a flit-level simulation and waits for its result,
 // polling the job endpoint until done or ctx expires.
 func (c *Client) Simulate(ctx context.Context, req SimulateRequest) (*SimulateResult, error) {

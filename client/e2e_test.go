@@ -71,6 +71,39 @@ func TestClientPredictEndToEnd(t *testing.T) {
 	}
 }
 
+func TestClientBoundsEndToEnd(t *testing.T) {
+	_, c := newStack(t, server.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req := client.BoundsRequest{
+		Topo: client.TopoSpec{Kind: "star", N: 4}, V: 6, MsgLen: 32, Rate: 0.004,
+	}
+	first, err := c.PredictBounds(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Unboundable || !(first.WorstBound > 0) || len(first.Classes) == 0 {
+		t.Fatalf("implausible bounds result: %+v", first)
+	}
+	second, err := c.PredictBounds(ctx, req) // cache hit server-side
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.WorstBound != second.WorstBound || len(first.Classes) != len(second.Classes) {
+		t.Fatalf("repeat bounds differs:\n %+v\n %+v", first, second)
+	}
+	// Far past capacity: a typed in-band answer, not an error.
+	over, err := c.PredictBounds(ctx, client.BoundsRequest{
+		Topo: client.TopoSpec{Kind: "star", N: 4}, V: 6, MsgLen: 32, Rate: 0.03,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !over.Unboundable {
+		t.Fatalf("rate past capacity reported boundable: %+v", over)
+	}
+}
+
 func TestClientSimulateEndToEnd(t *testing.T) {
 	_, c := newStack(t, server.Config{Workers: 2})
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -137,6 +170,10 @@ func TestWireCompat(t *testing.T) {
 	cp := client.PredictRequest{Topo: client.TopoSpec{Kind: "star", N: 5}, Routing: "nbc", V: 3, MsgLen: 32, Rate: 0.01}
 	sp := server.PredictRequest{Topo: server.TopoSpec{Kind: "star", N: 5}, Routing: "nbc", V: 3, MsgLen: 32, Rate: 0.01}
 	assertSameWire(t, "predict", cp, sp)
+
+	cb := client.BoundsRequest{Topo: client.TopoSpec{Kind: "hypercube", N: 4}, Routing: "nbc", V: 4, MsgLen: 16, Rate: 0.003, BufCap: 2, LinkBW: 1}
+	sb := server.BoundsRequest{Topo: server.TopoSpec{Kind: "hypercube", N: 4}, Routing: "nbc", V: 4, MsgLen: 16, Rate: 0.003, BufCap: 2, LinkBW: 1}
+	assertSameWire(t, "bounds", cb, sb)
 
 	cs := client.SimulateRequest{Topo: client.TopoSpec{Kind: "torus", K: 4, Dim: 2}, V: 2, MsgLen: 16, Rate: 0.005, BufCap: 2, Seed: 3, Warmup: 100, Measure: 200, Drain: 300, MaxMsgAge: 50}
 	ss := server.SimulateRequest{Topo: server.TopoSpec{Kind: "torus", K: 4, Dim: 2}, V: 2, MsgLen: 16, Rate: 0.005, BufCap: 2, Seed: 3, Warmup: 100, Measure: 200, Drain: 300, MaxMsgAge: 50}

@@ -40,6 +40,40 @@ type PredictResult struct {
 	Converged     bool    `json:"converged"`
 }
 
+// BoundsRequest is POST /v1/bounds: one worst-case delay-bound
+// evaluation, answered synchronously.
+type BoundsRequest struct {
+	Topo    TopoSpec `json:"topo"`
+	Routing string   `json:"routing,omitempty"`
+	V       int      `json:"v"`
+	MsgLen  int      `json:"msg_len"`
+	Rate    float64  `json:"rate"`
+	BufCap  int      `json:"buf_cap,omitempty"`
+	LinkBW  float64  `json:"link_bw,omitempty"`
+}
+
+// BoundsResult is the bounds response body. When Unboundable is true
+// no finite worst-case bound exists at the operating point.
+type BoundsResult struct {
+	Unboundable bool          `json:"unboundable"`
+	WorstBound  float64       `json:"worst_bound"`
+	Classes     []BoundsClass `json:"classes,omitempty"`
+	Utilization float64       `json:"utilization"`
+	HopDelay    float64       `json:"hop_delay"`
+	Residual    float64       `json:"residual"`
+	Feedforward bool          `json:"feedforward"`
+	Iterations  int           `json:"iterations"`
+	Flows       int           `json:"flows"`
+	Channels    int           `json:"channels"`
+}
+
+// BoundsClass is one per-hop-count flow class's bound.
+type BoundsClass struct {
+	Hops  int     `json:"hops"`
+	Flows int     `json:"flows"`
+	Bound float64 `json:"bound"`
+}
+
 // SimulateRequest is POST /v1/simulate: one flit-level simulation,
 // answered through the job API.
 type SimulateRequest struct {

@@ -18,6 +18,12 @@
 //
 //	go run ./cmd/starbench -suite journal -out BENCH_journal.json
 //
+// -suite bounds measures the worst-case delay-bound engine
+// (internal/bounds) across topology sizes, written to
+// BENCH_bounds.json:
+//
+//	go run ./cmd/starbench -suite bounds -out BENCH_bounds.json
+//
 // The output is machine-shaped (ns/op varies across hosts) but
 // structurally stable: no timestamps or host details, so diffs show
 // only the measured numbers. The observer_overhead_pct field is the
@@ -111,12 +117,18 @@ func main() {
 		}
 		runJournalSuite(*out)
 		return
+	case "bounds":
+		if *out == "" {
+			*out = "BENCH_bounds.json"
+		}
+		runBoundsSuite(*out)
+		return
 	case "sim":
 		if *out == "" {
 			*out = "BENCH_sim.json"
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "starbench: unknown suite %q (want sim, serve or journal)\n", *suite)
+		fmt.Fprintf(os.Stderr, "starbench: unknown suite %q (want sim, serve, journal or bounds)\n", *suite)
 		os.Exit(1)
 	}
 

@@ -13,6 +13,7 @@
 //	-panel star    generalised Figure 1 for any -n (S4..S7)
 //	-panel tails   latency percentiles (p50/p95/p99) vs load
 //	-panel levels  class-b level usage: NHop vs Nbc vs Enhanced-Nbc
+//	-panel bounds  worst-case bound vs model mean vs simulated p99.9
 //
 // Usage:
 //
@@ -44,7 +45,7 @@ import (
 )
 
 func main() {
-	panel := flag.String("panel", "a", "a|b|c|grid|compare|a1|a2|a3|a4|tput|x7|star|tails|levels")
+	panel := flag.String("panel", "a", "a|b|c|grid|compare|a1|a2|a3|a4|tput|x7|star|tails|levels|bounds")
 	points := flag.Int("points", 15, "points per curve")
 	seeds := flag.Int("seeds", 3, "simulation replications")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (output is identical for any value)")
@@ -165,6 +166,18 @@ func main() {
 			fail(err)
 		}
 		experiments.RenderTails(os.Stdout, rows)
+	case "bounds":
+		rows, err := experiments.BoundsFigure(experiments.BoundsFigureConfig{
+			V: *v, MsgLen: *m, Points: *points, Sim: opts,
+		})
+		if err != nil {
+			fail(err)
+		}
+		if *csv {
+			experiments.RenderBoundsCSV(os.Stdout, rows)
+		} else {
+			experiments.RenderBounds(os.Stdout, rows)
+		}
 	case "star":
 		emit(experiments.StarPanel(*starN, *v, []int{*m}, 0, *points, opts))
 	case "a4":

@@ -8,7 +8,13 @@
 //	          [-kind enbc|nbc|nhop]
 //	          [-blocking window|paper-in|paper-out]
 //	          [-rate 0.008 | -sweep 0.015 -points 15]
-//	          [-sat]
+//	          [-sat] [-bounds]
+//
+// With -bounds the worst-case delay-bound engine (internal/bounds)
+// runs next to the model: each operating point prints the mean
+// latency the model predicts and the per-class worst-case bounds no
+// flow can exceed; past the engine's capacity it prints
+// "unboundable".
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"starperf/internal/bounds"
 	"starperf/internal/hypercube"
 	"starperf/internal/model"
 	"starperf/internal/routing"
@@ -62,6 +69,7 @@ func main() {
 	sweep := flag.Float64("sweep", 0, "sweep rates from 0 to this value instead of -rate")
 	points := flag.Int("points", 15, "points in the sweep")
 	sat := flag.Bool("sat", false, "also report the model's saturation rate")
+	boundsF := flag.Bool("bounds", false, "also print worst-case delay bounds per operating point")
 	classes := flag.Bool("classes", false, "print the per-class latency decomposition at -rate")
 	flag.Parse()
 
@@ -117,14 +125,16 @@ func main() {
 		res, err := model.Evaluate(cfg)
 		if errors.Is(err, model.ErrSaturated) {
 			fmt.Printf("%-10.5f saturated\n", r)
-			return
-		}
-		if err != nil {
+		} else if err != nil {
 			fail(err)
+		} else {
+			fmt.Printf("%-10.5f latency=%-10.3f S=%-10.3f Ws=%-8.3f w=%-8.3f Vbar=%-7.4f util=%-7.4f pblock=%-9.6f iters=%d\n",
+				r, res.Latency, res.NetLatency, res.SourceWait, res.ChannelWait,
+				res.Multiplexing, res.Utilization, res.MeanBlocking, res.Iterations)
 		}
-		fmt.Printf("%-10.5f latency=%-10.3f S=%-10.3f Ws=%-8.3f w=%-8.3f Vbar=%-7.4f util=%-7.4f pblock=%-9.6f iters=%d\n",
-			r, res.Latency, res.NetLatency, res.SourceWait, res.ChannelWait,
-			res.Multiplexing, res.Utilization, res.MeanBlocking, res.Iterations)
+		if *boundsF {
+			printBounds(top, kind, *v, *m, r)
+		}
 	}
 
 	fmt.Printf("model: %s V=%d M=%d %s blocking=%s (d̄=%.4f)\n",
@@ -156,6 +166,33 @@ func main() {
 		}
 		fmt.Printf("saturation rate ≈ %.5f messages/node/cycle\n", s)
 	}
+}
+
+// printBounds runs the worst-case engine at one operating point and
+// prints the per-class bounds under the model line.
+func printBounds(top topology.Topology, kind routing.Kind, v, m int, rate float64) {
+	res, err := bounds.Evaluate(bounds.Config{
+		Top: top, Kind: kind, V: v, MsgLen: m, Rate: rate,
+	})
+	if errors.Is(err, bounds.ErrUnboundable) {
+		fmt.Printf("  bound: unboundable (no finite worst case at λg=%.5f)\n", rate)
+		return
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("  bound: worst=%-10.1f util=%-7.4f T=%-9.3f %s iters=%d\n",
+		res.WorstCase, res.Utilization, res.HopDelay, compLabel(res.Feedforward), res.Iterations)
+	for _, fb := range res.Classes {
+		fmt.Printf("    h=%-3d flows=%-5d bound=%.1f\n", fb.Hops, fb.Flows, fb.Bound)
+	}
+}
+
+func compLabel(ff bool) string {
+	if ff {
+		return "feedforward"
+	}
+	return "cyclic"
 }
 
 func fail(err error) {

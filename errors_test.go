@@ -64,6 +64,16 @@ func TestInvalidConfigSentinel(t *testing.T) {
 			_, err := ThroughputSweep(ThroughputConfig{Kind: EnhancedNbc, V: 4, MsgLen: 8, MaxRate: 0.01})
 			return err
 		}},
+		{"bounds-msglen", func() error {
+			_, err := PredictBounds(BoundsConfig{Top: s4, Kind: EnhancedNbc, V: 6,
+				MsgLen: 0, Rate: 0.001})
+			return err
+		}},
+		{"bounds-capacity-bracket", func() error {
+			_, err := BoundsCapacity(BoundsConfig{Top: s4, Kind: EnhancedNbc, V: 6,
+				MsgLen: 32}, -1, 1)
+			return err
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -99,6 +109,24 @@ func TestSaturatedSentinel(t *testing.T) {
 	}
 	if errors.Is(err, ErrInvalidConfig) {
 		t.Fatalf("saturation error %q also matches ErrInvalidConfig", err)
+	}
+}
+
+// TestUnboundableSentinel drives the bound engine past its capacity
+// and checks the class separation: unboundable is neither a
+// validation failure nor model saturation.
+func TestUnboundableSentinel(t *testing.T) {
+	s4 := stargraph.MustNew(4)
+	_, err := PredictBounds(BoundsConfig{Top: s4, Kind: EnhancedNbc, V: 6,
+		MsgLen: 32, Rate: 0.03})
+	if err == nil {
+		t.Fatal("rate 0.03 msgs/node/cycle with 32-flit messages produced a finite bound")
+	}
+	if !errors.Is(err, ErrUnboundable) {
+		t.Fatalf("error %q does not match ErrUnboundable", err)
+	}
+	if errors.Is(err, ErrInvalidConfig) || errors.Is(err, ErrSaturated) {
+		t.Fatalf("unboundable error %q also matches a validation/saturation sentinel", err)
 	}
 }
 

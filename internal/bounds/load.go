@@ -1,0 +1,208 @@
+package bounds
+
+import "starperf/internal/topology"
+
+// chanLoad is the aggregate per-channel picture produced by the
+// minimal-adaptive load enumeration: expected message rate and flow
+// mass per directed channel, the deepest hop position at which any
+// flow enters each channel, and the channel dependency graph (which
+// outgoing dimensions traffic leaving a channel continues into).
+//
+// Channels are indexed node*Degree+dim, matching the simulator's
+// layout. The enumeration walks the minimal-path DAG of every live
+// ordered (src,dst) pair and splits each flow's unit mass equally
+// over the profitable dimensions at every node — the fluid limit of
+// the adaptive selection the simulator implements and the same
+// evenly-distributed-load assumption behind the paper's eq. 3, except
+// computed per channel so asymmetric (faulted, mesh) topologies get
+// their true per-channel loads rather than a symmetric average.
+type chanLoad struct {
+	deg int
+	// rate[ch] is the message rate through ch in messages/cycle.
+	rate []float64
+	// mass[ch] is the summed flow mass through ch: each (src,dst)
+	// pair contributes its route-split fractions (≤ 1 per pair).
+	mass []float64
+	// pos[ch] is the deepest 1-based hop position at which any flow
+	// crosses ch — the burstiness a flow can have accumulated before
+	// entering ch grows with its hops already travelled.
+	pos []int
+	// succ[ch*deg+dim2] records that traffic leaving ch continues on
+	// dimension dim2 of ch's head node: the channel dependency graph
+	// the feedforward/cyclic check runs on.
+	succ []bool
+	// classFlows[h] counts ordered live pairs at distance h.
+	classFlows []int
+	// flows counts all ordered live pairs.
+	flows int
+}
+
+// enumerateLoad computes the per-channel load picture for uniform
+// traffic at per-node message rate (messages/node/cycle). Pairs whose
+// destination is unreachable (Distance ≤ 0: stranded components or
+// failed endpoints under a fault plan) carry no traffic and are
+// skipped, mirroring the simulator's live-destination draw.
+func enumerateLoad(top topology.Topology, rate float64) *chanLoad {
+	n, deg := top.N(), top.Degree()
+	nchan := n * deg
+	cl := &chanLoad{
+		deg:        deg,
+		rate:       make([]float64, nchan),
+		mass:       make([]float64, nchan),
+		pos:        make([]int, nchan),
+		succ:       make([]bool, nchan*deg),
+		classFlows: make([]int, top.Diameter()+1),
+	}
+	nodeMass := make([]float64, n)
+	seen := make([]bool, n)
+	frontier := make([]int, 0, n)
+	next := make([]int, 0, n)
+	var dimbuf, vdimbuf []int
+	for s := 0; s < n; s++ {
+		// Uniform traffic spreads each source's rate over its
+		// reachable peers (live destinations only, like the
+		// simulator's default pattern under faults).
+		ndst := 0
+		for d := 0; d < n; d++ {
+			if d != s && top.Distance(s, d) > 0 {
+				ndst++
+			}
+		}
+		if ndst == 0 {
+			continue
+		}
+		flowRate := rate / float64(ndst)
+		for d := 0; d < n; d++ {
+			if d == s {
+				continue
+			}
+			dist := top.Distance(s, d)
+			if dist <= 0 {
+				continue
+			}
+			cl.classFlows[dist]++
+			cl.flows++
+			// Equal-split mass propagation over the minimal-path DAG
+			// from s to d. Every node sits at exactly one remaining
+			// distance, so each is processed once and the frontier
+			// advances level by level.
+			nodeMass[s] = 1
+			frontier = append(frontier[:0], s)
+			seen[s] = true
+			for r := dist; r >= 1; r-- {
+				pos := dist - r + 1
+				next = next[:0]
+				for _, u := range frontier {
+					seen[u] = false
+					m := nodeMass[u]
+					nodeMass[u] = 0
+					dimbuf = top.ProfitableDims(u, d, dimbuf[:0])
+					if len(dimbuf) == 0 {
+						continue // cannot happen while d is reachable
+					}
+					share := m / float64(len(dimbuf))
+					for _, dim := range dimbuf {
+						ch := u*deg + dim
+						cl.rate[ch] += share * flowRate
+						cl.mass[ch] += share
+						if pos > cl.pos[ch] {
+							cl.pos[ch] = pos
+						}
+						v := top.Neighbor(u, dim)
+						if !seen[v] {
+							seen[v] = true
+							next = append(next, v)
+						}
+						nodeMass[v] += share
+						if r >= 2 {
+							vdimbuf = top.ProfitableDims(v, d, vdimbuf[:0])
+							for _, dim2 := range vdimbuf {
+								cl.succ[ch*deg+dim2] = true
+							}
+						}
+					}
+				}
+				frontier, next = next, frontier
+			}
+			// The last frontier is exactly {d}.
+			seen[d] = false
+			nodeMass[d] = 0
+		}
+	}
+	return cl
+}
+
+// active returns the indices of channels carrying traffic, in
+// ascending order.
+func (cl *chanLoad) active() []int {
+	act := make([]int, 0, len(cl.rate))
+	for ch, r := range cl.rate {
+		if r > 0 {
+			act = append(act, ch)
+		}
+	}
+	return act
+}
+
+// feedforward reports whether the dependency graph restricted to
+// active channels is acyclic, via an iterative three-colour DFS. The
+// graph's nodes are channels; an edge ch→ch2 means some flow's
+// traffic continues from ch onto ch2, so burstiness propagates along
+// it. Acyclic graphs admit exact single-pass composition; cyclic ones
+// need the hop-position-bounded fixed point.
+func feedforward(top topology.Topology, cl *chanLoad, act []int) bool {
+	const (
+		white = iota // unvisited
+		grey         // on the current DFS stack
+		black        // finished
+	)
+	deg := cl.deg
+	color := make([]int8, len(cl.rate))
+	type frame struct {
+		ch   int
+		next int // next successor dimension to try
+	}
+	var stack []frame
+	for _, start := range act {
+		if color[start] != white {
+			continue
+		}
+		color[start] = grey
+		stack = append(stack[:0], frame{ch: start})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for f.next < deg {
+				dim2 := f.next
+				f.next++
+				if !cl.succ[f.ch*deg+dim2] {
+					continue
+				}
+				v := top.Neighbor(f.ch/deg, f.ch%deg)
+				if v < 0 {
+					continue
+				}
+				ch2 := v*deg + dim2
+				if cl.rate[ch2] <= 0 {
+					continue
+				}
+				switch color[ch2] {
+				case grey:
+					return false // back edge: cycle
+				case white:
+					color[ch2] = grey
+					stack = append(stack, frame{ch: ch2})
+					advanced = true
+				}
+				if advanced {
+					break
+				}
+			}
+			if !advanced {
+				color[f.ch] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,147 @@
+package bounds
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"starperf/internal/desim"
+	"starperf/internal/faults"
+	"starperf/internal/hypercube"
+	"starperf/internal/routing"
+	"starperf/internal/stargraph"
+	"starperf/internal/topology"
+	"starperf/internal/torus"
+)
+
+// TestBoundsValidationMatrix is the engine's safety rail: across a
+// matrix of (topology × rate grid below the engine's capacity ×
+// fault plans), the simulator's observed p99.9 and maximum latency
+// must never exceed the computed bound, the bounds must be finite and
+// monotone non-decreasing in load, and at/above capacity the engine
+// must return ErrUnboundable rather than a number. A failed
+// assertion here is a bug in the engine, not the simulator.
+//
+// The CI bounds-smoke job runs exactly this test.
+func TestBoundsValidationMatrix(t *testing.T) {
+	type point struct {
+		name   string
+		top    topology.Topology
+		plan   *faults.Plan
+		kind   routing.Kind
+		v, m   int
+		bufCap int
+	}
+	s4g, err := stargraph.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q4g, err := hypercube.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t42g, err := torus.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4plan, err := faults.NewPlan(s4g, 3, faults.Options{FailLinks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix := []point{
+		{name: "S4", top: s4g, kind: routing.EnhancedNbc, v: 6, m: 32, bufCap: 2},
+		{name: "Q4", top: q4g, kind: routing.EnhancedNbc, v: 4, m: 16, bufCap: 2},
+		{name: "T4x2", top: t42g, kind: routing.Nbc, v: 5, m: 16, bufCap: 2},
+		{name: "S4-faulted", top: s4g, plan: s4plan, kind: routing.EnhancedNbc, v: 6, m: 32, bufCap: 2},
+	}
+	fractions := []float64{0.25, 0.5, 0.8}
+	for _, pt := range matrix {
+		pt := pt
+		t.Run(pt.name, func(t *testing.T) {
+			top := pt.top
+			if pt.plan != nil {
+				ft, err := faults.Apply(pt.top, pt.plan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				top = ft
+			}
+			spec, err := routing.New(pt.kind, top, pt.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := Config{Top: top, Kind: pt.kind, V: pt.v, MsgLen: pt.m, BufCap: pt.bufCap}
+			capRate, err := Capacity(base, 1e-7, 1.0)
+			if err != nil {
+				t.Fatalf("capacity: %v", err)
+			}
+			prevBound := 0.0
+			for _, frac := range fractions {
+				cfg := base
+				cfg.Rate = frac * capRate
+				res, err := Evaluate(cfg)
+				if err != nil {
+					t.Fatalf("rate %.3g (%.0f%% capacity): %v", cfg.Rate, frac*100, err)
+				}
+				if math.IsNaN(res.WorstCase) || math.IsInf(res.WorstCase, 0) || res.WorstCase <= 0 {
+					t.Fatalf("rate %.3g: bound %v not positive finite", cfg.Rate, res.WorstCase)
+				}
+				if res.WorstCase < prevBound {
+					t.Fatalf("bound decreased with load: %v after %v", res.WorstCase, prevBound)
+				}
+				prevBound = res.WorstCase
+				sim, err := desim.Run(desim.Config{
+					Top: top, Spec: spec,
+					Rate: cfg.Rate, MsgLen: pt.m, BufCap: pt.bufCap, Seed: 1,
+					WarmupCycles: 3000, MeasureCycles: 10000,
+				})
+				if err != nil {
+					t.Fatalf("rate %.3g: simulate: %v", cfg.Rate, err)
+				}
+				if sim.Aborted {
+					t.Fatalf("rate %.3g: simulation aborted: %s", cfg.Rate, sim.AbortReason)
+				}
+				if sim.MeasuredDelivered == 0 {
+					t.Fatalf("rate %.3g: no measured deliveries", cfg.Rate)
+				}
+				// Fail loudly, never silently, when tail samples
+				// overflow the histogram: the overflow bucket keeps
+				// the true maximum, and the bound must dominate it.
+				if sim.LatencyHist.Overflow > 0 &&
+					float64(sim.LatencyHist.OverflowMax) > res.WorstCase {
+					t.Fatalf("rate %.3g: %d samples overflowed the latency histogram and the observed max %d exceeds the bound %.1f",
+						cfg.Rate, sim.LatencyHist.Overflow, sim.LatencyHist.OverflowMax, res.WorstCase)
+				}
+				p999 := sim.LatencyHist.Quantile(0.999)
+				maxLat := sim.Latency.Max()
+				if float64(p999) > res.WorstCase {
+					t.Errorf("rate %.3g (%.0f%% capacity): simulated p99.9 %d exceeds bound %.1f",
+						cfg.Rate, frac*100, p999, res.WorstCase)
+				}
+				if maxLat > res.WorstCase {
+					t.Errorf("rate %.3g (%.0f%% capacity): simulated max %.0f exceeds bound %.1f",
+						cfg.Rate, frac*100, maxLat, res.WorstCase)
+				}
+				t.Logf("rate %.3g (%.0f%% cap): sim mean %.1f p99.9 %d max %.0f ≤ bound %.1f (util %.2f, %s, %d iters)",
+					cfg.Rate, frac*100, sim.Latency.Mean(), p999, maxLat, res.WorstCase,
+					res.Utilization, ffLabel(res.Feedforward), res.Iterations)
+			}
+			// At and above capacity: a typed refusal, not a number.
+			for _, frac := range []float64{1.05, 2.0} {
+				cfg := base
+				cfg.Rate = frac * capRate
+				if _, err := Evaluate(cfg); !errors.Is(err, ErrUnboundable) {
+					t.Fatalf("rate %.3g (%.0f%% capacity): err = %v, want ErrUnboundable",
+						cfg.Rate, frac*100, err)
+				}
+			}
+		})
+	}
+}
+
+func ffLabel(ff bool) string {
+	if ff {
+		return "feedforward"
+	}
+	return "cyclic"
+}

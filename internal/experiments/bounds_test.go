@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBoundsFigure pins the figure's defining property on a fast S4
+// sweep: on every row the simulated mean, p99.9 and max sit at or
+// below the certified bound, rates ascend, and the CSV rendering is
+// machine-parseable with one line per row.
+func TestBoundsFigure(t *testing.T) {
+	rows, err := BoundsFigure(BoundsFigureConfig{
+		Points: 4,
+		Sim:    SimOptions{Warmup: 2000, Measure: 8000, Seeds: []uint64{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows %d, want 4", len(rows))
+	}
+	prevRate := 0.0
+	for _, r := range rows {
+		if r.Rate <= prevRate {
+			t.Fatalf("rates not ascending: %v after %v", r.Rate, prevRate)
+		}
+		prevRate = r.Rate
+		if !(r.Bound > 0) {
+			t.Fatalf("rate %g: bound %v not positive", r.Rate, r.Bound)
+		}
+		if r.SimMean > float64(r.SimP999) || float64(r.SimP999) > r.SimMax {
+			t.Fatalf("rate %g: percentile ordering broken: mean %v p999 %d max %v",
+				r.Rate, r.SimMean, r.SimP999, r.SimMax)
+		}
+		if r.SimMax > r.Bound {
+			t.Fatalf("rate %g: simulated max %v exceeds bound %v", r.Rate, r.SimMax, r.Bound)
+		}
+		if !r.ModelSaturated && !(r.ModelMean > 0) {
+			t.Fatalf("rate %g: model mean %v", r.Rate, r.ModelMean)
+		}
+	}
+
+	var buf bytes.Buffer
+	RenderBoundsCSV(&buf, rows)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(rows)+1 {
+		t.Fatalf("CSV lines %d, want header + %d rows", len(lines), len(rows))
+	}
+	if lines[0] != "rate,bound,model_mean,model_saturated,sim_mean,sim_p999,sim_max" {
+		t.Fatalf("CSV header %q", lines[0])
+	}
+	for _, ln := range lines[1:] {
+		if got := strings.Count(ln, ","); got != 6 {
+			t.Fatalf("CSV row %q has %d commas, want 6", ln, got)
+		}
+	}
+
+	var tbl bytes.Buffer
+	RenderBounds(&tbl, rows)
+	if !strings.Contains(tbl.String(), "bound") || !strings.Contains(tbl.String(), "sim_p999") {
+		t.Fatalf("table rendering missing headers:\n%s", tbl.String())
+	}
+}
+
+// TestBoundsFigureRejectsBadPoints covers the config guard.
+func TestBoundsFigureRejectsBadPoints(t *testing.T) {
+	if _, err := BoundsFigure(BoundsFigureConfig{Points: 65}); err == nil {
+		t.Fatal("65 points accepted")
+	}
+}

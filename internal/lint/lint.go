@@ -330,11 +330,13 @@ func DefaultRules() []Rule {
 		"starperf/internal/journal",
 		"starperf/internal/fsx",
 		"starperf/internal/cluster",
+		"starperf/internal/bounds",
 		"starperf/client",
 	)
 	numerical := inPackages(
 		"starperf/internal/model",
 		"starperf/internal/queueing",
+		"starperf/internal/bounds",
 	)
 	deterministic := func(p string) bool {
 		// The serving layer, the journal and the public client are the
@@ -372,12 +374,14 @@ func DefaultRules() []Rule {
 		"starperf/internal/jobs",
 		"starperf/internal/journal",
 		"starperf/internal/cluster",
+		"starperf/internal/bounds",
 	)
 	// errclass anchors at the public surface: the root api.go package,
 	// the HTTP client, and the ring package the client re-exposes
 	// through LearnRing. cfgerr is the classifier, so its own
 	// constructors are exempt leaves.
-	errSurface := inPackages("starperf", "starperf/client", "starperf/internal/cluster")
+	errSurface := inPackages("starperf", "starperf/client", "starperf/internal/cluster",
+		"starperf/internal/bounds")
 	errClassifier := inPackages("starperf/internal/cfgerr")
 	httpScope := inPackages("starperf/client", "starperf/internal/server", "starperf/internal/cluster")
 	return []Rule{

@@ -237,8 +237,10 @@ func TestDefaultRulesScopes(t *testing.T) {
 		{"maporder", "starperf/internal/fsx", true},
 		{"maporder", "starperf/internal/cluster", true},
 		{"maporder", "starperf/client", true},
+		{"maporder", "starperf/internal/bounds", true},
 		{"maporder", "starperf/internal/model", false},
 		{"floateq", "starperf/internal/model", true},
+		{"floateq", "starperf/internal/bounds", true},
 		{"floateq", "starperf/internal/desim", false},
 		{"seedrand", "starperf/internal/traffic", true},
 		{"seedrand", "starperf/internal/jobs", true},
@@ -264,12 +266,14 @@ func TestDefaultRulesScopes(t *testing.T) {
 		{"clockseam", "starperf/internal/jobs", true},
 		{"clockseam", "starperf/internal/journal", true},
 		{"clockseam", "starperf/internal/cluster", true},
+		{"clockseam", "starperf/internal/bounds", true},
 		{"clockseam", "starperf/internal/server", false},
 		{"clockseam", "starperf/client", false},
 		{"clockseam", "starperf/internal/cache", false},
 		{"errclass", "starperf", true},
 		{"errclass", "starperf/client", true},
 		{"errclass", "starperf/internal/cluster", true},
+		{"errclass", "starperf/internal/bounds", true},
 		{"errclass", "starperf/internal/model", false},
 		{"bodyclose", "starperf/client", true},
 		{"bodyclose", "starperf/internal/server", true},

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"starperf/internal/bounds"
 	"starperf/internal/cfgerr"
 	"starperf/internal/desim"
 	"starperf/internal/experiments"
@@ -163,6 +164,113 @@ type PredictResult struct {
 	Utilization   float64 `json:"utilization"`
 	MeanBlocking  float64 `json:"mean_blocking"`
 	Converged     bool    `json:"converged"`
+}
+
+// BoundsRequest is POST /v1/bounds: one worst-case delay-bound
+// evaluation (network-calculus engine, internal/bounds), served
+// synchronously like /v1/predict.
+type BoundsRequest struct {
+	Topo    TopoSpec `json:"topo"`
+	Routing string   `json:"routing,omitempty"`
+	V       int      `json:"v"`
+	MsgLen  int      `json:"msg_len"`
+	Rate    float64  `json:"rate"`
+	BufCap  int      `json:"buf_cap,omitempty"`
+	LinkBW  float64  `json:"link_bw,omitempty"`
+}
+
+func (r BoundsRequest) withDefaults() BoundsRequest {
+	if r.Routing == "enhanced-nbc" || r.Routing == "enbc" {
+		r.Routing = "" // one canonical spelling per algorithm
+	}
+	if r.BufCap == 0 {
+		r.BufCap = 2
+	}
+	if r.LinkBW == 0 {
+		r.LinkBW = 1
+	}
+	return r
+}
+
+func (r BoundsRequest) validate() error {
+	top, err := r.Topo.build()
+	if err != nil {
+		return err
+	}
+	kind, err := parseRouting(r.Routing)
+	if err != nil {
+		return err
+	}
+	if _, err := routing.New(kind, top, r.V); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (r BoundsRequest) hash() (string, error) { return jobs.Hash("bounds", r) }
+
+// run evaluates the bound engine. An unboundable operating point is a
+// valid answer (Unboundable true), not an error — the bounds
+// counterpart of PredictResult.Saturated.
+func (r BoundsRequest) run() (*BoundsResult, error) {
+	top, err := r.Topo.build()
+	if err != nil {
+		return nil, err
+	}
+	kind, err := parseRouting(r.Routing)
+	if err != nil {
+		return nil, err
+	}
+	res, err := bounds.Evaluate(bounds.Config{
+		Top: top, Kind: kind,
+		V: r.V, MsgLen: r.MsgLen, Rate: r.Rate,
+		BufCap: r.BufCap, LinkBW: r.LinkBW,
+	})
+	if err != nil {
+		if errors.Is(err, bounds.ErrUnboundable) {
+			return &BoundsResult{Unboundable: true}, nil
+		}
+		return nil, err
+	}
+	out := &BoundsResult{
+		WorstBound:  res.WorstCase,
+		Utilization: res.Utilization,
+		HopDelay:    res.HopDelay,
+		Residual:    res.Residual,
+		Feedforward: res.Feedforward,
+		Iterations:  res.Iterations,
+		Flows:       res.Flows,
+		Channels:    res.Channels,
+	}
+	for _, fb := range res.Classes {
+		out.Classes = append(out.Classes, BoundsClass{
+			Hops: fb.Hops, Flows: fb.Flows, Bound: fb.Bound,
+		})
+	}
+	return out, nil
+}
+
+// BoundsResult is the bounds response body. When Unboundable is true
+// no finite worst-case bound exists at the operating point and the
+// remaining fields are zero.
+type BoundsResult struct {
+	Unboundable bool          `json:"unboundable"`
+	WorstBound  float64       `json:"worst_bound"`
+	Classes     []BoundsClass `json:"classes,omitempty"`
+	Utilization float64       `json:"utilization"`
+	HopDelay    float64       `json:"hop_delay"`
+	Residual    float64       `json:"residual"`
+	Feedforward bool          `json:"feedforward"`
+	Iterations  int           `json:"iterations"`
+	Flows       int           `json:"flows"`
+	Channels    int           `json:"channels"`
+}
+
+// BoundsClass is one per-hop-count flow class's bound.
+type BoundsClass struct {
+	Hops  int     `json:"hops"`
+	Flows int     `json:"flows"`
+	Bound float64 `json:"bound"`
 }
 
 // SimulateRequest is POST /v1/simulate: one flit-level wormhole

@@ -4,7 +4,7 @@
 //
 // Layering. Requests (request.go) normalise their defaults and hash
 // into a content id (internal/jobs.Hash). Synchronous evaluation
-// (POST /v1/predict) and asynchronous jobs (POST /v1/simulate,
+// (POST /v1/predict, POST /v1/bounds) and asynchronous jobs (POST /v1/simulate,
 // POST /v1/sweep; GET /v1/jobs/{id}) both run on one bounded
 // jobs.Pool — singleflight on the content id, typed backpressure —
 // and store their marshalled results in the two-tier internal/cache
@@ -168,6 +168,7 @@ func New(cfg Config) (*Server, error) {
 	// control; the read-only operational routes never shed — you must
 	// be able to poll a job or read /metricsz on an overloaded server.
 	s.mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.guard("/v1/predict", s.handlePredict)))
+	s.mux.HandleFunc("POST /v1/bounds", s.instrument("/v1/bounds", s.guard("/v1/bounds", s.handleBounds)))
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.guard("/v1/simulate", s.handleSimulate)))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.guard("/v1/sweep", s.handleSweep)))
 	// The batch route runs its own per-item admission (one decision
@@ -214,6 +215,12 @@ func rebuildRun(kind string, req []byte) (func() (any, error), error) {
 		var r PredictRequest
 		if err := json.Unmarshal(req, &r); err != nil {
 			return nil, fmt.Errorf("server: journaled predict body: %w", err)
+		}
+		return func() (any, error) { return r.run() }, nil
+	case "bounds":
+		var r BoundsRequest
+		if err := json.Unmarshal(req, &r); err != nil {
+			return nil, fmt.Errorf("server: journaled bounds body: %w", err)
 		}
 		return func() (any, error) { return r.run() }, nil
 	case "simulate":
@@ -464,6 +471,49 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	meta, err := submitMeta("predict", req)
+	if err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
+	v, err := s.pool.DoMeta(r.Context(), id, meta, s.runAndStore(id, func() (any, error) { return req.run() }))
+	if err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
+	s.writeResult(w, id, "miss", v.([]byte))
+}
+
+// handleBounds serves POST /v1/bounds synchronously, exactly like
+// /v1/predict: cache hit → stored bytes; otherwise evaluate the bound
+// engine on the pool and store. An unboundable operating point is a
+// valid 200 body ({"unboundable":true}), not an error.
+func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req BoundsRequest
+	if !s.decode(w, r, raw, &req) {
+		return
+	}
+	req = req.withDefaults()
+	if err := req.validate(); err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
+	id, err := req.hash()
+	if err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
+	if body, ok := s.cache.Get(id); ok {
+		s.writeResult(w, id, "hit", body)
+		return
+	}
+	if s.clusterRoute(w, r, id, raw, true) {
+		return
+	}
+	meta, err := submitMeta("bounds", req)
 	if err != nil {
 		s.writeErr(w, r, err)
 		return

@@ -93,14 +93,19 @@ func (s *Stream) String() string {
 		s.n, s.Mean(), s.StdDev(), s.min, s.max)
 }
 
-// Histogram counts integer-valued observations in [0, len(bins));
-// out-of-range values are clamped into the first/last bin and counted
-// in Clamped.
+// Histogram counts integer-valued observations in [0, len(bins)).
+// Negative values are clamped into bin 0; values at or above the bin
+// range land in an explicit overflow bucket (Overflow count plus the
+// largest value seen, OverflowMax) instead of silently inflating the
+// last bin, so a capped tail stays detectable. Clamped counts every
+// out-of-range observation in either direction.
 type Histogram struct {
-	Bins    []uint64
-	Clamped uint64
-	total   uint64
-	sum     float64
+	Bins        []uint64
+	Clamped     uint64
+	Overflow    uint64
+	OverflowMax int
+	total       uint64
+	sum         float64
 }
 
 // NewHistogram returns a histogram with n bins.
@@ -111,11 +116,17 @@ func (h *Histogram) Add(v int) {
 	h.total++
 	h.sum += float64(v)
 	if v < 0 {
-		v = 0
 		h.Clamped++
-	} else if v >= len(h.Bins) {
-		v = len(h.Bins) - 1
+		h.Bins[0]++
+		return
+	}
+	if v >= len(h.Bins) {
 		h.Clamped++
+		h.Overflow++
+		if v > h.OverflowMax {
+			h.OverflowMax = v
+		}
+		return
 	}
 	h.Bins[v]++
 }
@@ -133,6 +144,10 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile returns the smallest bin index q such that at least
 // p·Total() observations fall in bins 0..q. p must be in (0,1].
+// When the target rank falls inside the overflow bucket (the
+// observation is off the right edge of the bin range), Quantile
+// returns OverflowMax — a conservative upper estimate rather than a
+// silently-capped len(Bins)-1.
 func (h *Histogram) Quantile(p float64) int {
 	if h.total == 0 {
 		return 0
@@ -145,7 +160,25 @@ func (h *Histogram) Quantile(p float64) int {
 			return i
 		}
 	}
+	if h.Overflow > 0 {
+		return h.OverflowMax
+	}
 	return len(h.Bins) - 1
+}
+
+// Max returns the largest observed value: OverflowMax when any
+// observation overflowed, otherwise the highest non-empty bin (0 when
+// empty).
+func (h *Histogram) Max() int {
+	if h.Overflow > 0 {
+		return h.OverflowMax
+	}
+	for i := len(h.Bins) - 1; i >= 0; i-- {
+		if h.Bins[i] > 0 {
+			return i
+		}
+	}
+	return 0
 }
 
 // BatchMeans estimates a confidence interval for a steady-state mean

@@ -78,7 +78,12 @@ func TestHistogram(t *testing.T) {
 	if h.Clamped != 2 {
 		t.Fatalf("clamped %d", h.Clamped)
 	}
-	if h.Bins[1] != 2 || h.Bins[4] != 2 || h.Bins[0] != 2 {
+	// 7 lands in the overflow bucket, not in Bins[4]; -1 clamps into
+	// bin 0.
+	if h.Overflow != 1 || h.OverflowMax != 7 {
+		t.Fatalf("overflow %d max %d", h.Overflow, h.OverflowMax)
+	}
+	if h.Bins[1] != 2 || h.Bins[4] != 1 || h.Bins[0] != 2 {
 		t.Fatalf("bins %v", h.Bins)
 	}
 	if !almostEq(h.Mean(), 2, 1e-12) {
@@ -87,8 +92,63 @@ func TestHistogram(t *testing.T) {
 	if q := h.Quantile(0.5); q != 1 {
 		t.Fatalf("median bin %d", q)
 	}
-	if q := h.Quantile(1.0); q != 4 {
-		t.Fatalf("max bin %d", q)
+	// The max rank sits in the overflow bucket → the true max, not
+	// the last bin index.
+	if q := h.Quantile(1.0); q != 7 {
+		t.Fatalf("max quantile %d", q)
+	}
+	if h.Max() != 7 {
+		t.Fatalf("max %d", h.Max())
+	}
+}
+
+func TestHistogramNoOverflow(t *testing.T) {
+	h := NewHistogram(8)
+	for _, v := range []int{1, 3, 3, 5} {
+		h.Add(v)
+	}
+	if h.Overflow != 0 || h.Clamped != 0 {
+		t.Fatalf("spurious overflow %d clamped %d", h.Overflow, h.Clamped)
+	}
+	if q := h.Quantile(1.0); q != 5 {
+		t.Fatalf("max quantile %d", q)
+	}
+	if h.Max() != 5 {
+		t.Fatalf("max %d", h.Max())
+	}
+	if NewHistogram(4).Max() != 0 {
+		t.Fatal("empty histogram max")
+	}
+}
+
+// TestHistogramSparseTail pins the extreme-quantile behaviour the
+// bounds validation harness relies on: with a sparse tail that
+// overflows the bin range, Quantile(0.999)/Quantile(0.9999) must
+// surface the overflow (via OverflowMax) exactly when the target rank
+// crosses into the overflow bucket — never a silently-capped bin
+// index.
+func TestHistogramSparseTail(t *testing.T) {
+	h := NewHistogram(1 << 10)
+	// 10_000 in-range samples, then 3 tail samples beyond the cap.
+	for i := 0; i < 10000; i++ {
+		h.Add(i % 100)
+	}
+	for _, v := range []int{5000, 6000, 123456} {
+		h.Add(v)
+	}
+	// 0.999·10003 → rank 9993, still inside the binned mass.
+	if q := h.Quantile(0.999); q != 99 {
+		t.Fatalf("p99.9 %d, want 99 (rank inside bins)", q)
+	}
+	// 0.9999·10003 → rank 10003 ≥ 10000 binned samples: overflow.
+	if q := h.Quantile(0.9999); q != 123456 {
+		t.Fatalf("p99.99 %d, want OverflowMax 123456", q)
+	}
+	if q := h.Quantile(1.0); q != 123456 {
+		t.Fatalf("p100 %d, want OverflowMax 123456", q)
+	}
+	if h.Overflow != 3 || h.Clamped != 3 {
+		t.Fatalf("overflow %d clamped %d", h.Overflow, h.Clamped)
 	}
 }
 
