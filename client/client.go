@@ -27,6 +27,8 @@ package client
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -242,6 +244,16 @@ var (
 	// ErrJobFailed classifies jobs the server accepted but reports as
 	// failed; the server's message is appended.
 	ErrJobFailed = errors.New("client: job failed")
+	// ErrTornBody classifies a transport failure that struck after
+	// some response bytes had already been read — a mid-body
+	// connection reset. It is kept distinct from a clean pre-response
+	// failure because retrying a torn read is only safe when the
+	// request is idempotent and the reassembled result can be
+	// verified; starperfd requests are both (content-hash ids, and
+	// X-Starperf-Result-Sum checked on every retried body), so the
+	// client does retry — but a caller layering non-idempotent work on
+	// top can tell the two apart.
+	ErrTornBody = errors.New("client: connection lost mid-body")
 )
 
 // APIError is a non-2xx response decoded from the server's error
@@ -344,6 +356,18 @@ func (c *Client) doTargets(ctx context.Context, method string, bases []string, p
 			continue
 		}
 		if res.status >= 200 && res.status < 300 {
+			// A success body that advertises a content sum must match
+			// it (PR 12). A mismatch means the bytes were damaged in
+			// flight (truncated, corrupted); returning them would hand
+			// the caller a partial or wrong result that parses as a
+			// real one. Treated like a transport failure: fail over and
+			// retry — the recomputed answer is byte-identical, so the
+			// next intact copy is the same result.
+			if sum := res.header.Get(resultSumHeader); sum != "" && !sumMatches(res.body, sum) {
+				lastErr = fmt.Errorf("%w: %s %s: body does not match advertised %s", ErrProtocol, method, path, resultSumHeader)
+				target++
+				continue
+			}
 			return res.body, res.header, nil
 		}
 		apiErr := decodeAPIError(res.status, res.body)
@@ -388,9 +412,46 @@ func (c *Client) attempt(ctx context.Context, method, base, path string, reqBody
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
+		if len(body) > 0 {
+			// The connection died mid-body: some bytes arrived, then
+			// the transport failed. Classify distinctly (ErrTornBody)
+			// so the retry decision is explicit, and never surface the
+			// partial bytes.
+			return attemptResult{netErr: fmt.Errorf("%w after %d bytes: %w", ErrTornBody, len(body), err)}
+		}
 		return attemptResult{netErr: err}
 	}
 	return attemptResult{status: resp.StatusCode, body: body, header: resp.Header}
+}
+
+// resultSumHeader mirrors the server's X-Starperf-Result-Sum header:
+// the "sha256:<hex>" content sum of a result body, verified on every
+// response that carries it before the bytes are surfaced or a retry
+// of a torn read is trusted.
+const resultSumHeader = "X-Starperf-Result-Sum"
+
+// resultSum renders the content sum of a body in the header's
+// "sha256:<hex>" shape.
+func resultSum(body []byte) string {
+	sum := sha256.Sum256(body)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// sumMatches verifies a response body against its advertised content
+// sum. Two shapes cross the wire under the same header: sync routes
+// whose body is the result bytes themselves (sum covers the body),
+// and job envelopes whose "result" field holds the bytes (sum covers
+// that field). A body matching neither way is damaged — truncation
+// breaks the envelope parse, a flipped byte breaks the sum.
+func sumMatches(body []byte, sum string) bool {
+	if resultSum(body) == sum {
+		return true
+	}
+	var env jobEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Result == nil {
+		return false
+	}
+	return resultSum(env.Result) == sum
 }
 
 // retryAfter rides along on temporary APIErrors so backoff can
@@ -478,7 +539,7 @@ func (c *Client) Predict(ctx context.Context, req PredictRequest) (*PredictResul
 	}
 	var res PredictResult
 	if err := json.Unmarshal(out, &res); err != nil {
-		return nil, fmt.Errorf("client: predict response: %w", err)
+		return nil, fmt.Errorf("%w: predict response: %v", ErrProtocol, err)
 	}
 	return &res, nil
 }
@@ -497,7 +558,7 @@ func (c *Client) PredictBounds(ctx context.Context, req BoundsRequest) (*BoundsR
 	}
 	var res BoundsResult
 	if err := json.Unmarshal(out, &res); err != nil {
-		return nil, fmt.Errorf("client: bounds response: %w", err)
+		return nil, fmt.Errorf("%w: bounds response: %v", ErrProtocol, err)
 	}
 	return &res, nil
 }
@@ -511,7 +572,7 @@ func (c *Client) Simulate(ctx context.Context, req SimulateRequest) (*SimulateRe
 	}
 	var res SimulateResult
 	if err := json.Unmarshal(raw, &res); err != nil {
-		return nil, fmt.Errorf("client: simulate result: %w", err)
+		return nil, fmt.Errorf("%w: simulate result: %v", ErrProtocol, err)
 	}
 	return &res, nil
 }
@@ -524,7 +585,7 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepResult, err
 	}
 	var res SweepResult
 	if err := json.Unmarshal(raw, &res); err != nil {
-		return nil, fmt.Errorf("client: sweep result: %w", err)
+		return nil, fmt.Errorf("%w: sweep result: %v", ErrProtocol, err)
 	}
 	return &res, nil
 }
@@ -544,7 +605,7 @@ func (c *Client) runJob(ctx context.Context, path string, req any) (json.RawMess
 	}
 	var job jobEnvelope
 	if err := json.Unmarshal(out, &job); err != nil {
-		return nil, fmt.Errorf("client: job envelope: %w", err)
+		return nil, fmt.Errorf("%w: job envelope: %v", ErrProtocol, err)
 	}
 	if job.ID == "" {
 		return nil, fmt.Errorf("%w: job submission returned no id", ErrProtocol)
@@ -570,7 +631,7 @@ func (c *Client) runJob(ctx context.Context, path string, req any) (json.RawMess
 			return nil, err
 		}
 		if err := json.Unmarshal(out, &job); err != nil {
-			return nil, fmt.Errorf("client: job poll: %w", err)
+			return nil, fmt.Errorf("%w: job poll: %v", ErrProtocol, err)
 		}
 	}
 }

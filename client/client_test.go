@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"starperf/internal/netx"
 )
 
 // newRecordingClient builds a seeded client whose sleeps are recorded
@@ -136,7 +138,7 @@ func TestNetworkErrorsRetry(t *testing.T) {
 	c, _ := newRecordingClient(t, ts.URL, Config{})
 	// A transport that fails twice before delegating to the real one.
 	var fails atomic.Int64
-	c.http = &http.Client{Transport: roundTripFunc(func(r *http.Request) (*http.Response, error) {
+	c.http = &http.Client{Transport: netx.RoundTripFunc(func(r *http.Request) (*http.Response, error) {
 		if fails.Add(1) <= 2 {
 			return nil, errors.New("connection reset by peer")
 		}
@@ -149,10 +151,6 @@ func TestNetworkErrorsRetry(t *testing.T) {
 		t.Fatalf("server calls %d / transport tries %d, want 1 / 3", calls.Load(), fails.Load())
 	}
 }
-
-type roundTripFunc func(*http.Request) (*http.Response, error)
-
-func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
 
 func TestContextCancelStopsRetries(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,187 @@
+package client_test
+
+// Client behaviour under injected network faults: mid-body connection
+// resets, truncated and corrupted JSON, and black holes, all drawn
+// from seeded netx plans against the real serving stack. The
+// properties pinned here are the retry contract's hard edges — torn
+// reads are classified and retried (safe: content-hash idempotency
+// plus checksum verification), damaged bodies are never surfaced,
+// retries never outlive the caller's deadline.
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"starperf/client"
+	"starperf/internal/netx"
+	"starperf/internal/server"
+)
+
+// chaosReq is small enough to finish instantly and big enough (well
+// past 32 response bytes) that every body fault lands inside it.
+var chaosReq = client.PredictRequest{
+	Topo: client.TopoSpec{Kind: "star", N: 4}, V: 4, MsgLen: 16, Rate: 0.004,
+}
+
+// newChaosStack runs a real server and a client whose transport goes
+// through the given netx plan.
+func newChaosStack(t *testing.T, plan netx.Plan) (*netx.Net, *client.Client) {
+	t.Helper()
+	cfg := server.Config{Workers: 2}
+	cfg.Cache.Dir = t.TempDir()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	net := netx.New(plan)
+	c, err := client.New(client.Config{
+		BaseURL:      ts.URL,
+		HTTPClient:   net.Client("client", nil),
+		Seed:         7,
+		BaseBackoff:  time.Millisecond,
+		MaxBackoff:   5 * time.Millisecond,
+		PollInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	return net, c
+}
+
+// healAfterFirstOp makes the fabric inject on exactly the first
+// request and run clean from the second on.
+func healAfterFirstOp(net *netx.Net) {
+	net.Observe(func(o netx.Obs) {
+		if o.Op >= 1 {
+			net.Heal()
+		}
+	})
+}
+
+// TestClientRetriesMidBodyReset: the first response dies mid-body;
+// the retry must land the complete result, and the torn attempt must
+// never leak partial bytes into it.
+func TestClientRetriesMidBodyReset(t *testing.T) {
+	net, c := newChaosStack(t, netx.Plan{Seed: 11, Default: netx.Rule{PReset: 1}})
+	healAfterFirstOp(net)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := c.Predict(ctx, chaosReq)
+	if err != nil {
+		t.Fatalf("predict through mid-body reset: %v", err)
+	}
+	if res.Saturated || !(res.LatencyCycles > 0) || !res.Converged {
+		t.Fatalf("implausible result after retry: %+v", res)
+	}
+	if st := net.Stats(); st.Resets != 1 {
+		t.Fatalf("resets = %d, want exactly 1", st.Resets)
+	}
+}
+
+// TestClientClassifiesTornBody: a reset that never clears surfaces as
+// ErrTornBody — the caller can tell "connection died after bytes
+// arrived" apart from a clean pre-response failure — and no result is
+// returned.
+func TestClientClassifiesTornBody(t *testing.T) {
+	_, c := newChaosStack(t, netx.Plan{Seed: 11, Default: netx.Rule{PReset: 1}})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := c.Predict(ctx, chaosReq)
+	if err == nil {
+		t.Fatal("predict succeeded through a permanent mid-body reset")
+	}
+	if !errors.Is(err, client.ErrTornBody) {
+		t.Fatalf("err = %v, want ErrTornBody", err)
+	}
+	if res != nil {
+		t.Fatalf("partial result surfaced alongside the error: %+v", res)
+	}
+}
+
+// TestClientTruncatedJSONTypedProtocolError: a truncated body reads
+// as a clean early EOF, so only the checksum catches it. The client
+// must reject it (typed ErrProtocol), retry, and — when every copy is
+// truncated — give up without ever surfacing the partial JSON.
+func TestClientTruncatedJSONTypedProtocolError(t *testing.T) {
+	_, c := newChaosStack(t, netx.Plan{Seed: 3, Default: netx.Rule{PTruncate: 1}})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := c.Predict(ctx, chaosReq)
+	if err == nil {
+		t.Fatal("predict succeeded on permanently truncated bodies")
+	}
+	if !errors.Is(err, client.ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+	if res != nil {
+		t.Fatalf("truncated result surfaced: %+v", res)
+	}
+}
+
+// TestClientTruncateRecoversOnRetry: one truncated copy, then a clean
+// network — the retry must deliver the full result.
+func TestClientTruncateRecoversOnRetry(t *testing.T) {
+	net, c := newChaosStack(t, netx.Plan{Seed: 3, Default: netx.Rule{PTruncate: 1}})
+	healAfterFirstOp(net)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := c.Predict(ctx, chaosReq)
+	if err != nil {
+		t.Fatalf("predict through truncation: %v", err)
+	}
+	if !(res.LatencyCycles > 0) || !res.Converged {
+		t.Fatalf("implausible result after retry: %+v", res)
+	}
+	if st := net.Stats(); st.Truncated != 1 {
+		t.Fatalf("truncated = %d, want exactly 1", st.Truncated)
+	}
+}
+
+// TestClientCorruptBodyNeverSurfaced: a flipped byte parses as valid
+// JSON often enough that only the checksum catches it; the client
+// must retry past it and return the intact bytes.
+func TestClientCorruptBodyNeverSurfaced(t *testing.T) {
+	net, c := newChaosStack(t, netx.Plan{Seed: 5, Default: netx.Rule{PCorrupt: 1}})
+	healAfterFirstOp(net)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := c.Predict(ctx, chaosReq)
+	if err != nil {
+		t.Fatalf("predict through corruption: %v", err)
+	}
+	if !(res.LatencyCycles > 0) || !res.Converged {
+		t.Fatalf("implausible result after retry: %+v", res)
+	}
+	if st := net.Stats(); st.Corrupted != 1 {
+		t.Fatalf("corrupted = %d, want exactly 1", st.Corrupted)
+	}
+}
+
+// TestClientRetryHonorsCallerDeadline: a black-holed request must end
+// at the caller's deadline with the caller's error — not hang, not
+// keep retrying past it.
+func TestClientRetryHonorsCallerDeadline(t *testing.T) {
+	_, c := newChaosStack(t, netx.Plan{Seed: 9, Default: netx.Rule{PBlackhole: 1}})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Predict(ctx, chaosReq)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline ignored: took %v", elapsed)
+	}
+}

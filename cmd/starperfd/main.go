@@ -33,12 +33,18 @@
 //	starperfd [-addr :8080] [-workers N] [-queue 256] [-cachedir DIR]
 //	          [-cachebytes 67108864] [-jobtimeout 0] [-maxbody 1048576]
 //	          [-journal DIR] [-self host:port -peers host:port,...]
+//	          [-chaosnet plan.json]
+//
+// -chaosnet (drills only) loads a netx fault plan and routes this
+// node's peer traffic through it — scripts/cluster_partition.sh uses
+// it to sever and corrupt a real multi-process ring.
 //
 // The server drains in-flight jobs on SIGINT/SIGTERM before exiting.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -54,6 +60,7 @@ import (
 	"starperf/internal/cache"
 	"starperf/internal/cluster"
 	"starperf/internal/journal"
+	"starperf/internal/netx"
 	"starperf/internal/server"
 )
 
@@ -82,6 +89,7 @@ func main() {
 	self := flag.String("self", "", "this node's advertised host:port on the cluster ring (empty: unclustered)")
 	peers := flag.String("peers", "", "comma-separated peer host:port list (requires -self)")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per ring member (0: default; must match across the cluster)")
+	chaosnet := flag.String("chaosnet", "", "netx fault plan JSON: peer traffic crosses a fault-injecting transport (drills only)")
 	flag.Parse()
 
 	var ring *cluster.Ring
@@ -96,6 +104,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "starperfd: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	// -chaosnet routes this node's PEER traffic through a seeded netx
+	// fault fabric (client traffic is untouched): the out-of-process
+	// partition drill starts every member with the same plan file and
+	// observes what the cluster serves while its internal network
+	// misbehaves.
+	var peerHTTP *http.Client
+	if *chaosnet != "" {
+		raw, err := os.ReadFile(*chaosnet)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "starperfd: reading -chaosnet plan: %v\n", err)
+			os.Exit(1)
+		}
+		var plan netx.Plan
+		if err := json.Unmarshal(raw, &plan); err != nil {
+			fmt.Fprintf(os.Stderr, "starperfd: parsing -chaosnet plan %s: %v\n", *chaosnet, err)
+			os.Exit(1)
+		}
+		peerHTTP = netx.New(plan).Client(*self, nil)
+		log.Printf("starperfd: CHAOS: peer traffic crosses the fault plan in %s (seed %d)", *chaosnet, plan.Seed)
 	}
 
 	var jnl *journal.Journal
@@ -118,6 +147,7 @@ func main() {
 		MaxBodyBytes: *maxbody,
 		Journal:      jnl,
 		Ring:         ring,
+		PeerHTTP:     peerHTTP,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "starperfd: %v\n", err)

@@ -14,9 +14,9 @@ func TestEqualWithin(t *testing.T) {
 	}{
 		{1, 1, 0, true},
 		{0, 0, 0, true},
-		{1, 1 + 1e-15, 1e-12, true},          // relative rounding noise
+		{1, 1 + 1e-15, 1e-12, true},               // relative rounding noise
 		{1e300, 1e300 * (1 + 1e-14), 1e-12, true}, // huge magnitudes, relative
-		{1e-300, 0, 1e-12, true},             // absolute near zero
+		{1e-300, 0, 1e-12, true},                  // absolute near zero
 		{1, 2, 1e-12, false},
 		{1, 1.001, 1e-6, false},
 		{inf, inf, 0, true},
@@ -36,7 +36,7 @@ func TestEqualWithin(t *testing.T) {
 }
 
 func TestClose(t *testing.T) {
-	if !Close(1.0/3, (1-2.0/3)) {
+	if !Close(1.0/3, (1 - 2.0/3)) {
 		t.Error("Close rejected rounding noise")
 	}
 	if Close(1, 1+1e-9) {

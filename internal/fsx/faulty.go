@@ -2,15 +2,23 @@ package fsx
 
 import (
 	"errors"
+	"fmt"
 	"io/fs"
 	"math/rand"
 	"os"
 	"sync"
+	"syscall"
 )
 
 // ErrInjected is the error returned by operations the fault plan
 // chose to fail. Callers must treat it exactly like a real EIO.
 var ErrInjected = errors.New("fsx: injected fault")
+
+// ErrNoSpace is the injected disk-full error. It wraps syscall.ENOSPC
+// so errors.Is(err, syscall.ENOSPC) matches injected and real
+// disk-full failures alike — the journal's read-only trip wire keys
+// on exactly that.
+var ErrNoSpace = fmt.Errorf("fsx: injected disk full: %w", syscall.ENOSPC)
 
 // ErrCrashed is returned by every operation after the plan's crash
 // point: the simulated process is dead, and nothing it does from then
@@ -28,9 +36,19 @@ type FaultPlan struct {
 	// probabilities in [0, 1] for writes, fsyncs (file and directory),
 	// renames, and file creation/open respectively.
 	PWrite, PSync, PRename, PCreate float64
+	// PNoSpace is the per-operation probability of ErrNoSpace on the
+	// allocating operations (MkdirAll, Create, CreateTemp, OpenAppend,
+	// Write) — a disk that is intermittently full.
+	PNoSpace float64
+	// FullAt, when positive, makes the disk full from the FullAt-th
+	// mutating operation on: every later allocating operation fails
+	// with ErrNoSpace until SetFull(false) frees space. Combined with
+	// SetFull, a drill can fill the disk mid-run and recover it.
+	FullAt int
 	// ShortWrites makes a failed Write deliver a strict prefix of its
 	// buffer before erroring, the torn-write shape a real crash
-	// produces.
+	// produces. It applies to ErrNoSpace writes too: a disk that fills
+	// mid-write tears the buffer exactly like a crash does.
 	ShortWrites bool
 	// CrashAt, when positive, kills the filesystem at the CrashAt-th
 	// mutating operation: that operation and every later one (reads
@@ -50,6 +68,8 @@ type Faulty struct {
 	rng      *rand.Rand
 	ops      int
 	injected int
+	noSpace  int
+	full     bool
 	crashed  bool
 }
 
@@ -77,6 +97,34 @@ func (f *Faulty) Injected() int {
 	return f.injected
 }
 
+// NoSpaceErrs returns how many operations failed with ErrNoSpace.
+func (f *Faulty) NoSpaceErrs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.noSpace
+}
+
+// SetFull fills (true) or frees (false) the disk at runtime,
+// overriding whatever state FullAt reached: the drill lever for
+// "the disk filled up, operators deleted some files".
+func (f *Faulty) SetFull(full bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.full = full
+	if !full {
+		// Freeing space also disarms a FullAt already passed; the
+		// window fired once, recovery means recovered.
+		f.plan.FullAt = 0
+	}
+}
+
+// Full reports whether the disk is currently full.
+func (f *Faulty) Full() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.full
+}
+
 // Crashed reports whether the crash point has been reached.
 func (f *Faulty) Crashed() bool {
 	f.mu.Lock()
@@ -85,9 +133,10 @@ func (f *Faulty) Crashed() bool {
 }
 
 // step records one mutating operation and decides its fate: nil,
-// ErrInjected (with probability p), or ErrCrashed once the crash
-// point is passed.
-func (f *Faulty) step(p float64) error {
+// ErrCrashed once the crash point is passed, ErrNoSpace when the
+// disk is full and the operation allocates, or ErrInjected with
+// probability p. alloc marks the operations a full disk refuses.
+func (f *Faulty) step(p float64, alloc bool) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.crashed {
@@ -97,6 +146,20 @@ func (f *Faulty) step(p float64) error {
 	if f.plan.CrashAt > 0 && f.ops >= f.plan.CrashAt {
 		f.crashed = true
 		return ErrCrashed
+	}
+	if f.plan.FullAt > 0 && f.ops >= f.plan.FullAt {
+		f.full = true
+	}
+	if alloc && f.full {
+		f.noSpace++
+		return ErrNoSpace
+	}
+	// The PNoSpace draw only happens when configured, so plans
+	// written before the disk-full op keep their exact fault
+	// sequences.
+	if alloc && f.plan.PNoSpace > 0 && f.rng.Float64() < f.plan.PNoSpace {
+		f.noSpace++
+		return ErrNoSpace
 	}
 	if p > 0 && f.rng.Float64() < p {
 		f.injected++
@@ -115,7 +178,7 @@ func (f *Faulty) dead() bool {
 
 // MkdirAll implements FS.
 func (f *Faulty) MkdirAll(dir string, perm os.FileMode) error {
-	if err := f.step(f.plan.PCreate); err != nil {
+	if err := f.step(f.plan.PCreate, true); err != nil {
 		return err
 	}
 	return f.inner.MkdirAll(dir, perm)
@@ -123,7 +186,7 @@ func (f *Faulty) MkdirAll(dir string, perm os.FileMode) error {
 
 // Create implements FS.
 func (f *Faulty) Create(name string) (File, error) {
-	if err := f.step(f.plan.PCreate); err != nil {
+	if err := f.step(f.plan.PCreate, true); err != nil {
 		return nil, err
 	}
 	file, err := f.inner.Create(name)
@@ -135,7 +198,7 @@ func (f *Faulty) Create(name string) (File, error) {
 
 // CreateTemp implements FS.
 func (f *Faulty) CreateTemp(dir, pattern string) (File, error) {
-	if err := f.step(f.plan.PCreate); err != nil {
+	if err := f.step(f.plan.PCreate, true); err != nil {
 		return nil, err
 	}
 	file, err := f.inner.CreateTemp(dir, pattern)
@@ -147,7 +210,7 @@ func (f *Faulty) CreateTemp(dir, pattern string) (File, error) {
 
 // OpenAppend implements FS.
 func (f *Faulty) OpenAppend(name string) (File, error) {
-	if err := f.step(f.plan.PCreate); err != nil {
+	if err := f.step(f.plan.PCreate, true); err != nil {
 		return nil, err
 	}
 	file, err := f.inner.OpenAppend(name)
@@ -175,7 +238,7 @@ func (f *Faulty) ReadDir(dir string) ([]fs.DirEntry, error) {
 
 // Rename implements FS.
 func (f *Faulty) Rename(oldpath, newpath string) error {
-	if err := f.step(f.plan.PRename); err != nil {
+	if err := f.step(f.plan.PRename, false); err != nil {
 		return err
 	}
 	return f.inner.Rename(oldpath, newpath)
@@ -183,7 +246,7 @@ func (f *Faulty) Rename(oldpath, newpath string) error {
 
 // Remove implements FS.
 func (f *Faulty) Remove(name string) error {
-	if err := f.step(f.plan.PRename); err != nil {
+	if err := f.step(f.plan.PRename, false); err != nil {
 		return err
 	}
 	return f.inner.Remove(name)
@@ -199,7 +262,7 @@ func (f *Faulty) Stat(name string) (fs.FileInfo, error) {
 
 // SyncDir implements FS.
 func (f *Faulty) SyncDir(dir string) error {
-	if err := f.step(f.plan.PSync); err != nil {
+	if err := f.step(f.plan.PSync, false); err != nil {
 		return err
 	}
 	return f.inner.SyncDir(dir)
@@ -214,8 +277,9 @@ type faultyFile struct {
 // Write implements File. An injected failure with ShortWrites set
 // first delivers a prefix of p — the buffer is torn, not absent.
 func (w *faultyFile) Write(p []byte) (int, error) {
-	if err := w.f.step(w.f.plan.PWrite); err != nil {
-		if errors.Is(err, ErrInjected) && w.f.plan.ShortWrites && len(p) > 1 {
+	if err := w.f.step(w.f.plan.PWrite, true); err != nil {
+		torn := errors.Is(err, ErrInjected) || errors.Is(err, ErrNoSpace)
+		if torn && w.f.plan.ShortWrites && len(p) > 1 {
 			n, werr := w.inner.Write(p[:len(p)/2])
 			if werr != nil {
 				return n, werr
@@ -229,7 +293,7 @@ func (w *faultyFile) Write(p []byte) (int, error) {
 
 // Sync implements File.
 func (w *faultyFile) Sync() error {
-	if err := w.f.step(w.f.plan.PSync); err != nil {
+	if err := w.f.step(w.f.plan.PSync, false); err != nil {
 		return err
 	}
 	return w.inner.Sync()

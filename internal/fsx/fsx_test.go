@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
 )
 
@@ -161,5 +162,98 @@ func TestFaultyOpsCounter(t *testing.T) {
 	fa.SyncDir(dir)                            // 4
 	if got := fa.Ops(); got != 4 {
 		t.Fatalf("Ops() = %d, want 4", got)
+	}
+}
+
+// TestFaultyNoSpaceWindow: from FullAt on, allocating operations fail
+// with ErrNoSpace (matching syscall.ENOSPC), non-allocating ones
+// still work, and SetFull(false) recovers the disk.
+func TestFaultyNoSpaceWindow(t *testing.T) {
+	dir := t.TempDir()
+	fa := NewFaulty(OS{}, FaultPlan{FullAt: 3})
+	f, err := fa.Create(filepath.Join(dir, "a")) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrNoSpace) { // op 3: full
+		t.Fatalf("want ErrNoSpace at op 3, got %v", err)
+	}
+	if !errors.Is(ErrNoSpace, syscall.ENOSPC) {
+		t.Fatal("ErrNoSpace must match syscall.ENOSPC")
+	}
+	if !fa.Full() {
+		t.Fatal("Full() should report the window fired")
+	}
+	if _, err := fa.Create(filepath.Join(dir, "b")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("create on a full disk: want ErrNoSpace, got %v", err)
+	}
+	// A full disk still renames and removes: only allocation fails.
+	if err := fa.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "a2")); err != nil {
+		t.Fatalf("rename on a full disk should pass: %v", err)
+	}
+	if got := fa.NoSpaceErrs(); got != 2 {
+		t.Fatalf("NoSpaceErrs = %d, want 2", got)
+	}
+	fa.SetFull(false)
+	if _, err := f.Write([]byte("z")); err != nil {
+		t.Fatalf("write after space freed: %v", err)
+	}
+	if fa.Full() {
+		t.Fatal("SetFull(false) must clear and disarm the window")
+	}
+	f.Close()
+}
+
+// TestFaultyNoSpaceShortWrite: with ShortWrites set, a disk that
+// fills mid-write tears the buffer — a prefix lands, then ENOSPC.
+func TestFaultyNoSpaceShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fa := NewFaulty(OS{}, FaultPlan{FullAt: 2, ShortWrites: true})
+	f, err := fa.Create(filepath.Join(dir, "f")) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef")) // op 2: fills mid-write
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("torn write delivered %d bytes, want 3", n)
+	}
+	fa.SetFull(false)
+	f.Close()
+	got, err := OS{}.ReadFile(filepath.Join(dir, "f"))
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("on-disk prefix = %q, %v; want abc", got, err)
+	}
+}
+
+// TestFaultyNoSpaceProbabilistic: PNoSpace draws ENOSPC faults
+// deterministically by seed, and plans without it keep their exact
+// sequences (no extra RNG draws).
+func TestFaultyNoSpaceProbabilistic(t *testing.T) {
+	run := func() (int, int) {
+		fa := NewFaulty(OS{}, FaultPlan{Seed: 77, PNoSpace: 0.4, PWrite: 0.2})
+		f, err := fa.Create(filepath.Join(t.TempDir(), "f"))
+		if err != nil && !errors.Is(err, ErrNoSpace) {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			if f != nil {
+				f.Write([]byte("x"))
+			}
+		}
+		return fa.NoSpaceErrs(), fa.Injected()
+	}
+	n1, i1 := run()
+	n2, i2 := run()
+	if n1 != n2 || i1 != i2 {
+		t.Fatalf("same seed, different faults: (%d,%d) vs (%d,%d)", n1, i1, n2, i2)
+	}
+	if n1 == 0 || i1 == 0 {
+		t.Fatalf("plan should draw both kinds over 51 ops: noSpace=%d injected=%d", n1, i1)
 	}
 }

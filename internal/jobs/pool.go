@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"starperf/internal/cfgerr"
@@ -20,6 +21,15 @@ var ErrQueueFull = errors.New("jobs: queue full")
 
 // ErrPoolClosed is returned by Submit after Shutdown began.
 var ErrPoolClosed = errors.New("jobs: pool closed")
+
+// ErrReadOnly is returned by SubmitMeta/SubmitBatch while the pool's
+// journal is in read-only degradation (the disk filled up): the pool
+// cannot durably acknowledge new async work, so it refuses it rather
+// than hand out acceptance promises a crash would break. Synchronous
+// work (DoMeta) is unaffected — it acknowledges nothing it has not
+// already computed. The mode clears when journal space returns (a
+// probe or any durable commit proves it).
+var ErrReadOnly = errors.New("jobs: journal read-only (disk full)")
 
 // QueueFullError reports a rejected submission with the queue bound
 // that rejected it. errors.Is(err, ErrQueueFull) matches it.
@@ -178,11 +188,24 @@ func (p *Pool) Submit(id string, fn Func) (*Job, error) {
 // the channel send happens after it — the worker cannot see the job
 // until its accepted record is durable.
 func (p *Pool) SubmitMeta(id string, meta Meta, fn Func) (*Job, error) {
+	return p.submitMeta(id, meta, fn, true)
+}
+
+// submitMeta implements SubmitMeta. durable marks submissions whose
+// 202 acknowledgement promises crash-replay: those are refused while
+// the journal is read-only (and rolled back when their accept record
+// hits ENOSPC). The synchronous path (DoMeta) passes false — it
+// acknowledges nothing it has not computed, so a full disk degrades
+// its durability, never its service.
+func (p *Pool) submitMeta(id string, meta Meta, fn Func, durable bool) (*Job, error) {
 	if id == "" {
 		return nil, cfgerr.New("jobs: empty job id")
 	}
 	if fn == nil {
 		return nil, cfgerr.New("jobs: nil job func")
+	}
+	if durable && p.ReadOnly() {
+		return nil, ErrReadOnly
 	}
 	p.mu.Lock()
 	if p.closed {
@@ -207,16 +230,34 @@ func (p *Pool) SubmitMeta(id string, meta Meta, fn Func) (*Job, error) {
 	p.submitted++
 	p.mu.Unlock()
 
+	var appendErr error
 	if p.cfg.Journal != nil {
 		// Write-ahead: accepted must be durable before the job can
 		// start (the worker can only receive it after the channel send
-		// below). Append failures are counted by the journal itself.
-		_ = p.cfg.Journal.Append(journal.Record{
+		// below). Append failures are counted by the journal itself —
+		// except ENOSPC, which refuses the submission below: a full
+		// disk must never hand out an acknowledgement it cannot honour.
+		appendErr = p.cfg.Journal.Append(journal.Record{
 			Type: journal.TypeAccepted, ID: id, Kind: meta.Kind, Req: meta.Req,
 		})
 	}
 
 	p.mu.Lock()
+	if durable && appendErr != nil && errors.Is(appendErr, syscall.ENOSPC) {
+		// The accept record hit a full disk (the journal has flipped
+		// read-only). Undo the reservation and refuse, typed — the job
+		// was never durably acknowledged, so a crash right now loses
+		// nothing the caller was promised. No failed record is written:
+		// the disk that refused the accept would refuse it too.
+		delete(p.inflight, id)
+		delete(p.jobs, id)
+		p.kind(meta.Kind).inflight--
+		p.queued--
+		p.submitted--
+		p.mu.Unlock()
+		j.complete(nil, ErrReadOnly)
+		return nil, ErrReadOnly
+	}
 	if p.closed {
 		// Shutdown began while the accepted record was being synced:
 		// the queue channel is closed, so the job can never run. Undo
@@ -273,6 +314,12 @@ func (p *Pool) SubmitBatch(items []BatchItem) []BatchResult {
 	if len(items) == 0 {
 		return results
 	}
+	if p.ReadOnly() {
+		for i := range results {
+			results[i].Err = ErrReadOnly
+		}
+		return results
+	}
 	accepted := make([]int, 0, len(items)) // indices that reserved a slot
 	p.mu.Lock()
 	for i, it := range items {
@@ -312,6 +359,7 @@ func (p *Pool) SubmitBatch(items []BatchItem) []BatchResult {
 	if len(accepted) == 0 {
 		return results
 	}
+	var appendErr error
 	if p.cfg.Journal != nil {
 		// Write-ahead, amortised: the whole accepted set becomes
 		// durable behind one fsync before any of its jobs can run.
@@ -322,10 +370,31 @@ func (p *Pool) SubmitBatch(items []BatchItem) []BatchResult {
 				Type: journal.TypeAccepted, ID: it.ID, Kind: it.Meta.Kind, Req: it.Meta.Req,
 			}
 		}
-		_ = p.cfg.Journal.AppendBatch(recs)
+		appendErr = p.cfg.Journal.AppendBatch(recs)
 	}
 
 	p.mu.Lock()
+	if appendErr != nil && errors.Is(appendErr, syscall.ENOSPC) && !p.closed {
+		// The batch's accept records hit a full disk: undo every
+		// reservation and refuse the whole set, typed, exactly as
+		// SubmitMeta does for one — none of these jobs was durably
+		// acknowledged.
+		for _, i := range accepted {
+			it := items[i]
+			delete(p.inflight, it.ID)
+			delete(p.jobs, it.ID)
+			p.kind(it.Meta.Kind).inflight--
+			p.queued--
+			p.submitted--
+		}
+		p.mu.Unlock()
+		for _, i := range accepted {
+			results[i].Job.complete(nil, ErrReadOnly)
+			results[i].Job = nil
+			results[i].Err = ErrReadOnly
+		}
+		return results
+	}
 	if p.closed {
 		// Shutdown began while the batch was being committed: the queue
 		// channel is closed, so none of the accepted jobs can run. Undo
@@ -381,9 +450,12 @@ func (p *Pool) Do(ctx context.Context, id string, fn Func) (any, error) {
 }
 
 // DoMeta is Do carrying the journalable request identity, so even
-// synchronous work replays after a crash.
+// synchronous work replays after a crash. It keeps serving while the
+// journal is read-only: the caller waits for the bytes, so nothing is
+// acknowledged that a crash could lose — a full disk costs sync work
+// its replay-ability, not its availability.
 func (p *Pool) DoMeta(ctx context.Context, id string, meta Meta, fn Func) (any, error) {
-	j, err := p.SubmitMeta(id, meta, fn)
+	j, err := p.submitMeta(id, meta, fn, false)
 	if err != nil {
 		return nil, err
 	}
@@ -399,7 +471,14 @@ func (p *Pool) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Stats snapshots the pool's counters.
+// ReadOnly reports the journal's read-only degradation: while true,
+// SubmitMeta and SubmitBatch refuse with ErrReadOnly. A pool without
+// a journal is never read-only.
+func (p *Pool) ReadOnly() bool {
+	return p.cfg.Journal != nil && p.cfg.Journal.ReadOnly()
+}
+
+// Stats snapshots the pool counters.
 func (p *Pool) Stats() obs.PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()

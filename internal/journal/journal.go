@@ -56,6 +56,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"starperf/internal/cfgerr"
@@ -199,6 +200,10 @@ type Journal struct {
 	compactions  uint64
 	replayed     int
 	corrupt      int
+
+	readonly    bool   // last commit hit ENOSPC; no proof space returned yet
+	noSpaceErrs uint64 // records lost to full-disk commits
+	probes      uint64 // explicit space probes issued
 
 	commits       uint64       // group commits (one write+fsync each)
 	commitRecords uint64       // records those commits made durable
@@ -585,7 +590,17 @@ func (j *Journal) finishCommitLocked(batch []*waiter, records, bufLen, n int, er
 		}
 		if err != nil {
 			j.appendErrors += uint64(records)
+			// A full disk flips the journal read-only: callers that
+			// need durability (async submits) must stop acknowledging
+			// until space provably returns. Any other error is a
+			// one-commit failure, not a mode.
+			if isNoSpace(err) {
+				j.readonly = true
+				j.noSpaceErrs += uint64(records)
+			}
 		} else {
+			// A durable commit is proof the disk has space again.
+			j.readonly = false
 			j.appends += uint64(records)
 			if !j.opts.NoSync {
 				j.syncs++
@@ -751,6 +766,80 @@ func (j *Journal) Pending() int {
 	return len(j.pending)
 }
 
+// isNoSpace reports whether err is a disk-full failure, injected
+// (fsx.ErrNoSpace) or real — both unwrap to syscall.ENOSPC.
+func isNoSpace(err error) bool {
+	return errors.Is(err, syscall.ENOSPC)
+}
+
+// ReadOnly reports whether the journal is in read-only degradation: a
+// commit hit ENOSPC and no later commit or probe has proven space
+// returned. The journal itself keeps accepting Append calls (they
+// fail like any other commit error); the mode exists for the serving
+// layer, which must stop acknowledging durable work it cannot make
+// durable.
+func (j *Journal) ReadOnly() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.readonly
+}
+
+// probeName is the throwaway file Probe writes. It does not look like
+// a segment, so replay never reads it.
+const probeName = "probe.tmp"
+
+// Probe checks whether disk space has returned by writing, fsyncing
+// and removing a small file next to the segments — not a WAL record,
+// so a probe never pollutes replay. On success the read-only mode is
+// cleared; on failure (or when the journal is closed) it stays. The
+// serving layer calls this before refusing an async submit so a
+// recovered disk flips back to read-write on the next request rather
+// than waiting for organic sync traffic to commit something.
+func (j *Journal) Probe() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	j.probes++
+	j.mu.Unlock()
+	err := j.probeOnce()
+	j.mu.Lock()
+	if err == nil {
+		j.readonly = false
+	} else if isNoSpace(err) {
+		j.readonly = true
+	}
+	j.mu.Unlock()
+	return err
+}
+
+// probeOnce performs one probe-file write/sync/remove cycle through
+// the FS seam. Called without j.mu: the probe file is disjoint from
+// the live segment, so it needs no serialisation with commits.
+func (j *Journal) probeOnce() error {
+	name := filepath.Join(j.opts.Dir, probeName)
+	f, err := j.opts.FS.Create(name)
+	if err != nil {
+		return fmt.Errorf("journal: probe create: %w", err)
+	}
+	if _, err := f.Write([]byte("probe\n")); err != nil {
+		f.Close()
+		j.opts.FS.Remove(name)
+		return fmt.Errorf("journal: probe write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		j.opts.FS.Remove(name)
+		return fmt.Errorf("journal: probe sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		j.opts.FS.Remove(name)
+		return fmt.Errorf("journal: probe close: %w", err)
+	}
+	return j.opts.FS.Remove(name)
+}
+
 // Stats snapshots the journal counters.
 func (j *Journal) Stats() obs.JournalStats {
 	j.mu.Lock()
@@ -768,6 +857,9 @@ func (j *Journal) Stats() obs.JournalStats {
 		Commits:        j.commits,
 		CommitRecords:  j.commitRecords,
 		MaxBatch:       j.maxBatch,
+		ReadOnly:       j.readonly,
+		NoSpaceErrors:  j.noSpaceErrs,
+		Probes:         j.probes,
 	}
 	if j.commits > 0 {
 		st.FsyncsSaved = j.commitRecords - j.commits

@@ -1,0 +1,125 @@
+package journal
+
+// Read-only degradation (PR 12): a commit that hits ENOSPC flips the
+// journal read-only; a successful probe — or any later durable
+// commit — flips it back. These tests drive the mode through
+// fsx.Faulty's disk-full lever end to end.
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+
+	"starperf/internal/fsx"
+)
+
+// rec builds a minimal accepted record.
+func roRec(id string) Record {
+	return Record{Type: "accepted", ID: id, Kind: "simulate", Req: []byte(`{}`)}
+}
+
+func TestReadOnlyTripsOnENOSPCAndProbesBack(t *testing.T) {
+	fa := fsx.NewFaulty(fsx.OS{}, fsx.FaultPlan{})
+	j, _, err := Open(Options{Dir: t.TempDir(), FS: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(roRec("sha256:aa")); err != nil {
+		t.Fatalf("healthy append: %v", err)
+	}
+	if j.ReadOnly() {
+		t.Fatal("journal must start read-write")
+	}
+
+	fa.SetFull(true)
+	err = j.Append(roRec("sha256:bb"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append on a full disk: want ENOSPC, got %v", err)
+	}
+	if !j.ReadOnly() {
+		t.Fatal("ENOSPC commit must flip the journal read-only")
+	}
+	st := j.Stats()
+	if !st.ReadOnly || st.NoSpaceErrors == 0 {
+		t.Fatalf("stats must surface the mode: %+v", st)
+	}
+
+	// A probe against a still-full disk keeps the mode.
+	if err := j.Probe(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("probe on a full disk: want ENOSPC, got %v", err)
+	}
+	if !j.ReadOnly() {
+		t.Fatal("failed probe must not clear read-only")
+	}
+
+	// Space returns: the probe proves it and clears the mode without
+	// needing a WAL record.
+	fa.SetFull(false)
+	if err := j.Probe(); err != nil {
+		t.Fatalf("probe after space returned: %v", err)
+	}
+	if j.ReadOnly() {
+		t.Fatal("successful probe must clear read-only")
+	}
+	if st := j.Stats(); st.Probes != 2 {
+		t.Fatalf("Probes = %d, want 2", st.Probes)
+	}
+	if err := j.Append(roRec("sha256:cc")); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+func TestReadOnlyClearsOnOrganicCommit(t *testing.T) {
+	fa := fsx.NewFaulty(fsx.OS{}, fsx.FaultPlan{})
+	j, _, err := Open(Options{Dir: t.TempDir(), FS: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	fa.SetFull(true)
+	if err := j.Append(roRec("sha256:dd")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	if !j.ReadOnly() {
+		t.Fatal("must be read-only after ENOSPC")
+	}
+	fa.SetFull(false)
+	// Sync traffic keeps journaling while the pool is read-only for
+	// async work; its first durable commit is the organic recovery
+	// path.
+	if err := j.Append(roRec("sha256:ee")); err != nil {
+		t.Fatalf("append after space returned: %v", err)
+	}
+	if j.ReadOnly() {
+		t.Fatal("a durable commit must clear read-only")
+	}
+}
+
+func TestProbeDoesNotPolluteReplay(t *testing.T) {
+	dir := t.TempDir()
+	fa := fsx.NewFaulty(fsx.OS{}, fsx.FaultPlan{})
+	j, _, err := Open(Options{Dir: dir, FS: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(roRec("sha256:ff")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Probe(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, rec, err := Open(Options{Dir: dir, FS: fsx.OS{}})
+	if err != nil {
+		t.Fatalf("reopen after probe: %v", err)
+	}
+	defer j2.Close()
+	if rec.CorruptSkipped != 0 {
+		t.Fatalf("probe left corrupt records behind: %+v", rec)
+	}
+	if len(rec.Incomplete) != 1 || rec.Incomplete[0].ID != "sha256:ff" {
+		t.Fatalf("replay should see exactly the appended record: %+v", rec.Incomplete)
+	}
+}

@@ -434,11 +434,11 @@ const (
 
 // lockMethods maps sync method identities to operations.
 var lockMethods = map[string]int{
-	"(*sync.Mutex).Lock":     opLock,
-	"(*sync.Mutex).Unlock":   opUnlock,
-	"(*sync.RWMutex).Lock":   opLock,
-	"(*sync.RWMutex).Unlock": opUnlock,
-	"(*sync.RWMutex).RLock":  opRLock,
+	"(*sync.Mutex).Lock":      opLock,
+	"(*sync.Mutex).Unlock":    opUnlock,
+	"(*sync.RWMutex).Lock":    opLock,
+	"(*sync.RWMutex).Unlock":  opUnlock,
+	"(*sync.RWMutex).RLock":   opRLock,
 	"(*sync.RWMutex).RUnlock": opRUnlock,
 }
 

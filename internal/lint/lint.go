@@ -331,6 +331,8 @@ func DefaultRules() []Rule {
 		"starperf/internal/fsx",
 		"starperf/internal/cluster",
 		"starperf/internal/bounds",
+		"starperf/internal/netx",
+		"starperf/internal/soak",
 		"starperf/client",
 	)
 	numerical := inPackages(
@@ -368,22 +370,35 @@ func DefaultRules() []Rule {
 	// clockseam guards the deterministic core: the packages whose
 	// behaviour TestDeterminismByteIdentical freezes byte-for-byte,
 	// plus the consistent-hash ring — every node and client must
-	// compute identical placement from the member list alone.
+	// compute identical placement from the member list alone. The
+	// chaos fabric (netx) and the soak harness join the scope because
+	// their whole value is replayability: fault schedules and op
+	// sequences must derive from seeds, never the wall clock (sleeping
+	// and deadlines are fine; reading the clock is not).
 	clockCore := inPackages(
 		"starperf/internal/desim",
 		"starperf/internal/jobs",
 		"starperf/internal/journal",
 		"starperf/internal/cluster",
 		"starperf/internal/bounds",
+		"starperf/internal/netx",
+		"starperf/internal/soak",
 	)
 	// errclass anchors at the public surface: the root api.go package,
 	// the HTTP client, and the ring package the client re-exposes
 	// through LearnRing. cfgerr is the classifier, so its own
 	// constructors are exempt leaves.
+	// netx and soak join the anchor set: netx's RoundTripper surfaces
+	// errors straight to retry classification, and soak's report is
+	// consumed by CI — neither may mint unclassifiable errors.
 	errSurface := inPackages("starperf", "starperf/client", "starperf/internal/cluster",
-		"starperf/internal/bounds")
+		"starperf/internal/bounds", "starperf/internal/netx", "starperf/internal/soak")
 	errClassifier := inPackages("starperf/internal/cfgerr")
-	httpScope := inPackages("starperf/client", "starperf/internal/server", "starperf/internal/cluster")
+	// bodyclose covers everything that does HTTP: the client, the
+	// serving/forwarding layer, and now the fault fabric (which wraps
+	// and re-bodies responses) and the soak driver.
+	httpScope := inPackages("starperf/client", "starperf/internal/server", "starperf/internal/cluster",
+		"starperf/internal/netx", "starperf/internal/soak")
 	return []Rule{
 		NewMapOrder(simulation),
 		NewFloatEq(numerical, "EqualWithin", "Close", "approxEq"),

@@ -46,11 +46,11 @@ func (r *lockOrder) Check(pkg *Package, report ReportFunc) {}
 // lockEdge is one observed acquisition order: to was acquired (or is
 // acquirable through a call) while from was held.
 type lockEdge struct {
-	from, to string // lock keys
+	from, to   string // lock keys
 	fromD, toD string // displays
-	pkg  *Package
-	pos  token.Pos
-	via  string // call-chain suffix for interprocedural edges
+	pkg        *Package
+	pos        token.Pos
+	via        string // call-chain suffix for interprocedural edges
 }
 
 func (r *lockOrder) CheckProgram(prog *Program, report ProgramReportFunc) {

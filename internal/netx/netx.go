@@ -1,0 +1,456 @@
+// Package netx is the network seam under the serving layer's HTTP
+// paths, the transport-level twin of internal/fsx. The production
+// transport is whatever http.RoundTripper the caller already uses;
+// the Net wrapper injects deterministic, seed-drawn network faults —
+// connection refusal, black holes that hang until the caller's
+// deadline, added latency, partition windows severing two host sets
+// for a span of operations, mid-body connection resets, truncated
+// bodies, and corrupt-byte flips — so the cluster drills and the soak
+// harness can prove the forwarding/failover/checksum machinery holds
+// under any seed instead of the faults a flaky network happens to
+// produce.
+//
+// Mirroring fsx.Faulty: every decision is drawn from a PRNG seeded by
+// the plan, a global operation counter orders decisions, and the same
+// plan over the same request sequence injects the same faults. One
+// Net is shared by all nodes of an in-process cluster; each node
+// wraps its outbound transport with Transport(self, inner) so the
+// (src, dst) pair of every request is known and per-pair rules and
+// partitions apply.
+package netx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the root of every injected fault: errors.Is(err,
+// ErrInjected) distinguishes plan-drawn failures from real transport
+// errors. Callers must treat it exactly like a real network error.
+var ErrInjected = errors.New("netx: injected fault")
+
+// Fault kinds, recorded on FaultError and in Stats.
+const (
+	KindRefused   = "refused"   // connection refused before any bytes
+	KindPartition = "partition" // severed by an active partition window
+	KindBlackhole = "blackhole" // hung until the request context ended
+	KindDelay     = "delay"     // injected latency outlived the deadline
+	KindReset     = "reset"     // connection reset mid-body
+)
+
+// Rule is the per-(src,dst)-pair fault mix. Probabilities are in
+// [0, 1] and independent: each request first draws refusal, then
+// black-holing, then latency, then at most one body fault (reset,
+// truncate, corrupt — tried in that order). The zero Rule injects
+// nothing.
+type Rule struct {
+	// PRefuse fails the request immediately, before any bytes move —
+	// the connection-refused shape of a dead listener.
+	PRefuse float64 `json:"p_refuse,omitempty"`
+	// PBlackhole accepts the request and then hangs until the request
+	// context is done — the packets-into-the-void shape of a silently
+	// dropped route. A request without a deadline hangs forever.
+	PBlackhole float64 `json:"p_blackhole,omitempty"`
+	// PDelay sleeps Delay before forwarding — a slow peer. The sleep
+	// is cut short by the request context, surfacing its error.
+	PDelay float64 `json:"p_delay,omitempty"`
+	// Delay is the latency injected when PDelay fires.
+	Delay time.Duration `json:"delay_ns,omitempty"`
+	// PReset lets the response start and then fails a mid-body Read
+	// with a connection-reset error: the caller has real bytes and no
+	// way to finish.
+	PReset float64 `json:"p_reset,omitempty"`
+	// PTruncate ends the body early with a clean EOF — a short read
+	// that only a length check or a checksum can catch.
+	PTruncate float64 `json:"p_truncate,omitempty"`
+	// PCorrupt flips one byte of the body — a payload only a checksum
+	// can catch.
+	PCorrupt float64 `json:"p_corrupt,omitempty"`
+}
+
+// Partition severs every request crossing between host sets A and B,
+// in both directions, for a window of global operations. Hosts are
+// matched against the request URL's host ("127.0.0.1:19201").
+type Partition struct {
+	A []string `json:"a"`
+	B []string `json:"b"`
+	// FromOp is the first severed operation (1-based); 0 severs from
+	// the start.
+	FromOp int `json:"from_op,omitempty"`
+	// ToOp is the last severed operation; 0 severs forever (until
+	// Heal or SetPartitions).
+	ToOp int `json:"to_op,omitempty"`
+}
+
+// severs reports whether the partition cuts src↔dst at operation op.
+func (p Partition) severs(src, dst string, op int) bool {
+	if p.FromOp > 0 && op < p.FromOp {
+		return false
+	}
+	if p.ToOp > 0 && op > p.ToOp {
+		return false
+	}
+	return (hostIn(p.A, src) && hostIn(p.B, dst)) ||
+		(hostIn(p.B, src) && hostIn(p.A, dst))
+}
+
+func hostIn(set []string, host string) bool {
+	for _, h := range set {
+		if h == host {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan configures a Net. All decisions are drawn from a PRNG seeded
+// with Seed, so the same plan over the same operation sequence
+// injects the same faults — chaos runs are replayable. The JSON form
+// is what cmd/starperfd's -chaosnet flag loads.
+type Plan struct {
+	// Seed fully determines which operations fail.
+	Seed uint64 `json:"seed"`
+	// Default applies to every (src, dst) pair without its own entry.
+	Default Rule `json:"default,omitempty"`
+	// Pairs overrides Default for exact "src>dst" keys (directional:
+	// "a:1>b:2" governs requests from a:1 to b:2 only).
+	Pairs map[string]Rule `json:"pairs,omitempty"`
+	// Partitions are the severed host-set windows.
+	Partitions []Partition `json:"partitions,omitempty"`
+}
+
+// Stats counts operations and injected faults by kind. Fields are a
+// struct, not a map, so readers need no ordering discipline.
+type Stats struct {
+	Ops         int `json:"ops"`
+	Refused     int `json:"refused"`
+	Partitioned int `json:"partitioned"`
+	Blackholed  int `json:"blackholed"`
+	Delayed     int `json:"delayed"`
+	Resets      int `json:"resets"`
+	Truncated   int `json:"truncated"`
+	Corrupted   int `json:"corrupted"`
+}
+
+// Obs describes one request at decision time, delivered to the
+// observer hook before the request proceeds (or is refused). The soak
+// harness's invariant checker uses it to watch forwarded deadlines.
+type Obs struct {
+	Op       int
+	Src, Dst string
+	// Header is a clone of the outbound request headers.
+	Header http.Header
+}
+
+// Net is a shared fault-injection fabric. It is safe for concurrent
+// use; decisions are serialised by a mutex, the faults themselves
+// (sleeps, hangs, body reads) happen outside it.
+type Net struct {
+	mu       sync.Mutex
+	plan     Plan
+	rng      *rand.Rand
+	stats    Stats
+	healed   bool
+	observer func(Obs)
+}
+
+// New builds a Net from plan.
+func New(plan Plan) *Net {
+	return &Net{
+		plan: plan,
+		rng:  rand.New(rand.NewSource(int64(plan.Seed))),
+	}
+}
+
+// Observe installs fn as the observer hook, called once per decided
+// request (including refused ones) with cloned headers. Pass nil to
+// remove it. fn runs outside the Net's mutex and must be safe for
+// concurrent calls.
+func (n *Net) Observe(fn func(Obs)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.observer = fn
+}
+
+// SetPartitions replaces the plan's partitions at runtime — how a
+// drill splits a live ring mid-test — and clears a previous Heal.
+func (n *Net) SetPartitions(ps []Partition) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.plan.Partitions = ps
+	n.healed = false
+}
+
+// Heal ends all injection: partitions stop severing and every fault
+// probability reads as zero until SetPartitions re-arms the fabric.
+// The op counter keeps advancing so observation order is preserved.
+func (n *Net) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.healed = true
+}
+
+// Stats returns a snapshot of the fault counters.
+func (n *Net) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Transport wraps inner (nil means http.DefaultTransport) as the
+// outbound transport of node src. The returned RoundTripper applies
+// the plan to every request, keyed by (src, request host).
+func (n *Net) Transport(src string, inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &transport{n: n, src: src, inner: inner}
+}
+
+// Client is a convenience: an *http.Client whose transport is
+// Transport(src, inner).
+func (n *Net) Client(src string, inner http.RoundTripper) *http.Client {
+	return &http.Client{Transport: n.Transport(src, inner)}
+}
+
+// Body fault selectors.
+const (
+	bodyNone = iota
+	bodyReset
+	bodyTruncate
+	bodyCorrupt
+)
+
+// verdict is one request's drawn fate.
+type verdict struct {
+	op          int
+	refused     bool
+	partitioned bool
+	blackhole   bool
+	delay       time.Duration
+	body        int
+	cut         int // byte offset the body fault lands at
+}
+
+// decide advances the op counter and draws the request's fate under
+// the mutex; everything the verdict orders happens outside it.
+func (n *Net) decide(src, dst string) (verdict, func(Obs)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Ops++
+	v := verdict{op: n.stats.Ops}
+	ob := n.observer
+	if n.healed {
+		return v, ob
+	}
+	for _, p := range n.plan.Partitions {
+		if p.severs(src, dst, v.op) {
+			v.partitioned = true
+			n.stats.Partitioned++
+			return v, ob
+		}
+	}
+	rule := n.plan.Default
+	if r, ok := n.plan.Pairs[src+">"+dst]; ok {
+		rule = r
+	}
+	draw := func(p float64) bool { return p > 0 && n.rng.Float64() < p }
+	switch {
+	case draw(rule.PRefuse):
+		v.refused = true
+		n.stats.Refused++
+		return v, ob
+	case draw(rule.PBlackhole):
+		v.blackhole = true
+		n.stats.Blackholed++
+		return v, ob
+	}
+	if draw(rule.PDelay) {
+		v.delay = rule.Delay
+		n.stats.Delayed++
+	}
+	switch {
+	case draw(rule.PReset):
+		v.body = bodyReset
+		n.stats.Resets++
+	case draw(rule.PTruncate):
+		v.body = bodyTruncate
+		n.stats.Truncated++
+	case draw(rule.PCorrupt):
+		v.body = bodyCorrupt
+		n.stats.Corrupted++
+	}
+	if v.body != bodyNone {
+		// Land the fault early in the stream — inside any JSON body
+		// bigger than a few tens of bytes — at a seed-determined
+		// offset so reruns tear the same byte.
+		v.cut = 1 + n.rng.Intn(31)
+	}
+	return v, ob
+}
+
+// FaultError is the error injected faults surface. It unwraps to
+// ErrInjected (and, for deadline-bound kinds, to the context error)
+// and implements net.Error so retry loops classify it like a real
+// transport failure.
+type FaultError struct {
+	Kind     string
+	Src, Dst string
+	Op       int
+	cause    error
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("netx: %s %s->%s (op %d): %v", e.Kind, e.Src, e.Dst, e.Op, ErrInjected)
+}
+
+// Unwrap exposes ErrInjected and, when the fault ended on a deadline,
+// the context's error.
+func (e *FaultError) Unwrap() []error {
+	if e.cause != nil {
+		return []error{ErrInjected, e.cause}
+	}
+	return []error{ErrInjected}
+}
+
+// Timeout implements net.Error: black holes and over-deadline delays
+// are timeouts.
+func (e *FaultError) Timeout() bool {
+	return e.Kind == KindBlackhole || e.Kind == KindDelay
+}
+
+// Temporary implements net.Error: every injected fault may clear.
+func (e *FaultError) Temporary() bool { return true }
+
+// transport applies a Net's plan to one node's outbound requests.
+type transport struct {
+	n     *Net
+	src   string
+	inner http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *transport) RoundTrip(r *http.Request) (*http.Response, error) {
+	v, observe := t.n.decide(t.src, r.URL.Host)
+	if observe != nil {
+		observe(Obs{Op: v.op, Src: t.src, Dst: r.URL.Host, Header: r.Header.Clone()})
+	}
+	fail := func(kind string, cause error) (*http.Response, error) {
+		if r.Body != nil {
+			r.Body.Close()
+		}
+		return nil, &FaultError{Kind: kind, Src: t.src, Dst: r.URL.Host, Op: v.op, cause: cause}
+	}
+	switch {
+	case v.partitioned:
+		return fail(KindPartition, nil)
+	case v.refused:
+		return fail(KindRefused, nil)
+	}
+	if v.delay > 0 {
+		timer := time.NewTimer(v.delay)
+		select {
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return fail(KindDelay, r.Context().Err())
+		}
+	}
+	if v.blackhole {
+		// Swallow the request and wait for the caller to give up. A
+		// request without a deadline waits forever, exactly like the
+		// real fault.
+		if r.Body != nil {
+			r.Body.Close()
+		}
+		<-r.Context().Done()
+		return nil, &FaultError{Kind: KindBlackhole, Src: t.src, Dst: r.URL.Host, Op: v.op, cause: r.Context().Err()}
+	}
+	resp, err := t.inner.RoundTrip(r)
+	if err != nil || resp == nil || resp.Body == nil || v.body == bodyNone {
+		return resp, err
+	}
+	resp.Body = &faultBody{
+		inner: resp.Body,
+		mode:  v.body,
+		cut:   v.cut,
+		err:   &FaultError{Kind: KindReset, Src: t.src, Dst: r.URL.Host, Op: v.op},
+	}
+	// The delivered body will not match the advertised length; drop it
+	// so readers fail on content, not transport accounting.
+	if v.body != bodyCorrupt {
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+	}
+	return resp, nil
+}
+
+// faultBody injects the drawn body fault at byte offset cut: reset
+// returns a connection error mid-stream, truncate a clean early EOF,
+// corrupt flips the byte at cut and streams the rest untouched.
+type faultBody struct {
+	inner     io.ReadCloser
+	mode      int
+	cut       int
+	pos       int
+	corrupted bool
+	err       error
+}
+
+// Read implements io.Reader.
+func (b *faultBody) Read(p []byte) (int, error) {
+	switch b.mode {
+	case bodyReset, bodyTruncate:
+		if b.pos >= b.cut {
+			return 0, b.fault()
+		}
+		if rem := b.cut - b.pos; len(p) > rem {
+			p = p[:rem]
+		}
+		n, err := b.inner.Read(p)
+		b.pos += n
+		if err == nil && b.pos >= b.cut {
+			err = b.fault()
+		}
+		return n, err
+	case bodyCorrupt:
+		n, err := b.inner.Read(p)
+		if !b.corrupted && b.pos <= b.cut && b.cut < b.pos+n {
+			p[b.cut-b.pos] ^= 0x80
+			b.corrupted = true
+		} else if !b.corrupted && n > 0 && err != nil {
+			// Stream ended before the chosen offset: flip the last
+			// byte so a corrupt verdict always corrupts.
+			p[n-1] ^= 0x80
+			b.corrupted = true
+		}
+		b.pos += n
+		return n, err
+	}
+	return b.inner.Read(p)
+}
+
+// fault is the error ending a reset or truncate stream: a connection
+// error for reset, a clean io.EOF for truncate.
+func (b *faultBody) fault() error {
+	if b.mode == bodyReset {
+		return b.err
+	}
+	return io.EOF
+}
+
+// Close implements io.Closer.
+func (b *faultBody) Close() error { return b.inner.Close() }
+
+// RoundTripFunc adapts a function to http.RoundTripper — the shared
+// home of the helper client tests used to redeclare per file.
+type RoundTripFunc func(*http.Request) (*http.Response, error)
+
+// RoundTrip implements http.RoundTripper.
+func (f RoundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

@@ -1,0 +1,271 @@
+package netx
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// okBody is a canned JSON-ish payload comfortably longer than the
+// body-fault cut range so mid-body faults always land mid-body.
+const okBody = `{"result":"0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"}`
+
+// echo is an inner transport returning okBody with a 200.
+func echo() http.RoundTripper {
+	return RoundTripFunc(func(r *http.Request) (*http.Response, error) {
+		if r.Body != nil {
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+		}
+		return &http.Response{
+			StatusCode: http.StatusOK,
+			Header:     http.Header{"Content-Type": []string{"application/json"}},
+			Body:       io.NopCloser(strings.NewReader(okBody)),
+			Request:    r,
+		}, nil
+	})
+}
+
+// get issues one GET to dst through t and returns the full body read.
+func get(t *testing.T, rt http.RoundTripper, dst string) ([]byte, error) {
+	t.Helper()
+	req, err := http.NewRequest("GET", "http://"+dst+"/v1/predict", nil)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func TestRefuseUnwrapsInjected(t *testing.T) {
+	n := New(Plan{Seed: 1, Default: Rule{PRefuse: 1}})
+	rt := n.Transport("a:1", echo())
+	_, err := get(t, rt, "b:2")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Kind != KindRefused {
+		t.Fatalf("want FaultError kind %q, got %#v", KindRefused, err)
+	}
+	if !fe.Temporary() || fe.Timeout() {
+		t.Fatalf("refused: Temporary()=%v Timeout()=%v, want true/false", fe.Temporary(), fe.Timeout())
+	}
+	if s := n.Stats(); s.Refused != 1 || s.Ops != 1 {
+		t.Fatalf("stats = %+v, want 1 op 1 refused", s)
+	}
+}
+
+func TestPerPairRuleOverridesDefault(t *testing.T) {
+	n := New(Plan{
+		Seed:    7,
+		Default: Rule{PRefuse: 1},
+		Pairs:   map[string]Rule{"a:1>b:2": {}}, // this direction is clean
+	})
+	if _, err := get(t, n.Transport("a:1", echo()), "b:2"); err != nil {
+		t.Fatalf("pair-exempt request failed: %v", err)
+	}
+	if _, err := get(t, n.Transport("b:2", echo()), "a:1"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("reverse direction should hit the default rule, got %v", err)
+	}
+}
+
+func TestPartitionWindow(t *testing.T) {
+	n := New(Plan{Seed: 3, Partitions: []Partition{{
+		A: []string{"a:1"}, B: []string{"b:2", "c:3"}, FromOp: 2, ToOp: 3,
+	}}})
+	a := n.Transport("a:1", echo())
+	b := n.Transport("b:2", echo())
+	if _, err := get(t, a, "b:2"); err != nil { // op 1: before the window
+		t.Fatalf("op 1 should pass: %v", err)
+	}
+	if _, err := get(t, a, "b:2"); !errors.Is(err, ErrInjected) { // op 2
+		t.Fatalf("op 2 should be severed, got %v", err)
+	}
+	if _, err := get(t, b, "a:1"); !errors.Is(err, ErrInjected) { // op 3: other direction
+		t.Fatalf("op 3 reverse direction should be severed, got %v", err)
+	}
+	if _, err := get(t, b, "c:3"); err != nil { // op 4: window closed
+		t.Fatalf("op 4 is past the window: %v", err)
+	}
+	if s := n.Stats(); s.Partitioned != 2 {
+		t.Fatalf("stats = %+v, want 2 partitioned", s)
+	}
+}
+
+func TestPartitionDoesNotSeverSameSide(t *testing.T) {
+	n := New(Plan{Partitions: []Partition{{A: []string{"a:1"}, B: []string{"b:2", "c:3"}}}})
+	if _, err := get(t, n.Transport("b:2", echo()), "c:3"); err != nil {
+		t.Fatalf("same-side traffic must pass: %v", err)
+	}
+}
+
+func TestBlackholeHangsUntilDeadline(t *testing.T) {
+	n := New(Plan{Seed: 5, Default: Rule{PBlackhole: 1}})
+	rt := n.Transport("a:1", echo())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://b:2/v1/predict", nil)
+	_, err := rt.RoundTrip(req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("blackhole must also unwrap ErrInjected, got %v", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) || !fe.Timeout() {
+		t.Fatalf("blackhole must be a net.Error timeout, got %#v", err)
+	}
+}
+
+func TestDelayCutShortByContext(t *testing.T) {
+	// A one-hour delay against a 30ms deadline: the test finishing at
+	// all proves the sleep honours the request context.
+	n := New(Plan{Seed: 9, Default: Rule{PDelay: 1, Delay: time.Hour}})
+	rt := n.Transport("a:1", echo())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://b:2/v1/predict", nil)
+	_, err := rt.RoundTrip(req)
+	if !errors.Is(err, context.DeadlineExceeded) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want DeadlineExceeded+ErrInjected, got %v", err)
+	}
+}
+
+func TestResetMidBody(t *testing.T) {
+	n := New(Plan{Seed: 11, Default: Rule{PReset: 1}})
+	body, err := get(t, n.Transport("a:1", echo()), "b:2")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want mid-body ErrInjected, got %v", err)
+	}
+	if len(body) == 0 || len(body) >= len(okBody) {
+		t.Fatalf("reset must deliver a strict non-empty prefix, got %d of %d bytes", len(body), len(okBody))
+	}
+	if !strings.HasPrefix(okBody, string(body)) {
+		t.Fatalf("delivered bytes are not a prefix of the real body: %q", body)
+	}
+}
+
+func TestTruncateIsCleanEOF(t *testing.T) {
+	n := New(Plan{Seed: 13, Default: Rule{PTruncate: 1}})
+	body, err := get(t, n.Transport("a:1", echo()), "b:2")
+	if err != nil {
+		t.Fatalf("truncate must end with a clean EOF, got %v", err)
+	}
+	if len(body) == 0 || len(body) >= len(okBody) {
+		t.Fatalf("truncate must deliver a strict non-empty prefix, got %d of %d bytes", len(body), len(okBody))
+	}
+	if !strings.HasPrefix(okBody, string(body)) {
+		t.Fatalf("delivered bytes are not a prefix of the real body: %q", body)
+	}
+}
+
+func TestCorruptFlipsExactlyOneByte(t *testing.T) {
+	n := New(Plan{Seed: 17, Default: Rule{PCorrupt: 1}})
+	body, err := get(t, n.Transport("a:1", echo()), "b:2")
+	if err != nil {
+		t.Fatalf("corrupt must deliver the full (damaged) body: %v", err)
+	}
+	if len(body) != len(okBody) {
+		t.Fatalf("corrupt must preserve length: got %d want %d", len(body), len(okBody))
+	}
+	diff := 0
+	for i := range body {
+		if body[i] != okBody[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("want exactly one flipped byte, got %d", diff)
+	}
+}
+
+func TestHealStopsInjection(t *testing.T) {
+	n := New(Plan{Seed: 19, Default: Rule{PRefuse: 1},
+		Partitions: []Partition{{A: []string{"a:1"}, B: []string{"b:2"}}}})
+	rt := n.Transport("a:1", echo())
+	if _, err := get(t, rt, "b:2"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("pre-heal request should fail, got %v", err)
+	}
+	n.Heal()
+	if body, err := get(t, rt, "b:2"); err != nil || !bytes.Equal(body, []byte(okBody)) {
+		t.Fatalf("post-heal request must pass untouched: %v %q", err, body)
+	}
+	n.SetPartitions([]Partition{{A: []string{"a:1"}, B: []string{"b:2"}}})
+	if _, err := get(t, rt, "b:2"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("SetPartitions must re-arm the fabric, got %v", err)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() Stats {
+		n := New(Plan{Seed: 23, Default: Rule{
+			PRefuse: 0.2, PBlackhole: 0, PDelay: 0.2, Delay: time.Microsecond,
+			PReset: 0.2, PTruncate: 0.2, PCorrupt: 0.2,
+		}})
+		rt := n.Transport("a:1", echo())
+		for i := 0; i < 200; i++ {
+			body, err := get(t, rt, "b:2")
+			_ = body
+			_ = err
+		}
+		return n.Stats()
+	}
+	s1, s2 := run(), run()
+	if s1 != s2 {
+		t.Fatalf("same plan, same ops, different faults:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Refused == 0 || s1.Resets == 0 || s1.Truncated == 0 || s1.Corrupted == 0 {
+		t.Fatalf("plan should exercise every kind over 200 ops: %+v", s1)
+	}
+}
+
+func TestObserverSeesEveryDecision(t *testing.T) {
+	n := New(Plan{Seed: 29, Default: Rule{PRefuse: 1}})
+	var mu sync.Mutex
+	var seen []Obs
+	n.Observe(func(o Obs) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen = append(seen, o)
+	})
+	rt := n.Transport("a:1", echo())
+	req, _ := http.NewRequest("GET", "http://b:2/v1/jobs/x", nil)
+	req.Header.Set("X-Starperf-Deadline", "1000")
+	rt.RoundTrip(req)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 {
+		t.Fatalf("want 1 observation, got %d", len(seen))
+	}
+	o := seen[0]
+	if o.Src != "a:1" || o.Dst != "b:2" || o.Op != 1 {
+		t.Fatalf("observation = %+v", o)
+	}
+	if o.Header.Get("X-Starperf-Deadline") != "1000" {
+		t.Fatalf("observer must see cloned request headers, got %v", o.Header)
+	}
+}
+
+func TestRoundTripFuncAdapts(t *testing.T) {
+	var called bool
+	rt := RoundTripFunc(func(r *http.Request) (*http.Response, error) {
+		called = true
+		return &http.Response{StatusCode: 204, Body: http.NoBody}, nil
+	})
+	resp, err := rt.RoundTrip(&http.Request{})
+	if err != nil || !called || resp.StatusCode != 204 {
+		t.Fatalf("RoundTripFunc: called=%v resp=%v err=%v", called, resp, err)
+	}
+}

@@ -110,6 +110,13 @@ type JournalStats struct {
 	CommitP95Micros  uint64  `json:"commit_p95_us"`
 	CommitP99Micros  uint64  `json:"commit_p99_us"`
 	CommitMaxMicros  uint64  `json:"commit_max_us"`
+	// Read-only degradation (PR 12). ReadOnly reports the journal hit
+	// ENOSPC and has not yet proven space returned; NoSpaceErrors
+	// counts records lost to full-disk commits; Probes counts the
+	// explicit space checks (successful ones clear ReadOnly).
+	ReadOnly      bool   `json:"read_only"`
+	NoSpaceErrors uint64 `json:"no_space_errors"`
+	Probes        uint64 `json:"probes"`
 }
 
 // BatchStats counts the server's POST /v1/jobs:batch traffic (PR 10).

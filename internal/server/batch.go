@@ -168,6 +168,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch has %d items, limit %d", len(req.Items), maxBatchItems), noRetry)
 		return
 	}
+	// A batch is an async acceptance en masse — the one journal
+	// AppendBatch is its durability. A read-only journal refuses the
+	// whole request up front (503 read_only) rather than accepting
+	// items it cannot make durable.
+	if s.journalReadOnly() {
+		s.refuseReadOnly(w, r)
+		return
+	}
 	s.observeBatch(len(req.Items))
 
 	out := make([]batchItemResult, len(req.Items))

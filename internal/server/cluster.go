@@ -54,6 +54,21 @@ func resultSum(body []byte) string {
 	return "sha256:" + hex.EncodeToString(sum[:])
 }
 
+// sumMatches verifies a relayed response body against its advertised
+// content sum, accepting both wire shapes that carry the header: a
+// sync route's body is the result bytes themselves, a job envelope
+// holds them in its "result" field.
+func sumMatches(body []byte, sum string) bool {
+	if resultSum(body) == sum {
+		return true
+	}
+	var env jobBody
+	if err := json.Unmarshal(body, &env); err != nil || env.Result == nil {
+		return false
+	}
+	return resultSum(env.Result) == sum
+}
+
 // peerNet is one node's view of the cluster: the ring, the HTTP
 // client it reaches peers with, per-peer breakers and the routing
 // counters /metricsz reports.
@@ -158,6 +173,20 @@ func (s *Server) clusterRoute(w http.ResponseWriter, r *http.Request, id string,
 			cn.forwardErrors.Add(1)
 			cn.failovers.Add(1)
 			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			// A peer result that advertises a content sum must match it
+			// (PR 12): a mismatch means the bytes were damaged in
+			// flight, so relaying them would launder corruption into a
+			// verbatim-looking answer. Treated exactly like a transport
+			// failure — feed the breaker, fail over down the ring.
+			if sum := resp.Header.Get(resultSumHeader); sum != "" && !sumMatches(body, sum) {
+				cn.peerFillCorrupt.Add(1)
+				cn.breakers.observe(node, true)
+				cn.forwardErrors.Add(1)
+				cn.failovers.Add(1)
+				continue
+			}
 		}
 		cn.breakers.observe(node, false)
 		cn.forwarded.Add(1)

@@ -33,7 +33,7 @@ var canonicalHeaders = map[string]string{
 
 // headerDirs are the packages whose non-test sources may speak
 // X-Starperf-* headers, relative to this package.
-var headerDirs = []string{".", "../cluster", "../../client", "../../cmd/starperfd"}
+var headerDirs = []string{".", "../cluster", "../netx", "../soak", "../../client", "../../cmd/starperfd"}
 
 func TestStarperfHeaderSet(t *testing.T) {
 	canon := make(map[string]bool, len(canonicalHeaders))

@@ -54,6 +54,23 @@ func jobResultBody(t *testing.T, base, id string) []byte {
 	}
 }
 
+// waitJournalIdle waits until j has no accepted-but-unterminated jobs.
+// A job's "done" is visible over HTTP (served from the result cache)
+// slightly before the worker's terminal record lands in the journal;
+// tests that append their own records right after polling a result
+// must wait for that record first, or their append races ahead of the
+// worker's and the replay sees a different history.
+func waitJournalIdle(t *testing.T, j *journal.Journal) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for j.Pending() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("journal still has %d pending jobs", j.Pending())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 func TestJournaledServerRecoversInterruptedJob(t *testing.T) {
 	jdir := t.TempDir()
 
@@ -177,6 +194,7 @@ func TestRecoverSkipsCachedResults(t *testing.T) {
 	// extra accepted record with no terminal — as if a crash hit a
 	// duplicate submission after the first completed.
 	jobResultBody(t, ts1.URL, jb.ID)
+	waitJournalIdle(t, j1)
 	meta, err := submitMeta("simulate", mustSimReq(t))
 	if err != nil {
 		t.Fatal(err)
@@ -233,6 +251,7 @@ func TestRecoverRequeuesCorruptCachedResult(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := jobResultBody(t, ts1.URL, jb.ID)
+	waitJournalIdle(t, j1)
 	// An accepted record with no terminal, as if a crash caught a
 	// duplicate submission right after the first run completed.
 	meta, err := submitMeta("simulate", mustSimReq(t))

@@ -92,6 +92,11 @@ type Config struct {
 	// PeerBreaker tunes the per-peer circuit breakers that keep a
 	// dead or flapping peer probed instead of hammered.
 	PeerBreaker BreakerConfig
+	// ProbeEvery rate-limits the journal space probes a read-only node
+	// issues before refusing an async submit (default 1s; negative
+	// probes on every refusal, which drills use so recovery is
+	// immediate). Irrelevant without a Journal.
+	ProbeEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +114,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = time.Second
 	}
 	return c
 }
@@ -129,6 +137,14 @@ type Server struct {
 
 	defaultDeadline time.Duration
 	shed            atomic.Uint64
+
+	// Read-only degradation (PR 12): when the journal trips on
+	// ENOSPC, async submits are refused until a probe proves space
+	// returned. lastProbe rate-limits those probes; readOnly503
+	// counts the refusals for /metricsz.
+	probeEvery  time.Duration
+	lastProbe   atomic.Int64
+	readOnly503 atomic.Uint64
 
 	// Batch ingestion counters (PR 10), reported on /metricsz.
 	batches    atomic.Uint64
@@ -160,6 +176,7 @@ func New(cfg Config) (*Server, error) {
 		maxBody:         cfg.MaxBodyBytes,
 		workers:         cfg.Workers,
 		defaultDeadline: cfg.DefaultDeadline,
+		probeEvery:      cfg.ProbeEvery,
 	}
 	if cfg.Ring != nil {
 		s.cluster = newPeerNet(cfg)
@@ -405,6 +422,14 @@ func (s *Server) classifyErr(err error) (int, wireError) {
 			Class: classQueueFull, Message: err.Error(),
 			RetryAfterMS: retryMillis(time.Second),
 		}
+	case errors.Is(err, jobs.ErrReadOnly):
+		// The pool-level backstop of the journalReadOnly gate: a
+		// submission that raced past the handler check still refuses
+		// with the read_only contract.
+		return http.StatusServiceUnavailable, wireError{
+			Class: classReadOnly, Message: err.Error(),
+			RetryAfterMS: retryMillis(time.Second),
+		}
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout, wireError{Class: classTimeout, Message: err.Error()}
 	default:
@@ -432,11 +457,14 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 // writeResult emits a finished computation's stored bytes verbatim —
 // the response body is exactly the cached (and therefore exactly the
 // recomputed) encoding; hit/miss state travels in headers so it can
-// never perturb the body.
+// never perturb the body. The content sum rides along (PR 12) so any
+// hop between us and the caller — a forwarding peer, a retrying
+// client — can verify the bytes arrived intact.
 func (s *Server) writeResult(w http.ResponseWriter, id, cacheState string, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(jobHeader, id)
 	w.Header().Set(cacheHeader, cacheState)
+	w.Header().Set(resultSumHeader, resultSum(body))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
 }
@@ -555,13 +583,53 @@ func (s *Server) runAndStore(id string, run func() (any, error)) jobs.Func {
 	}
 }
 
+// journalReadOnly reports whether async submissions must be refused
+// because the journal cannot make their acceptance durable (ENOSPC).
+// Before refusing, it issues at most one space probe per ProbeEvery,
+// so a disk that recovered flips the node back to read-write on the
+// next submit instead of waiting for organic sync traffic to commit
+// something. Sync routes never consult this: they acknowledge nothing
+// they have not already computed.
+func (s *Server) journalReadOnly() bool {
+	if s.journal == nil || !s.journal.ReadOnly() {
+		return false
+	}
+	now := time.Now().UnixNano()
+	last := s.lastProbe.Load()
+	if now-last >= int64(s.probeEvery) && s.lastProbe.CompareAndSwap(last, now) {
+		if s.journal.Probe() == nil {
+			return false
+		}
+	}
+	return s.journal.ReadOnly()
+}
+
+// refuseReadOnly emits the read-only 503: the v1 envelope with the
+// read_only class and a retry hint sized to the probe interval — the
+// soonest a retry could observe a recovered disk.
+func (s *Server) refuseReadOnly(w http.ResponseWriter, r *http.Request) {
+	s.readOnly503.Add(1)
+	retry := s.probeEvery
+	if retry < time.Second {
+		retry = time.Second
+	}
+	s.writeError(w, r, http.StatusServiceUnavailable, classReadOnly,
+		"journal is read-only (disk full): async submissions refused until space returns", retry)
+}
+
 // submitAsync is the shared shape of /v1/simulate and /v1/sweep: an
 // already-cached result answers done immediately; otherwise the job
 // is enqueued (or joined, if an identical one is in flight) and the
-// caller polls GET /v1/jobs/{id}.
+// caller polls GET /v1/jobs/{id}. A read-only journal refuses the
+// submit instead: a 202 is a durability promise this node currently
+// cannot keep.
 func (s *Server) submitAsync(w http.ResponseWriter, r *http.Request, id string, meta jobs.Meta, fn jobs.Func) {
 	if s.cache.Contains(id) {
 		s.writeJSON(w, http.StatusOK, jobBody{ID: id, Status: jobs.StatusDone})
+		return
+	}
+	if s.journalReadOnly() {
+		s.refuseReadOnly(w, r)
 		return
 	}
 	j, err := s.pool.SubmitMeta(id, meta, fn)
@@ -684,8 +752,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // healthBody is the GET /healthz response. Cluster is present on a
 // clustered node and is what the client bootstraps its ring from.
 type healthBody struct {
-	OK      bool        `json:"ok"`
-	Cluster *ringConfig `json:"cluster,omitempty"`
+	OK bool `json:"ok"`
+	// JournalReadOnly reports the disk-full degradation: the node is
+	// alive and serving sync routes, but refuses async submissions
+	// until journal space returns.
+	JournalReadOnly bool        `json:"journal_readonly,omitempty"`
+	Cluster         *ringConfig `json:"cluster,omitempty"`
 }
 
 // ringConfig is the ring-membership triple every member (and the
@@ -699,6 +771,9 @@ type ringConfig struct {
 // handleHealthz serves GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := healthBody{OK: true}
+	if s.journal != nil {
+		body.JournalReadOnly = s.journal.ReadOnly()
+	}
 	if s.cluster != nil {
 		body.Cluster = &ringConfig{
 			Self:         s.cluster.ring.Self(),
@@ -712,13 +787,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // Metricsz is the GET /metricsz response body. Journal is null when
 // the server runs without one.
 type Metricsz struct {
-	Pool      obs.PoolStats      `json:"pool"`
-	Cache     obs.CacheStats     `json:"cache"`
-	Routes    []obs.RouteStats   `json:"routes"`
-	Journal   *obs.JournalStats  `json:"journal,omitempty"`
-	Batch     obs.BatchStats     `json:"batch"`
-	Admission obs.AdmissionStats `json:"admission"`
-	Breakers  []obs.BreakerStats `json:"breakers"`
+	Pool   obs.PoolStats    `json:"pool"`
+	Cache  obs.CacheStats   `json:"cache"`
+	Routes []obs.RouteStats `json:"routes"`
+	// JournalReadOnly mirrors the healthz flag (also inside Journal
+	// as read_only); ReadOnlyRefused counts async submits 503ed while
+	// the journal could not take them.
+	JournalReadOnly bool               `json:"journal_readonly"`
+	ReadOnlyRefused uint64             `json:"read_only_refused"`
+	Journal         *obs.JournalStats  `json:"journal,omitempty"`
+	Batch           obs.BatchStats     `json:"batch"`
+	Admission       obs.AdmissionStats `json:"admission"`
+	Breakers        []obs.BreakerStats `json:"breakers"`
 	// Cluster is null on an unclustered node.
 	Cluster *obs.ClusterStats `json:"cluster,omitempty"`
 }
@@ -734,7 +814,9 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	if s.journal != nil {
 		st := s.journal.Stats()
 		body.Journal = &st
+		body.JournalReadOnly = st.ReadOnly
 	}
+	body.ReadOnlyRefused = s.readOnly503.Load()
 	body.Batch = obs.BatchStats{
 		Batches:  s.batches.Load(),
 		Items:    s.batchItems.Load(),

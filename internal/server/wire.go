@@ -23,6 +23,11 @@ package server
 //	                job id, or traffic addressed to a node a fault
 //	                plan stranded (routing.UnreachableError). 404/422.
 //	timeout         the work ran out of time budget. 504.
+//	read_only       the node's journal hit ENOSPC and async work
+//	                cannot be durably acknowledged until disk space
+//	                returns; sync routes still serve. Retry after
+//	                retry_after_ms (space recovery is probed on every
+//	                rejected submit). 503. (PR 12)
 //	internal        everything else. 500.
 //
 // retry_after_ms is present only on queue_full responses (mirroring
@@ -42,6 +47,7 @@ const (
 	classSaturated     = "saturated"
 	classUnreachable   = "unreachable"
 	classTimeout       = "timeout"
+	classReadOnly      = "read_only"
 	classInternal      = "internal"
 )
 

@@ -1,0 +1,165 @@
+package soak
+
+// The randomized soak drill (PR 12): a real 3-node in-process ring —
+// journals on fault-injecting disks, peer traffic on a fault-injecting
+// fabric with a timed partition window — takes hundreds of seeded
+// mixed operations, and the invariant checker must come back clean:
+// nothing acknowledged is lost, every verified result copy is
+// byte-identical, breakers come back after the heal, forwarded
+// deadlines never grow. The report is written to $SOAK_REPORT when CI
+// wants the artifact.
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"starperf/internal/cache"
+	"starperf/internal/cluster"
+	"starperf/internal/fsx"
+	"starperf/internal/journal"
+	"starperf/internal/netx"
+	"starperf/internal/server"
+)
+
+// soakSeed parameterises the whole drill: the op generator, the
+// network fault schedule and each node's disk fault schedule all
+// derive from it.
+const soakSeed = 42
+
+// newSoakRing starts three servers whose peer traffic crosses fabric
+// and whose journals live on fsx.Faulty disks seeded from seed.
+func newSoakRing(t *testing.T, fabric *netx.Net, seed uint64) []string {
+	t.Helper()
+	const n = 3
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	for i, addr := range addrs {
+		ring, err := cluster.New(cluster.Config{Self: addr, Peers: addrs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A mildly unreliable disk: torn and failing writes the journal
+		// must absorb, plus a rare ENOSPC so the read-only degradation
+		// path fires mid-soak. Submissions it refuses are typed, never
+		// acknowledged — so they cannot trip the lost-job invariant.
+		fa := fsx.NewFaulty(fsx.OS{}, fsx.FaultPlan{
+			Seed:        seed + uint64(i),
+			PWrite:      0.02,
+			PSync:       0.02,
+			PNoSpace:    0.01,
+			ShortWrites: true,
+		})
+		j, _, err := journal.Open(journal.Options{Dir: t.TempDir(), FS: fa})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := server.New(server.Config{
+			Workers:     2,
+			Cache:       cache.Config{Dir: t.TempDir()},
+			Ring:        ring,
+			Journal:     j,
+			PeerHTTP:    fabric.Client(addr, nil),
+			PeerBreaker: server.BreakerConfig{Cooldown: 50 * time.Millisecond},
+			ProbeEvery:  -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := &httptest.Server{Listener: listeners[i], Config: &http.Server{Handler: s.Handler()}}
+		ts.Start()
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = s.Close(ctx)
+			_ = j.Close()
+		})
+	}
+	return addrs
+}
+
+func TestSoakInvariantsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak drill takes seconds; skipped in -short")
+	}
+	// Everything misbehaves a little, and ops 20..120 add a partition
+	// window cutting node 0 off from the rest — it expires on its own,
+	// and Run heals whatever probabilistic faults remain before
+	// draining.
+	plan := netx.Plan{
+		Seed: soakSeed,
+		Default: netx.Rule{
+			PRefuse:   0.05,
+			PDelay:    0.05,
+			Delay:     2 * time.Millisecond,
+			PReset:    0.04,
+			PTruncate: 0.04,
+			PCorrupt:  0.04,
+		},
+	}
+	fabric := netx.New(plan)
+	addrs := newSoakRing(t, fabric, soakSeed)
+	fabric.SetPartitions([]netx.Partition{{A: addrs[:1], B: addrs[1:], FromOp: 20, ToOp: 120}})
+
+	// The driver's own requests cross the fabric too, so client-side
+	// faults (refusals, torn bodies, corruption) hit the generated ops
+	// directly and the checksum discipline is exercised end to end.
+	report := Run(Config{Seed: soakSeed, Ops: 220}, addrs, fabric.Client("driver", nil), fabric)
+
+	if path := os.Getenv("SOAK_REPORT"); path != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if len(report.Violations) != 0 {
+		t.Fatalf("soak violations:\n%v\nreport: %+v", report.Violations, report)
+	}
+	if report.Ops < 200 {
+		t.Fatalf("ops = %d, want >= 200", report.Ops)
+	}
+	if report.Acked == 0 {
+		t.Fatal("soak acknowledged no jobs — the async path was never exercised")
+	}
+	if report.Faults.Partitioned == 0 {
+		t.Fatal("no request was severed — the partition window never fired")
+	}
+	t.Logf("soak: ops=%d acked=%d errors=%d corrupt_rejected=%d faults=%+v",
+		report.Ops, report.Acked, report.Errors, report.CorruptRejected, report.Faults)
+}
+
+// TestSoakCleanNetworkBaseline: the same drill with no faults at all
+// must be violation-free with near-zero weather — a canary that the
+// harness itself is not the source of noise.
+func TestSoakCleanNetworkBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak drill takes seconds; skipped in -short")
+	}
+	fabric := netx.New(netx.Plan{Seed: soakSeed})
+	addrs := newSoakRing(t, fabric, soakSeed+100)
+	report := Run(Config{Seed: soakSeed, Ops: 60}, addrs, fabric.Client("driver", nil), fabric)
+	if len(report.Violations) != 0 {
+		t.Fatalf("baseline violations: %v", report.Violations)
+	}
+	if report.Acked == 0 {
+		t.Fatal("baseline acknowledged no jobs")
+	}
+}
